@@ -1,0 +1,57 @@
+// Command axpybench regenerates the Multiple-AXPY experiments of the paper:
+// Table I (variant feature matrix), Figure 3 (performance and simulated L2
+// miss ratio versus task size) and Figure 4 (strong scaling on virtual
+// cores).
+//
+// Usage:
+//
+//	axpybench -table1
+//	axpybench -fig 3 [-scale 1.0] [-cores N] [-reps 3]
+//	axpybench -fig 4 [-scale 1.0]
+//	axpybench -quick        # tiny smoke-test sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table I (variant feature matrix)")
+	fig := flag.Int("fig", 0, "figure to regenerate: 3 or 4 (0 = all)")
+	scale := flag.Float64("scale", 1, "problem-size multiplier (paper scale ≈ 64)")
+	cores := flag.Int("cores", 0, "real-mode worker count (default GOMAXPROCS)")
+	reps := flag.Int("reps", 3, "repetitions per point (best kept)")
+	quick := flag.Bool("quick", false, "tiny sizes for a fast smoke run")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Cores: *cores, Reps: *reps, Quick: *quick}
+	if *table1 {
+		harness.Table1(os.Stdout)
+		if *fig == 0 {
+			return
+		}
+	}
+	run := func(n int, f func(w *os.File, o harness.Options) error) {
+		if err := f(os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "axpybench: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+	switch *fig {
+	case 3:
+		run(3, func(w *os.File, o harness.Options) error { return harness.Fig3(w, o) })
+	case 4:
+		run(4, func(w *os.File, o harness.Options) error { return harness.Fig4(w, o) })
+	case 0:
+		harness.Table1(os.Stdout)
+		run(3, func(w *os.File, o harness.Options) error { return harness.Fig3(w, o) })
+		run(4, func(w *os.File, o harness.Options) error { return harness.Fig4(w, o) })
+	default:
+		fmt.Fprintf(os.Stderr, "axpybench: unknown figure %d (want 3 or 4)\n", *fig)
+		os.Exit(2)
+	}
+}

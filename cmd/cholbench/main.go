@@ -1,0 +1,31 @@
+// Command cholbench sweeps the blocked-Cholesky extension workload: the
+// three nesting formulations (nest-weak, flat-depend, nest-depend) over a
+// range of block sizes, in real mode (GFlop/s) and virtual mode (effective
+// parallelism at a fixed core count). Dense linear algebra is the workload
+// class the paper's introduction motivates via Kurzak et al. [3].
+//
+// Usage:
+//
+//	cholbench [-scale 1.0] [-quick] [-cores 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "problem-size multiplier")
+	quick := flag.Bool("quick", false, "tiny sizes for a fast smoke run")
+	cores := flag.Int("cores", 16, "virtual cores for the parallelism sweep")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Quick: *quick}
+	if err := harness.Cholesky(os.Stdout, o, *cores); err != nil {
+		fmt.Fprintf(os.Stderr, "cholbench: %v\n", err)
+		os.Exit(1)
+	}
+}

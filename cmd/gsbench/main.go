@@ -1,0 +1,54 @@
+// Command gsbench regenerates the Gauss-Seidel experiments of the paper:
+// Figure 5 (performance versus tile size, real mode) and Figure 6
+// (effective parallelism versus cores for 64×64 and 128×128 tiles, virtual
+// mode so the sweep reaches the paper's 48 cores on any host).
+//
+// Usage:
+//
+//	gsbench -fig 5 [-scale 1.0] [-cores N] [-reps 3]
+//	gsbench -fig 6 [-scale 1.0]
+//	gsbench -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 5 or 6 (0 = both)")
+	scale := flag.Float64("scale", 1, "problem-size multiplier (paper scale ≈ 27)")
+	cores := flag.Int("cores", 0, "real-mode worker count (default GOMAXPROCS)")
+	reps := flag.Int("reps", 3, "repetitions per point (best kept)")
+	quick := flag.Bool("quick", false, "tiny sizes for a fast smoke run")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Cores: *cores, Reps: *reps, Quick: *quick}
+	fail := func(n int, err error) {
+		fmt.Fprintf(os.Stderr, "gsbench: figure %d: %v\n", n, err)
+		os.Exit(1)
+	}
+	switch *fig {
+	case 5:
+		if err := harness.Fig5(os.Stdout, o); err != nil {
+			fail(5, err)
+		}
+	case 6:
+		if err := harness.Fig6(os.Stdout, o); err != nil {
+			fail(6, err)
+		}
+	case 0:
+		if err := harness.Fig5(os.Stdout, o); err != nil {
+			fail(5, err)
+		}
+		if err := harness.Fig6(os.Stdout, o); err != nil {
+			fail(6, err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "gsbench: unknown figure %d (want 5 or 6)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,58 @@
+// Command reproduce runs the paper's full evaluation — Table I and Figures
+// 3 through 7 — in order, printing every table and series. Use -scale to
+// approach the paper's problem sizes (they need several GiB of RAM and many
+// core-hours) and -quick for a smoke pass.
+//
+// Usage:
+//
+//	reproduce [-scale 1.0] [-cores N] [-reps 3] [-quick] [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "problem-size multiplier")
+	cores := flag.Int("cores", 0, "real-mode worker count (default GOMAXPROCS)")
+	reps := flag.Int("reps", 3, "repetitions per point (best kept)")
+	quick := flag.Bool("quick", false, "tiny sizes for a fast smoke run")
+	ext := flag.Bool("ext", false, "also run the beyond-the-paper extension experiments")
+	out := flag.String("out", "", "also write the report to this file")
+	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	o := harness.Options{Scale: *scale, Cores: *cores, Reps: *reps, Quick: *quick, CSVDir: *csvDir}
+	if err := harness.All(w, o); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+	if *ext {
+		if err := harness.Extensions(w, o); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command sortbench regenerates Figure 7: the execution timeline of a
+// quicksort followed by a prefix sum, comparing weak dependencies +
+// weakwait against regular dependencies. It prints an ASCII timeline per
+// variant (one row per worker, one glyph per task kind) and the quantified
+// overlap between the two algorithm phases.
+//
+// With -chrome or -prv it additionally writes one trace file per variant
+// for external viewers (chrome://tracing / Perfetto, or Paraver).
+//
+// Usage:
+//
+//	sortbench [-scale 1.0] [-quick] [-chrome prefix] [-prv prefix]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "problem-size multiplier")
+	quick := flag.Bool("quick", false, "tiny sizes for a fast smoke run")
+	chrome := flag.String("chrome", "", "write Chrome trace JSON to <prefix>-<variant>.json")
+	prv := flag.String("prv", "", "write Paraver-like traces to <prefix>-<variant>.prv")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Quick: *quick}
+	if err := harness.Fig7(os.Stdout, o); err != nil {
+		fail(err)
+	}
+	if *chrome != "" {
+		if err := exportTraces(o, *chrome, ".json", (*trace.Tracer).WriteChrome); err != nil {
+			fail(err)
+		}
+	}
+	if *prv != "" {
+		if err := exportTraces(o, *prv, ".prv", (*trace.Tracer).WritePRV); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func exportTraces(o harness.Options, prefix, ext string,
+	write func(*trace.Tracer, io.Writer) error) error {
+	return harness.ExportFig7(o, func(variant string, tr *trace.Tracer) error {
+		name := fmt.Sprintf("%s-%s%s", prefix, variant, ext)
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := write(tr, f); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Printf("wrote %s\n", name)
+		return f.Close()
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+	os.Exit(1)
+}

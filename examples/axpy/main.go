@@ -1,0 +1,102 @@
+// AXPY example: the paper's listing 5 — a blocked y ← αx + y where the
+// outer task covers the vectors with weak accesses and the weakwait clause,
+// so the number of subtasks is independent of the depend clause, repeated
+// calls pipeline block-wise, and the result is still race-free.
+//
+// The example runs the same computation with the pre-extension formulation
+// (strong outer deps, nest-depend) and with weak accesses, and prints both
+// timings.
+//
+// Run with:
+//
+//	go run ./examples/axpy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	nanos "repro"
+)
+
+const (
+	n     = 1 << 20 // vector elements
+	block = 1 << 14 // elements per leaf task
+	calls = 20
+	alpha = 0.5
+)
+
+// axpyCall submits one call of the blocked axpy as a nested task.
+func axpyCall(tc *nanos.TaskContext, xd, yd nanos.DataID, x, y []float64, weak bool) {
+	outer := []nanos.Dep{nanos.DIn(xd, nanos.Iv(0, n)), nanos.DInOut(yd, nanos.Iv(0, n))}
+	if weak {
+		outer = []nanos.Dep{nanos.DWeakIn(xd, nanos.Iv(0, n)), nanos.DWeakInOut(yd, nanos.Iv(0, n))}
+	}
+	tc.Submit(nanos.TaskSpec{
+		Label:    "axpy",
+		WeakWait: weak,
+		Deps:     outer,
+		Body: func(tc *nanos.TaskContext) {
+			for start := int64(0); start < n; start += block {
+				start := start
+				end := min(start+block, int64(n))
+				tc.Submit(nanos.TaskSpec{
+					Label: "axpy-block",
+					Flops: 2 * (end - start),
+					Deps: []nanos.Dep{
+						nanos.DIn(xd, nanos.Iv(start, end)),
+						nanos.DInOut(yd, nanos.Iv(start, end)),
+					},
+					Body: func(*nanos.TaskContext) {
+						for i := start; i < end; i++ {
+							y[i] += alpha * x[i]
+						}
+					},
+				})
+			}
+			if !weak {
+				tc.Taskwait() // the pre-extension coordination (§III)
+			}
+		},
+	})
+}
+
+func run(weak bool) (time.Duration, float64) {
+	rt := nanos.New(nanos.Config{Workers: 8})
+	xd := rt.NewData("x", n, 8)
+	yd := rt.NewData("y", n, 8)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	start := time.Now()
+	rt.Run(func(tc *nanos.TaskContext) {
+		for c := 0; c < calls; c++ {
+			axpyCall(tc, xd, yd, x, y, weak)
+		}
+	})
+	el := time.Since(start)
+	for i := range y {
+		if y[i] != calls*alpha {
+			panic(fmt.Sprintf("y[%d] = %v, want %v", i, y[i], calls*alpha))
+		}
+	}
+	return el, float64(rt.Flops()) / el.Seconds() / 1e9
+}
+
+func main() {
+	strongT, strongG := run(false)
+	weakT, weakG := run(true)
+	fmt.Printf("%d calls of axpy over %d elements, blocks of %d, 8 workers\n", calls, n, block)
+	fmt.Printf("  nest-depend (strong deps + taskwait): %8v  %6.2f GFlop/s\n", strongT.Round(time.Microsecond), strongG)
+	fmt.Printf("  nest-weak   (weak deps + weakwait):   %8v  %6.2f GFlop/s\n", weakT.Round(time.Microsecond), weakG)
+	fmt.Println("both runs validated: y == calls*alpha everywhere")
+}
+
+func min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+// Cholesky example: blocked Cholesky factorization with two levels of
+// tasks — one weak panel task per factorization step, kernel subtasks
+// (potrf/trsm/syrk/gemm) with block-level dependencies.
+//
+// Step k's panel declares depend(weakinout:) over the whole trailing
+// matrix, which strictly contains step k+1's region: the weak entries never
+// defer the panels (§VI), so all panels instantiate their kernels in
+// parallel, and the weakwait hand-over (§V) connects kernels of successive
+// steps through fine-grained block dependencies — a trsm of step k+1 starts
+// as soon as the gemms feeding its block finish, not when step k ends.
+//
+// Run with:
+//
+//	go run ./examples/cholesky
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	nanos "repro"
+)
+
+const (
+	n  = 512 // matrix side
+	ts = 64  // block side
+	b  = n / ts
+	bs = ts * ts
+)
+
+// Block (i,j) occupies the contiguous interval [(i*b+j)·bs, (i*b+j+1)·bs).
+func blkIv(i, j int64) nanos.Interval {
+	off := (i*int64(b) + j) * int64(bs)
+	return nanos.Iv(off, off+int64(bs))
+}
+
+func main() {
+	a := make([]float64, b*b*bs)
+	initSPD(a)
+
+	rt := nanos.New(nanos.Config{Workers: 8, EnableTrace: true})
+	ad := rt.NewData("A", int64(len(a)), 8)
+	blk := func(i, j int64) []float64 {
+		off := (i*int64(b) + j) * int64(bs)
+		return a[off : off+int64(bs)]
+	}
+
+	start := time.Now()
+	rt.Run(func(tc *nanos.TaskContext) {
+		for k := int64(0); k < b; k++ {
+			k := k
+			// The blocks step k touches: rows i ≥ k, columns k..i.
+			region := make([]nanos.Interval, 0, b-int(k))
+			for i := k; i < b; i++ {
+				region = append(region, nanos.Iv(blkIv(i, k).Lo, blkIv(i, i).Hi))
+			}
+			tc.Submit(nanos.TaskSpec{
+				Label:    "panel",
+				Kind:     "panel",
+				WeakWait: true,
+				Touches:  []nanos.Dep{}, // the panel only instantiates subtasks
+				Deps:     []nanos.Dep{nanos.DWeakInOut(ad, region...)},
+				Body: func(tc *nanos.TaskContext) {
+					tc.Submit(nanos.TaskSpec{
+						Label: "potrf", Kind: "potrf", Flops: ts * ts * ts / 3,
+						Deps: []nanos.Dep{nanos.DInOut(ad, blkIv(k, k))},
+						Body: func(*nanos.TaskContext) { potrf(blk(k, k)) },
+					})
+					for i := k + 1; i < b; i++ {
+						i := i
+						tc.Submit(nanos.TaskSpec{
+							Label: "trsm", Kind: "trsm", Flops: ts * ts * ts,
+							Deps: []nanos.Dep{nanos.DIn(ad, blkIv(k, k)), nanos.DInOut(ad, blkIv(i, k))},
+							Body: func(*nanos.TaskContext) { trsm(blk(k, k), blk(i, k)) },
+						})
+					}
+					for i := k + 1; i < b; i++ {
+						i := i
+						tc.Submit(nanos.TaskSpec{
+							Label: "syrk", Kind: "syrk", Flops: ts * ts * ts,
+							Deps: []nanos.Dep{nanos.DIn(ad, blkIv(i, k)), nanos.DInOut(ad, blkIv(i, i))},
+							Body: func(*nanos.TaskContext) { syrk(blk(i, k), blk(i, i)) },
+						})
+						for j := k + 1; j < i; j++ {
+							j := j
+							tc.Submit(nanos.TaskSpec{
+								Label: "gemm", Kind: "gemm", Flops: 2 * ts * ts * ts,
+								Deps: []nanos.Dep{
+									nanos.DIn(ad, blkIv(i, k)), nanos.DIn(ad, blkIv(j, k)),
+									nanos.DInOut(ad, blkIv(i, j)),
+								},
+								Body: func(*nanos.TaskContext) { gemm(blk(i, k), blk(j, k), blk(i, j)) },
+							})
+						}
+					}
+				},
+			})
+		}
+	})
+	el := time.Since(start)
+
+	fmt.Printf("Cholesky %dx%d in %dx%d blocks, 8 workers, nested weak panels\n", n, n, ts, ts)
+	fmt.Printf("  wall time             %v\n", el.Round(time.Microsecond))
+	fmt.Printf("  GFlop/s               %.2f\n", float64(rt.Flops())/el.Seconds()/1e9)
+	fmt.Printf("  tasks                 %d\n", rt.TaskCount())
+	fmt.Printf("  effective parallelism %.2f\n", rt.EffectiveParallelism())
+	fmt.Printf("  residual max|A-LLᵀ|   %.3g\n", residual(a))
+	st := rt.DepStats()
+	fmt.Printf("  engine: %d fragments, %d hand-overs (cross-panel dependencies)\n",
+		st.Fragments, st.Handovers)
+}
+
+// initSPD fills a (block layout) with a symmetric matrix made positive
+// definite by diagonal dominance, and stashes a copy for the residual.
+var original []float64
+
+func initSPD(a []float64) {
+	rng := rand.New(rand.NewSource(2017))
+	at := func(r, c int64) *float64 {
+		bi, bj := r/ts, c/ts
+		return &a[(bi*int64(b)+bj)*int64(bs)+(r%ts)*ts+(c%ts)]
+	}
+	for r := int64(0); r < n; r++ {
+		for c := int64(0); c <= r; c++ {
+			v := 2*rng.Float64() - 1
+			if r == c {
+				v = math.Abs(v) + n
+			}
+			*at(r, c) = v
+			*at(c, r) = v
+		}
+	}
+	original = append([]float64(nil), a...)
+}
+
+// residual returns max |A - L·Lᵀ| over the lower triangle.
+func residual(a []float64) float64 {
+	at := func(m []float64, r, c int64) float64 {
+		bi, bj := r/ts, c/ts
+		return m[(bi*int64(b)+bj)*int64(bs)+(r%ts)*ts+(c%ts)]
+	}
+	l := func(r, c int64) float64 {
+		if c > r {
+			return 0
+		}
+		return at(a, r, c)
+	}
+	var worst float64
+	for r := int64(0); r < n; r++ {
+		for c := int64(0); c <= r; c++ {
+			var s float64
+			for p := int64(0); p <= c; p++ {
+				s += l(r, p) * l(c, p)
+			}
+			if d := math.Abs(s - at(original, r, c)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// potrf factors a ts×ts block in place (lower Cholesky).
+func potrf(a []float64) {
+	for c := 0; c < ts; c++ {
+		d := a[c*ts+c]
+		for p := 0; p < c; p++ {
+			d -= a[c*ts+p] * a[c*ts+p]
+		}
+		d = math.Sqrt(d)
+		a[c*ts+c] = d
+		for r := c + 1; r < ts; r++ {
+			s := a[r*ts+c]
+			for p := 0; p < c; p++ {
+				s -= a[r*ts+p] * a[c*ts+p]
+			}
+			a[r*ts+c] = s / d
+		}
+	}
+}
+
+// trsm solves X·Lᵀ = A in place over block a.
+func trsm(l, a []float64) {
+	for r := 0; r < ts; r++ {
+		for c := 0; c < ts; c++ {
+			s := a[r*ts+c]
+			for p := 0; p < c; p++ {
+				s -= a[r*ts+p] * l[c*ts+p]
+			}
+			a[r*ts+c] = s / l[c*ts+c]
+		}
+	}
+}
+
+// syrk updates the lower triangle of a diagonal block: d -= x·xᵀ.
+func syrk(x, d []float64) {
+	for r := 0; r < ts; r++ {
+		for c := 0; c <= r; c++ {
+			s := d[r*ts+c]
+			for p := 0; p < ts; p++ {
+				s -= x[r*ts+p] * x[c*ts+p]
+			}
+			d[r*ts+c] = s
+		}
+	}
+}
+
+// gemm updates a trailing block: c -= x·yᵀ.
+func gemm(x, y, c []float64) {
+	for r := 0; r < ts; r++ {
+		for cc := 0; cc < ts; cc++ {
+			s := c[r*ts+cc]
+			for p := 0; p < ts; p++ {
+				s -= x[r*ts+p] * y[cc*ts+p]
+			}
+			c[r*ts+cc] = s
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// SparseLU example: blocked sparse LU factorization with fill-in — the
+// classic BOTS workload — written top-down with one weak panel task per
+// elimination step.
+//
+// A symbolic phase materializes the fill-in pattern; the numeric phase then
+// runs fully task-parallel: each panel declares depend(weakinout:) over its
+// trailing square (regions of successive panels overlap partially, §VII),
+// instantiates its lu0/fwd/bdiv/bmod kernels in parallel with the other
+// panels (§VI), and hands its dependencies over to them at body exit (§V).
+//
+// Run with:
+//
+//	go run ./examples/sparselu
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/workloads"
+)
+
+func main() {
+	p := workloads.SparseLUParams{B: 24, TS: 32, Density: 0.3, Seed: 2017, Compute: true}
+	for _, v := range workloads.SparseLUVariants {
+		start := time.Now()
+		res, fills, err := workloads.RunSparseLU(workloads.Mode{Workers: 8}, v, p)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s  wall %-12v  tasks %-5d  fill-in blocks %-4d  GFlop/s %.2f\n",
+			v, time.Since(start).Round(time.Microsecond), res.Tasks, fills, res.GFlops())
+	}
+	fmt.Println("\nall three variants validated against the sequential factorization")
+}

@@ -1,0 +1,159 @@
+// Package cachesim models per-core data caches so the reproduction can
+// regenerate the L2 miss-ratio panel of Figure 3 without hardware counters.
+//
+// The paper's miss-ratio result is a scheduling-locality effect: when the
+// runtime knows the fine-grained dependencies that cross nesting levels, it
+// dispatches a task's successor to the core that just released it, so the
+// successor finds its data in that core's cache. The simulator sees exactly
+// the schedule the runtime produced (each executed task streams its declared
+// dependency regions through the cache of the worker that ran it), so that
+// effect is preserved even though absolute miss counts differ from the
+// ThunderX PMU numbers.
+package cachesim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Config describes one per-core cache.
+type Config struct {
+	LineBytes int // cache line size (ThunderX: 128)
+	Ways      int // associativity
+	Sets      int // number of sets; capacity = LineBytes*Ways*Sets
+}
+
+// DefaultL2 approximates one core's share of the ThunderX shared 16 MiB L2
+// across 48 cores (~340 KiB): 128-byte lines, 16 ways, 170 sets.
+func DefaultL2() Config {
+	return Config{LineBytes: 128, Ways: 16, Sets: 170}
+}
+
+// DefaultSharedL2 is the full ThunderX 16 MiB shared L2: 128-byte lines,
+// 16 ways, 8192 sets. Use with NewSharedGroup (or the runtime's
+// SharedCache mode) to model the cache as the hardware actually shares it.
+func DefaultSharedL2() Config {
+	return Config{LineBytes: 128, Ways: 16, Sets: 8192}
+}
+
+// CapacityBytes returns the total capacity of one cache.
+func (c Config) CapacityBytes() int { return c.LineBytes * c.Ways * c.Sets }
+
+// Cache is a set-associative LRU cache over line addresses. Not safe for
+// concurrent use; the runtime guarantees each cache is only touched by the
+// goroutine holding the corresponding worker token.
+type Cache struct {
+	cfg  Config
+	sets [][]uint64 // per set: line tags, index 0 = MRU
+}
+
+// NewCache creates an empty cache.
+func NewCache(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.Sets <= 0 {
+		panic("cachesim: invalid config")
+	}
+	return &Cache{cfg: cfg, sets: make([][]uint64, cfg.Sets)}
+}
+
+// Access touches one line address; reports whether it hit.
+func (c *Cache) Access(line uint64) bool {
+	si := int(line % uint64(c.cfg.Sets))
+	set := c.sets[si]
+	for i, tag := range set {
+		if tag == line {
+			// Move to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	// Miss: insert at MRU, evicting LRU if full.
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[si] = set
+	return false
+}
+
+// AccessRange streams the byte range [addr, addr+bytes) through the cache
+// at line granularity, returning hits and misses.
+func (c *Cache) AccessRange(addr, bytes uint64) (hits, misses int64) {
+	if bytes == 0 {
+		return 0, 0
+	}
+	lb := uint64(c.cfg.LineBytes)
+	first := addr / lb
+	last := (addr + bytes - 1) / lb
+	for line := first; line <= last; line++ {
+		if c.Access(line) {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
+}
+
+// Group is a set of per-worker caches with aggregated counters. With
+// Shared it instead models one cache all workers stream through — the
+// ThunderX L2 is physically a shared 16 MiB cache, and the private
+// per-core-share model is an approximation whose error the shared mode
+// quantifies (BenchmarkAblationCacheModel).
+type Group struct {
+	caches []*Cache
+	shared *Cache
+	mu     sync.Mutex // guards shared (workers are not serialized against each other)
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewGroup creates one cache per worker.
+func NewGroup(workers int, cfg Config) *Group {
+	g := &Group{caches: make([]*Cache, workers)}
+	for i := range g.caches {
+		g.caches[i] = NewCache(cfg)
+	}
+	return g
+}
+
+// NewSharedGroup creates a group in which every worker streams through one
+// shared cache of the given geometry.
+func NewSharedGroup(cfg Config) *Group {
+	return &Group{shared: NewCache(cfg)}
+}
+
+// Access streams a byte range through worker w's cache (or the shared
+// cache). In private mode it must only be called by the goroutine holding
+// worker w's token; the shared cache serializes internally.
+func (g *Group) Access(w int, addr, bytes uint64) {
+	if g.shared != nil {
+		g.mu.Lock()
+		h, m := g.shared.AccessRange(addr, bytes)
+		g.mu.Unlock()
+		g.hits.Add(h)
+		g.misses.Add(m)
+		return
+	}
+	if w < 0 || w >= len(g.caches) {
+		return
+	}
+	h, m := g.caches[w].AccessRange(addr, bytes)
+	g.hits.Add(h)
+	g.misses.Add(m)
+}
+
+// Counts returns total hits and misses.
+func (g *Group) Counts() (hits, misses int64) {
+	return g.hits.Load(), g.misses.Load()
+}
+
+// MissRatio returns misses / (hits + misses), 0 if no accesses.
+func (g *Group) MissRatio() float64 {
+	h, m := g.Counts()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(m) / float64(h+m)
+}

@@ -1,0 +1,147 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfg(lines, ways, sets int) Config {
+	return Config{LineBytes: lines, Ways: ways, Sets: sets}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := NewCache(cfg(64, 2, 4))
+	if c.Access(7) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(7) {
+		t.Fatal("second access must hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One set (Sets=1), 2 ways: lines collide in the same set.
+	c := NewCache(cfg(64, 2, 1))
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 1 is MRU, 2 is LRU
+	c.Access(3) // evicts 2
+	if !c.Access(1) {
+		t.Fatal("1 should still be resident")
+	}
+	if c.Access(2) {
+		t.Fatal("2 should have been evicted (LRU)")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	c := NewCache(cfg(64, 1, 2))
+	c.Access(0) // set 0
+	c.Access(1) // set 1
+	if !c.Access(0) || !c.Access(1) {
+		t.Fatal("lines in different sets must not evict each other")
+	}
+}
+
+func TestAccessRangeLineGranularity(t *testing.T) {
+	c := NewCache(cfg(128, 4, 16))
+	hits, misses := c.AccessRange(0, 512) // exactly 4 lines
+	if hits != 0 || misses != 4 {
+		t.Fatalf("cold range: hits=%d misses=%d, want 0,4", hits, misses)
+	}
+	hits, misses = c.AccessRange(0, 512)
+	if hits != 4 || misses != 0 {
+		t.Fatalf("warm range: hits=%d misses=%d, want 4,0", hits, misses)
+	}
+	// Unaligned range straddling a line boundary touches both lines.
+	c2 := NewCache(cfg(128, 4, 16))
+	_, m := c2.AccessRange(100, 60) // bytes 100..159 → lines 0 and 1
+	if m != 2 {
+		t.Fatalf("straddling range should touch 2 lines, got %d", m)
+	}
+}
+
+func TestAccessRangeEmpty(t *testing.T) {
+	c := NewCache(cfg(64, 1, 1))
+	if h, m := c.AccessRange(10, 0); h != 0 || m != 0 {
+		t.Fatal("empty range must not touch the cache")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := NewCache(cfg(64, 4, 8)) // 2 KiB capacity
+	// Stream a 1 KiB working set twice: second pass must be all hits.
+	c.AccessRange(0, 1024)
+	hits, misses := c.AccessRange(0, 1024)
+	if misses != 0 || hits != 16 {
+		t.Fatalf("resident set re-access: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestWorkingSetExceedsCapacityThrashes(t *testing.T) {
+	c := NewCache(cfg(64, 2, 2)) // 256 B capacity
+	// Stream 4 KiB working set twice: LRU on a streaming pattern re-misses.
+	c.AccessRange(0, 4096)
+	hits, _ := c.AccessRange(0, 4096)
+	if hits != 0 {
+		t.Fatalf("streaming working set 16x capacity should thrash, got %d hits", hits)
+	}
+}
+
+// Property: miss ratio never increases when associativity grows (with the
+// same total traffic and set count) for a re-streamed working set.
+func TestQuickMoreWaysNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := 1 + rng.Intn(8)
+		ways := 1 + rng.Intn(4)
+		small := NewCache(cfg(64, ways, sets))
+		big := NewCache(cfg(64, ways*2, sets))
+		var smallMiss, bigMiss int64
+		// LRU caches of larger size are inclusive under the same access
+		// stream, so misses(big) <= misses(small) for any trace.
+		for i := 0; i < 500; i++ {
+			line := uint64(rng.Intn(64))
+			if !small.Access(line) {
+				smallMiss++
+			}
+			if !big.Access(line) {
+				bigMiss++
+			}
+		}
+		return bigMiss <= smallMiss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAggregation(t *testing.T) {
+	g := NewGroup(2, cfg(64, 2, 2))
+	g.Access(0, 0, 128) // 2 lines, cold → 2 misses
+	g.Access(0, 0, 128) // warm → 2 hits
+	g.Access(1, 0, 128) // separate cache: cold → 2 misses
+	h, m := g.Counts()
+	if h != 2 || m != 4 {
+		t.Fatalf("Counts = %d,%d want 2,4", h, m)
+	}
+	if r := g.MissRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("MissRatio = %f, want 2/3", r)
+	}
+}
+
+func TestGroupOutOfRangeWorkerIgnored(t *testing.T) {
+	g := NewGroup(1, cfg(64, 1, 1))
+	g.Access(9, 0, 64)
+	if h, m := g.Counts(); h+m != 0 {
+		t.Fatal("out-of-range worker must be ignored")
+	}
+}
+
+func TestDefaultL2Capacity(t *testing.T) {
+	c := DefaultL2()
+	if c.CapacityBytes() != 128*16*170 {
+		t.Fatalf("capacity = %d", c.CapacityBytes())
+	}
+}

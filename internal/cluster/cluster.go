@@ -1,0 +1,310 @@
+// Package cluster models the distributed-memory scenario of the paper's
+// future work (§X, OmpSs@cluster): tasks execute on cluster nodes, and data
+// regions move between nodes on demand.
+//
+// The paper's plan: "the dataset of a distributed task is limited by the
+// physical memory of a node. Using weak dependencies we plan to overcome
+// this limitation by replacing the eager copy of the whole dataset by a
+// lazy copy of the subset required by each subtask." This package provides
+// the transfer-accounting substrate and the eager-vs-lazy comparison: an
+// outer task with strong dependencies must materialize its whole dataset on
+// its node before running (eager); with weak dependencies only each
+// subtask's regions move, to wherever that subtask runs (lazy).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/regions"
+)
+
+// DataID identifies a distributed data object.
+type DataID uint32
+
+// Access is one region of one data object touched by a task.
+type Access struct {
+	Data  DataID
+	Iv    regions.Interval
+	Write bool
+}
+
+// Config sizes the cluster.
+type Config struct {
+	Nodes int
+	// NodeMemory is the per-node capacity in elements (0 = unlimited).
+	NodeMemory int64
+	// ElemSize converts elements to bytes for reporting.
+	ElemSize int64
+	// Bandwidth is the node link bandwidth in elements per time unit
+	// (default 64). Together with Latency it drives the makespan model.
+	Bandwidth int64
+	// Latency is the fixed time cost of any non-empty transfer (default
+	// 200 time units).
+	Latency int64
+	// ComputePerElem is a task's compute time per element (default 1).
+	ComputePerElem int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElemSize <= 0 {
+		c.ElemSize = 8
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 64
+	}
+	if c.Latency <= 0 {
+		c.Latency = 200
+	}
+	if c.ComputePerElem <= 0 {
+		c.ComputePerElem = 1
+	}
+	return c
+}
+
+// Sim tracks data residency per node and accounts transfers, and carries a
+// per-node clock for the makespan model: a task placed on a node starts
+// when both the node is free and its input blocks are ready, pays the
+// transfer time of its missing regions, computes, and advances the clock.
+type Sim struct {
+	cfg      Config
+	resident []map[DataID]*regions.Set // per node
+	usage    []int64                   // per node, elements resident
+	nodeTime []int64                   // per node, next free time
+	moved    int64                     // elements transferred between nodes
+	failures int                       // tasks whose dataset exceeded node memory
+	peakUse  int64                     // running per-node usage maximum
+}
+
+// New creates a cluster simulation.
+func New(cfg Config) *Sim {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	cfg = cfg.withDefaults()
+	s := &Sim{
+		cfg:      cfg,
+		resident: make([]map[DataID]*regions.Set, cfg.Nodes),
+		usage:    make([]int64, cfg.Nodes),
+		nodeTime: make([]int64, cfg.Nodes),
+	}
+	for i := range s.resident {
+		s.resident[i] = make(map[DataID]*regions.Set)
+	}
+	return s
+}
+
+// Seed marks a region as initially resident on a node (e.g. where the data
+// was allocated) without counting a transfer.
+func (s *Sim) Seed(node int, data DataID, iv regions.Interval) {
+	s.addResident(node, data, iv)
+}
+
+func (s *Sim) set(node int, data DataID) *regions.Set {
+	st := s.resident[node][data]
+	if st == nil {
+		st = regions.NewSet()
+		s.resident[node][data] = st
+	}
+	return st
+}
+
+func (s *Sim) addResident(node int, data DataID, iv regions.Interval) {
+	st := s.set(node, data)
+	// Track usage by resident-length delta.
+	before := st.Len()
+	st.Add(iv)
+	s.usage[node] += st.Len() - before
+	if s.usage[node] > s.peakUse {
+		s.peakUse = s.usage[node]
+	}
+}
+
+// RunTask executes a task on a node: every accessed region not resident
+// there is transferred (counted once, at element granularity); written
+// regions are invalidated on all other nodes (single-writer coherence).
+// Returns the elements transferred for this task.
+func (s *Sim) RunTask(node int, accs []Access) int64 {
+	if node < 0 || node >= s.cfg.Nodes {
+		panic(fmt.Sprintf("cluster: node %d out of range", node))
+	}
+	var moved int64
+	for _, a := range accs {
+		if a.Iv.Empty() {
+			continue
+		}
+		st := s.set(node, a.Data)
+		// Transfer the missing sub-regions.
+		missing := regions.NewSet(a.Iv)
+		for _, r := range st.Intervals() {
+			missing.Remove(r)
+		}
+		moved += missing.Len()
+		s.addResident(node, a.Data, a.Iv)
+		if a.Write {
+			for other := range s.resident {
+				if other == node {
+					continue
+				}
+				ost := s.resident[other][a.Data]
+				if ost != nil {
+					before := ost.Len()
+					ost.Remove(a.Iv)
+					s.usage[other] -= before - ost.Len()
+				}
+			}
+		}
+	}
+	s.moved += moved
+	if s.cfg.NodeMemory > 0 && s.usage[node] > s.cfg.NodeMemory {
+		s.failures++
+	}
+	return moved
+}
+
+// transferTime returns the wall time of moving the given element count.
+func (s *Sim) transferTime(moved int64) int64 {
+	if moved <= 0 {
+		return 0
+	}
+	return s.cfg.Latency + (moved+s.cfg.Bandwidth-1)/s.cfg.Bandwidth
+}
+
+// RunTaskAt executes a task on a node under the makespan model: the task
+// starts when the node is free and readyAt has passed, pays the transfer
+// time of its missing regions plus compute time for computeElems elements,
+// and returns the task's completion time. Residency and traffic accounting
+// are those of RunTask.
+func (s *Sim) RunTaskAt(node int, accs []Access, readyAt, computeElems int64) int64 {
+	start := s.nodeTime[node]
+	if readyAt > start {
+		start = readyAt
+	}
+	moved := s.RunTask(node, accs)
+	end := start + s.transferTime(moved) + computeElems*s.cfg.ComputePerElem
+	s.nodeTime[node] = end
+	return end
+}
+
+// Makespan returns the latest completion time across all nodes.
+func (s *Sim) Makespan() int64 {
+	var m int64
+	for _, t := range s.nodeTime {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// MovedElements returns the total elements transferred.
+func (s *Sim) MovedElements() int64 { return s.moved }
+
+// MovedBytes returns the total bytes transferred.
+func (s *Sim) MovedBytes() int64 { return s.moved * s.cfg.ElemSize }
+
+// Failures returns how many task placements exceeded node memory.
+func (s *Sim) Failures() int { return s.failures }
+
+// Usage returns the resident elements on a node.
+func (s *Sim) Usage(node int) int64 { return s.usage[node] }
+
+// PeakUsage returns the running maximum of any node's resident elements.
+func (s *Sim) PeakUsage() int64 { return s.peakUse }
+
+// Result summarizes one strategy run of the comparison scenario.
+type Result struct {
+	Strategy   string
+	MovedBytes int64
+	Failures   int
+	PeakUsage  int64
+	// Makespan is the simulated completion time under the bandwidth/
+	// latency model: eager strategies serialize a whole-dataset transfer
+	// on the outer task's node before any subtask may start; lazy
+	// strategies overlap per-subtask transfers across nodes.
+	Makespan int64
+}
+
+// Scenario is the eager-vs-lazy comparison of §X: Calls distributed outer
+// tasks over one N-element array allocated round-robin across the nodes,
+// each call decomposed into TaskSize-element subtasks whose placement
+// rotates by one node per call (so data genuinely migrates). Subtask (c+1,
+// b) depends on subtask (c, b) — successive calls rewrite the same blocks —
+// which the makespan model enforces through per-block ready times.
+type Scenario struct {
+	N        int64
+	Calls    int
+	TaskSize int64
+}
+
+func (sc Scenario) blocks() int {
+	return int((sc.N + sc.TaskSize - 1) / sc.TaskSize)
+}
+
+func (sc Scenario) blockIv(b int) regions.Interval {
+	start := int64(b) * sc.TaskSize
+	end := start + sc.TaskSize
+	if end > sc.N {
+		end = sc.N
+	}
+	return regions.Iv(start, end)
+}
+
+func (sc Scenario) seed(s *Sim) {
+	for b := 0; b < sc.blocks(); b++ {
+		s.Seed(b%s.cfg.Nodes, 0, sc.blockIv(b))
+	}
+}
+
+// RunEager models strong outer dependencies: each call's distributed task
+// first materializes the whole dataset on its node — a serial transfer that
+// cannot start before every block of the previous call is ready and gates
+// every subtask of the call (§III's coordination cost, paid in bytes and
+// wall time).
+func (sc Scenario) RunEager(cfg Config) Result {
+	s := New(cfg)
+	sc.seed(s)
+	nb := sc.blocks()
+	readyAt := make([]int64, nb)
+	for c := 0; c < sc.Calls; c++ {
+		outerNode := c % s.cfg.Nodes
+		var allReady int64
+		for _, r := range readyAt {
+			if r > allReady {
+				allReady = r
+			}
+		}
+		outerEnd := s.RunTaskAt(outerNode,
+			[]Access{{Data: 0, Iv: regions.Iv(0, sc.N), Write: true}}, allReady, 0)
+		for b := 0; b < nb; b++ {
+			readyAt[b] = outerEnd
+		}
+		sc.runSubtasks(s, c, readyAt)
+	}
+	return Result{Strategy: "eager (strong deps)", MovedBytes: s.MovedBytes(),
+		Failures: s.Failures(), PeakUsage: s.PeakUsage(), Makespan: s.Makespan()}
+}
+
+// RunLazy models weak outer dependencies: the outer task moves nothing
+// itself; only each subtask's region moves, to the subtask's node, as soon
+// as the producing subtask of the previous call finished.
+func (sc Scenario) RunLazy(cfg Config) Result {
+	s := New(cfg)
+	sc.seed(s)
+	readyAt := make([]int64, sc.blocks())
+	for c := 0; c < sc.Calls; c++ {
+		sc.runSubtasks(s, c, readyAt)
+	}
+	return Result{Strategy: "lazy (weak deps)", MovedBytes: s.MovedBytes(),
+		Failures: s.Failures(), PeakUsage: s.PeakUsage(), Makespan: s.Makespan()}
+}
+
+// runSubtasks places call's subtasks (block b on node (b+call) mod Nodes)
+// and advances the per-block ready times.
+func (sc Scenario) runSubtasks(s *Sim, call int, readyAt []int64) {
+	for b := 0; b < sc.blocks(); b++ {
+		iv := sc.blockIv(b)
+		node := (b + call) % s.cfg.Nodes
+		readyAt[b] = s.RunTaskAt(node,
+			[]Access{{Data: 0, Iv: iv, Write: true}}, readyAt[b], iv.Len())
+	}
+}

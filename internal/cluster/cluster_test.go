@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/regions"
+)
+
+func acc(lo, hi int64, w bool) Access {
+	return Access{Data: 0, Iv: regions.Iv(lo, hi), Write: w}
+}
+
+func TestTransferOnFirstUse(t *testing.T) {
+	s := New(Config{Nodes: 2, ElemSize: 8})
+	s.Seed(0, 0, regions.Iv(0, 100))
+	// Node 1 reads [0,50): transfers 50 elements.
+	if moved := s.RunTask(1, []Access{acc(0, 50, false)}); moved != 50 {
+		t.Fatalf("moved %d, want 50", moved)
+	}
+	// Re-reading is free.
+	if moved := s.RunTask(1, []Access{acc(0, 50, false)}); moved != 0 {
+		t.Fatalf("re-read moved %d, want 0", moved)
+	}
+	if s.MovedBytes() != 50*8 {
+		t.Fatalf("MovedBytes = %d", s.MovedBytes())
+	}
+}
+
+func TestPartialTransfer(t *testing.T) {
+	s := New(Config{Nodes: 2})
+	s.Seed(1, 0, regions.Iv(0, 30))
+	// Node 1 accesses [0,60): only [30,60) is missing.
+	if moved := s.RunTask(1, []Access{acc(0, 60, false)}); moved != 30 {
+		t.Fatalf("moved %d, want 30", moved)
+	}
+}
+
+func TestWriteInvalidatesOtherNodes(t *testing.T) {
+	s := New(Config{Nodes: 2})
+	s.Seed(0, 0, regions.Iv(0, 100))
+	s.RunTask(1, []Access{acc(0, 100, false)}) // replicate to node 1
+	// Node 0 writes: node 1's copy invalidated.
+	s.RunTask(0, []Access{acc(0, 100, true)})
+	if moved := s.RunTask(1, []Access{acc(0, 100, false)}); moved != 100 {
+		t.Fatalf("node 1 should re-fetch after invalidation, moved %d", moved)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	s := New(Config{Nodes: 2})
+	s.Seed(0, 0, regions.Iv(0, 100))
+	if s.Usage(0) != 100 || s.Usage(1) != 0 {
+		t.Fatalf("usage = %d,%d", s.Usage(0), s.Usage(1))
+	}
+	s.RunTask(1, []Access{acc(0, 40, true)})
+	if s.Usage(1) != 40 {
+		t.Fatalf("node1 usage = %d, want 40", s.Usage(1))
+	}
+	// The write invalidated [0,40) on node 0.
+	if s.Usage(0) != 60 {
+		t.Fatalf("node0 usage = %d, want 60", s.Usage(0))
+	}
+}
+
+func TestMemoryFailureDetection(t *testing.T) {
+	s := New(Config{Nodes: 2, NodeMemory: 50})
+	s.Seed(0, 0, regions.Iv(0, 100))
+	// Node 1 pulls 80 elements: exceeds its 50-element memory.
+	s.RunTask(1, []Access{acc(0, 80, false)})
+	if s.Failures() != 1 {
+		t.Fatalf("Failures = %d, want 1", s.Failures())
+	}
+}
+
+// TestScenarioLazyBeatsEager: the §X claim — weak (lazy) transfers strictly
+// less data than eager whole-dataset copies, and fits node memory where
+// eager does not.
+func TestScenarioLazyBeatsEager(t *testing.T) {
+	sc := Scenario{N: 1 << 16, Calls: 4, TaskSize: 1 << 12}
+	cfg := Config{Nodes: 4, ElemSize: 8, NodeMemory: 1 << 15} // ½ of the dataset per node
+	eager := sc.RunEager(cfg)
+	lazy := sc.RunLazy(cfg)
+	if lazy.MovedBytes >= eager.MovedBytes {
+		t.Fatalf("lazy moved %d bytes, eager %d — lazy must move less",
+			lazy.MovedBytes, eager.MovedBytes)
+	}
+	if eager.Failures == 0 {
+		t.Fatal("eager whole-dataset placement should exceed node memory in this scenario")
+	}
+	if lazy.Failures != 0 {
+		t.Fatalf("lazy placement should fit node memory, got %d failures", lazy.Failures)
+	}
+	if lazy.PeakUsage >= eager.PeakUsage {
+		t.Fatalf("lazy peak usage %d should be below eager %d", lazy.PeakUsage, eager.PeakUsage)
+	}
+}
+
+// TestScenarioSingleNodeDegenerate: with one node nothing ever moves after
+// seeding.
+func TestScenarioSingleNodeDegenerate(t *testing.T) {
+	sc := Scenario{N: 1 << 10, Calls: 2, TaskSize: 1 << 8}
+	cfg := Config{Nodes: 1}
+	if got := sc.RunLazy(cfg).MovedBytes; got != 0 {
+		t.Fatalf("single node moved %d bytes", got)
+	}
+	if got := sc.RunEager(cfg).MovedBytes; got != 0 {
+		t.Fatalf("single node eager moved %d bytes", got)
+	}
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	s := New(Config{Nodes: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.RunTask(3, nil)
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/regions"
+)
+
+func TestTransferTimeModel(t *testing.T) {
+	s := New(Config{Nodes: 2, Bandwidth: 10, Latency: 100})
+	if got := s.transferTime(0); got != 0 {
+		t.Errorf("zero transfer costs %d, want 0", got)
+	}
+	// 25 elements at bandwidth 10 -> ceil(25/10)=3 plus latency 100.
+	if got := s.transferTime(25); got != 103 {
+		t.Errorf("transferTime(25) = %d, want 103", got)
+	}
+}
+
+func TestRunTaskAtAdvancesClock(t *testing.T) {
+	s := New(Config{Nodes: 2, Bandwidth: 10, Latency: 100, ComputePerElem: 2})
+	s.Seed(1, 0, regions.Iv(0, 50)) // data lives on node 1
+	// Task on node 0 reads [0,50): transfer 50 elems (latency 100 + 5) and
+	// computes 50*2.
+	end := s.RunTaskAt(0, []Access{{Data: 0, Iv: regions.Iv(0, 50)}}, 0, 50)
+	if want := int64(100 + 5 + 100); end != want {
+		t.Errorf("end = %d, want %d", end, want)
+	}
+	// Second task on the same node: data now resident, no transfer; starts
+	// at the node's clock even though readyAt is earlier.
+	end2 := s.RunTaskAt(0, []Access{{Data: 0, Iv: regions.Iv(0, 50)}}, 0, 10)
+	if want := end + 20; end2 != want {
+		t.Errorf("end2 = %d, want %d", end2, want)
+	}
+	// readyAt later than the node clock delays the start.
+	end3 := s.RunTaskAt(0, nil, end2+1000, 0)
+	if want := end2 + 1000; end3 != want {
+		t.Errorf("end3 = %d, want %d", end3, want)
+	}
+	if s.Makespan() != end3 {
+		t.Errorf("makespan = %d, want %d", s.Makespan(), end3)
+	}
+}
+
+func TestScenarioLazyBeatsEagerTimed(t *testing.T) {
+	sc := Scenario{N: 1 << 16, Calls: 6, TaskSize: 1 << 12}
+	cfg := Config{Nodes: 8, ElemSize: 8}
+	eager := sc.RunEager(cfg)
+	lazy := sc.RunLazy(cfg)
+	if lazy.MovedBytes >= eager.MovedBytes {
+		t.Errorf("lazy moved %d bytes, eager %d; lazy should move less",
+			lazy.MovedBytes, eager.MovedBytes)
+	}
+	if lazy.Makespan >= eager.Makespan {
+		t.Errorf("lazy makespan %d, eager %d; lazy should finish earlier",
+			lazy.Makespan, eager.Makespan)
+	}
+	if lazy.PeakUsage > eager.PeakUsage {
+		t.Errorf("lazy peak usage %d exceeds eager %d", lazy.PeakUsage, eager.PeakUsage)
+	}
+}
+
+func TestScenarioMemoryCap(t *testing.T) {
+	// The §X motivation: with node memory smaller than the dataset, the
+	// eager whole-dataset copy is infeasible while the lazy per-subtask
+	// copies fit.
+	sc := Scenario{N: 1 << 14, Calls: 2, TaskSize: 1 << 10}
+	cfg := Config{Nodes: 8, ElemSize: 8, NodeMemory: 1 << 13}
+	eager := sc.RunEager(cfg)
+	lazy := sc.RunLazy(cfg)
+	if eager.Failures == 0 {
+		t.Error("eager under a node-memory cap should record failures")
+	}
+	if lazy.Failures != 0 {
+		t.Errorf("lazy recorded %d memory failures; per-subtask sets fit", lazy.Failures)
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	sc := Scenario{N: 1 << 12, Calls: 3, TaskSize: 1 << 9}
+	cfg := Config{Nodes: 4, ElemSize: 8}
+	a := sc.RunLazy(cfg)
+	b := sc.RunLazy(cfg)
+	if a != b {
+		t.Errorf("lazy run not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// This file implements the task-construct clauses beyond the paper's three
+// contributions: the taskgroup construct (which §IV contrasts with the wait
+// clause), the final clause (OpenMP's granularity-control cutoff, which the
+// recursive benchmarks of §VIII-C need to bound task overhead at the base
+// case), and the error pipeline that turns task-body panics into values
+// returned from RunChecked instead of crashed worker goroutines.
+
+// TaskError reports a panic that escaped a task body. The runtime recovers
+// the panic, stops invoking further task bodies, drains the dependency
+// graph, and returns the first TaskError from RunChecked.
+type TaskError struct {
+	// Label is the failing task's TaskSpec.Label.
+	Label string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the stack trace captured at the recovery point.
+	Stack []byte
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("core: task %q panicked: %v", e.Label, e.Value)
+}
+
+// recordPanic stores the first task failure and switches the runtime into
+// drain mode (subsequent task bodies are skipped so the run terminates).
+func (r *Runtime) recordPanic(t *Task, p any) {
+	err := &TaskError{Label: t.spec.Label, Value: p, Stack: debug.Stack()}
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.failed.Store(true)
+}
+
+// invokeBody runs the task body, converting a panic into a recorded error.
+// Bodies are skipped entirely once a failure has been recorded: the
+// remaining graph drains through the normal completion pipeline without
+// executing user code.
+func (r *Runtime) invokeBody(t *Task, tc *TaskContext) {
+	if t.spec.Body == nil || r.failed.Load() {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordPanic(t, p)
+		}
+	}()
+	t.spec.Body(tc)
+}
+
+// runErr returns the recorded failure, combined with the Debug-mode
+// invariant check when enabled.
+func (r *Runtime) runErr() error {
+	r.errMu.Lock()
+	err := r.err
+	r.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if r.cfg.Debug {
+		if n := r.eng.LiveFragments(); n != 0 {
+			return fmt.Errorf("core: debug check failed: %d dependency fragments not released at end of run", n)
+		}
+		if n := r.live.Load(); n != 0 {
+			return fmt.Errorf("core: debug check failed: %d tasks still live at end of run", n)
+		}
+	}
+	return nil
+}
+
+// taskgroup tracks the direct tasks submitted inside one Taskgroup scope.
+// Because a task in this runtime completes only after all its descendants
+// have (the wait-clause completion pipeline), counting direct submissions
+// gives exactly the OpenMP taskgroup guarantee: the construct waits on the
+// full subtree generated in its region.
+type taskgroup struct {
+	mu    sync.Mutex
+	count int
+	done  chan struct{}
+}
+
+func (g *taskgroup) add() {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+}
+
+func (g *taskgroup) taskCompleted() {
+	g.mu.Lock()
+	g.count--
+	if g.count == 0 && g.done != nil {
+		close(g.done)
+		g.done = nil
+	}
+	g.mu.Unlock()
+}
+
+// Taskgroup runs body inline and then blocks until every task submitted
+// within it — and, transitively, every descendant of those tasks — has
+// completed. This is the OpenMP taskgroup construct that §IV contrasts with
+// the wait clause: it performs a deep wait from within the task code, so
+// the stack stays live, whereas the wait/weakwait clauses wait after the
+// body has returned. The caller's worker token is yielded while blocked and
+// reacquired afterwards. Taskgroups nest. Not available in virtual mode.
+func (tc *TaskContext) Taskgroup(body func()) {
+	r := tc.rt
+	if r.cfg.Virtual {
+		panic("core: Taskgroup is not supported in virtual mode; structure the program with WeakWait completion instead")
+	}
+	t := tc.task
+	prev := t.curGroup
+	tg := &taskgroup{}
+	t.curGroup = tg
+	body()
+	t.curGroup = prev
+	tg.mu.Lock()
+	if tg.count == 0 {
+		tg.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	tg.done = ch
+	tg.mu.Unlock()
+	r.sch.Yield(tc.worker)
+	<-ch
+	tc.worker = r.sch.Acquire()
+}
+
+// runInline executes an included task: a task submitted from within a final
+// task region. Included tasks run immediately on the submitting worker with
+// no dependency registration and no deferral — the OpenMP final-clause
+// cutoff that recursive task decompositions use to stop paying per-task
+// overhead below the base-case size. Program order within the final region
+// trivially satisfies any dependencies the specs declare, so the depend
+// entries are accepted and ignored.
+func (r *Runtime) runInline(tc *TaskContext, spec TaskSpec) {
+	r.taskCount.Add(1)
+	t := r.newTask(tc.task, spec)
+	child := &TaskContext{rt: r, task: t, worker: tc.worker}
+	if r.caches != nil {
+		r.feedCache(t, tc.worker)
+	}
+	if r.v != nil {
+		// Virtual mode: the included task's cost accrues to the creator's
+		// busy time, exactly like its creation cost.
+		cost := spec.Cost
+		if cost <= 0 {
+			cost = 1
+		}
+		tc.task.vCreate += cost
+		r.invokeBody(t, child)
+		if spec.Flops > 0 {
+			r.flops.Add(spec.Flops)
+		}
+		return
+	}
+	var start int64
+	if r.tracer != nil {
+		start = r.now()
+	}
+	r.invokeBody(t, child)
+	if r.tracer != nil {
+		r.tracer.Record(child.worker, t.kind, start, r.now())
+	}
+	if spec.Flops > 0 {
+		r.flops.Add(spec.Flops)
+	}
+}

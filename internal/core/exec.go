@@ -1,0 +1,98 @@
+package core
+
+import "repro/internal/deps"
+
+// Real-mode execution: each ready task runs on its own goroutine while
+// holding a worker token. A worker that completes a task prefers to run one
+// of the tasks that completion just made ready (direct successor hand-off),
+// which keeps the successor on the core that produced its input — the
+// locality policy behind the lower L2 miss ratios of Figure 3.
+
+// enqueue makes a ready task runnable in the current mode. from is the
+// submitting worker, used by the stealing pool for deque affinity (-1 when
+// no worker context applies).
+func (r *Runtime) enqueue(t *Task, from int) {
+	if r.v != nil {
+		r.venqueue(t)
+		return
+	}
+	r.sch.Submit(t, from)
+}
+
+// dispatchAll enqueues every ready node. Newly ready tasks enter the
+// throttle window here (the window counts ready-but-unstarted tasks).
+func (r *Runtime) dispatchAll(nodes []*deps.Node, from int) {
+	if len(nodes) == 0 {
+		return
+	}
+	r.open.Add(int64(len(nodes)))
+	for _, n := range nodes {
+		r.enqueue(n.User.(*Task), from)
+	}
+}
+
+// dispatchPreferFirst enqueues all but one ready task and returns that one
+// for worker w to run next (nil if none or hand-off disabled).
+func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int) *Task {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if r.cfg.NoHandoff {
+		r.dispatchAll(nodes, w)
+		return nil
+	}
+	r.open.Add(int64(len(nodes)))
+	next := nodes[0].User.(*Task)
+	for _, n := range nodes[1:] {
+		r.enqueue(n.User.(*Task), w)
+	}
+	return next
+}
+
+// runWorker is the sched spawn callback: it runs tasks until neither a
+// hand-off successor nor queued work remains. The worker id is re-read
+// after every task: a body that blocks (Taskwait, Taskgroup, throttle)
+// yields its token and may resume holding a different one, and continuing
+// with the stale id would double-release it — putting two goroutines on
+// one worker and corrupting the per-worker cache and trace state.
+func (r *Runtime) runWorker(t *Task, w int) {
+	for {
+		next, cur := r.executeTask(t, w)
+		w = cur
+		if next == nil {
+			nt, ok := r.sch.Finish(w)
+			if !ok {
+				return
+			}
+			next = nt
+		}
+		t = next
+	}
+}
+
+// executeTask runs one task body and its completion pipeline, returning the
+// hand-off successor if any and the worker the goroutine holds afterwards.
+func (r *Runtime) executeTask(t *Task, w int) (*Task, int) {
+	r.taskStarted(t)
+	tc := &TaskContext{rt: r, task: t, worker: w}
+	if r.caches != nil {
+		r.feedCache(t, w)
+	}
+	var start int64
+	if r.tracer != nil {
+		start = r.now()
+	}
+	r.invokeBody(t, tc)
+	if r.tracer != nil {
+		// If the body blocked in Taskwait, the worker may have changed; the
+		// span is attributed to the final worker. Benchmarks that need
+		// precise per-worker busy time avoid in-body Taskwait (they use the
+		// wait-clause completion instead), matching the paper's variants.
+		r.tracer.Record(tc.worker, t.kind, start, r.now())
+	}
+	if t.spec.Flops > 0 {
+		r.flops.Add(t.spec.Flops)
+	}
+	ready := r.finishBody(t)
+	return r.dispatchPreferFirst(ready, tc.worker), tc.worker
+}

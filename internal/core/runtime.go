@@ -1,0 +1,350 @@
+// Package core implements the tasking runtime that realizes the paper's
+// extensions: tasks with strong and weak dependencies (§VI), the wait-style
+// detached completion (§IV), the weakwait clause with fine-grained release
+// of dependencies across nesting levels (§V), the release directive, and an
+// in-body Taskwait.
+//
+// Two execution modes share all of the dependency semantics:
+//
+//   - Real mode: goroutine-per-task gated by worker tokens (one per
+//     simulated core). Used for the wall-clock benchmarks (Figures 3–5, 7).
+//   - Virtual mode: a discrete-event simulation where each task occupies a
+//     virtual core for its declared Cost. Used for the strong-scaling
+//     figures (4, 6) so that core counts beyond the host machine's can be
+//     evaluated, exactly as the paper sweeps 4–48 ThunderX cores.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/deps"
+	"repro/internal/regions"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Re-exported dependency vocabulary so runtime users need only this package.
+type (
+	// DataID identifies a registered data object.
+	DataID = deps.DataID
+	// AccessType is the depend-clause entry type (In, Out, InOut).
+	AccessType = deps.AccessType
+	// Interval is a half-open element interval of a data object.
+	Interval = regions.Interval
+)
+
+// Access types.
+const (
+	In    = deps.In
+	Out   = deps.Out
+	InOut = deps.InOut
+	// Red is a task-reduction access: members of a reduction group over
+	// the same region run concurrently (the body must combine its
+	// contribution atomically); readers and writers order against the
+	// whole group. Integrates with weak accesses and weakwait (§X).
+	Red = deps.Red
+)
+
+// Dep is one depend-clause entry of a task.
+type Dep struct {
+	Data DataID
+	Type AccessType
+	// Weak marks the weakin/weakout/weakinout variants (§VI): the entry
+	// links nesting levels but never defers the task itself.
+	Weak bool
+	Ivs  []Interval
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of simulated cores (worker tokens / virtual
+	// cores). Defaults to 1 if zero.
+	Workers int
+	// Policy is the ready-queue discipline (default FIFO). The Priority
+	// policy dispatches the highest TaskSpec.Priority first.
+	Policy sched.Policy
+	// Stealing replaces the central ready queue with per-worker deques and
+	// Cilk-style work stealing (self-LIFO, steal-FIFO). Policy is ignored
+	// when set. Real mode only.
+	Stealing bool
+	// NoHandoff disables direct successor hand-off: by default, a worker
+	// that finishes a task immediately runs one of the tasks its completion
+	// made ready. This is the locality policy §VIII-A credits for the lower
+	// cache miss ratio of the weak variants.
+	NoHandoff bool
+	// ThrottleOpenTasks bounds the number of dependency-ready tasks
+	// awaiting execution; submitters block (yielding their worker) above
+	// the bound. 0 disables. This models a bounded lookahead window (§III's
+	// discussion). Only ready tasks count — a ready task needs nothing but
+	// a worker token, so the window always drains and a blocked submitter
+	// always wakes. (Counting all instantiated tasks would deadlock nested
+	// weak programs: a task can be dependency-blocked on fragments that
+	// release only when its blocked submitter's own body finishes.)
+	ThrottleOpenTasks int
+	// Virtual selects the discrete-event virtual-time mode.
+	Virtual bool
+	// VirtualSubmitCost charges the creating task this many virtual cost
+	// units per Submit: the child's dependencies are computed immediately,
+	// but it cannot start before the creator "reaches" it, and the creator
+	// stays busy for the accumulated creation time. This models the task
+	// instantiation overhead whose serialization in a single generator is
+	// the bottleneck Figure 4 exposes (and parallel instantiation through
+	// nesting removes). 0 = instantaneous creation.
+	VirtualSubmitCost int64
+	// EnableTrace records per-worker execution spans.
+	EnableTrace bool
+	// Debug enables end-of-run invariant checks: the dependency engine must
+	// have fully released every fragment and no task may remain live.
+	// Violations surface as an error from RunChecked (a panic from Run).
+	Debug bool
+	// Verify enables the lint checks of verify.go: Touch assertions are
+	// checked against the task's strong depend entries, and child depend
+	// entries against the parent's. Findings accumulate in Violations.
+	Verify bool
+	// Cache, when non-nil, simulates one private cache per worker and
+	// streams every executed task's strong dependency regions through it.
+	Cache *cachesim.Config
+	// SharedCache makes Cache model one cache shared by all workers (the
+	// ThunderX L2 is physically shared) instead of per-worker private
+	// caches. The geometry in Cache should then be the full cache (e.g.
+	// cachesim.DefaultSharedL2), not a per-core share.
+	SharedCache bool
+	// Observer receives dependency-engine events (graph capture).
+	Observer deps.Observer
+}
+
+type dataInfo struct {
+	name     string
+	elems    int64
+	elemSize int64
+}
+
+// Runtime executes a task program under one of the two modes. A Runtime is
+// single-run: create one, call Run once, then read the metrics.
+type Runtime struct {
+	cfg    Config
+	eng    *deps.Engine
+	sch    sched.Queue[*Task]
+	tracer *trace.Tracer
+	caches *cachesim.Group
+
+	datas   []dataInfo
+	datasMu sync.Mutex
+
+	open      atomic.Int64 // dependency-ready, not yet started (throttle window)
+	live      atomic.Int64 // instantiated, not yet completed (diagnostics)
+	taskCount atomic.Int64
+	flops     atomic.Int64
+
+	throttleMu   sync.Mutex
+	throttleCond *sync.Cond
+
+	rootDone  chan struct{}
+	wallStart time.Time
+	wallDur   time.Duration
+
+	v *vstate // virtual mode state (nil in real mode)
+
+	ran    atomic.Bool
+	failed atomic.Bool // a task body panicked; drain without running bodies
+	errMu  sync.Mutex
+	err    error // first task failure
+
+	vioMu      sync.Mutex
+	violations []Violation
+	vioCount   int64
+}
+
+// New creates a runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	r := &Runtime{cfg: cfg, rootDone: make(chan struct{})}
+	r.eng = deps.NewEngine(cfg.Observer)
+	r.throttleCond = sync.NewCond(&r.throttleMu)
+	if cfg.EnableTrace {
+		r.tracer = trace.New(cfg.Workers)
+	}
+	if cfg.Cache != nil {
+		if cfg.SharedCache {
+			r.caches = cachesim.NewSharedGroup(*cfg.Cache)
+		} else {
+			r.caches = cachesim.NewGroup(cfg.Workers, *cfg.Cache)
+		}
+	}
+	switch {
+	case cfg.Virtual:
+		r.v = newVState(cfg.Workers)
+	case cfg.Stealing:
+		r.sch = sched.NewStealing(cfg.Workers, r.runWorker)
+	case cfg.Policy == sched.Priority:
+		r.sch = sched.NewPriority(cfg.Workers, r.runWorker,
+			func(t *Task) int64 { return t.spec.Priority })
+	default:
+		r.sch = sched.New(cfg.Workers, cfg.Policy, r.runWorker)
+	}
+	return r
+}
+
+// NewData registers a data object of elems elements of elemSize bytes and
+// returns its id. Dependencies are expressed as element intervals of a data
+// object; the byte geometry only matters to the cache simulator.
+func (r *Runtime) NewData(name string, elems int64, elemSize int) DataID {
+	r.datasMu.Lock()
+	defer r.datasMu.Unlock()
+	r.datas = append(r.datas, dataInfo{name: name, elems: elems, elemSize: int64(elemSize)})
+	return DataID(len(r.datas) - 1)
+}
+
+// Workers returns the configured worker count.
+func (r *Runtime) Workers() int { return r.cfg.Workers }
+
+// Tracer returns the tracer (nil unless EnableTrace).
+func (r *Runtime) Tracer() *trace.Tracer { return r.tracer }
+
+// CacheMissRatio returns the simulated cache miss ratio (0 if disabled).
+func (r *Runtime) CacheMissRatio() float64 {
+	if r.caches == nil {
+		return 0
+	}
+	return r.caches.MissRatio()
+}
+
+// CacheCounts returns simulated hits and misses.
+func (r *Runtime) CacheCounts() (hits, misses int64) {
+	if r.caches == nil {
+		return 0, 0
+	}
+	return r.caches.Counts()
+}
+
+// Flops returns the accumulated flop count declared by executed tasks.
+func (r *Runtime) Flops() int64 { return r.flops.Load() }
+
+// TaskCount returns the number of tasks submitted (excluding the root).
+func (r *Runtime) TaskCount() int64 { return r.taskCount.Load() }
+
+// WallTime returns the real-mode wall-clock duration of Run.
+func (r *Runtime) WallTime() time.Duration { return r.wallDur }
+
+// VirtualTime returns the virtual-mode makespan in cost units.
+func (r *Runtime) VirtualTime() int64 {
+	if r.v == nil {
+		return 0
+	}
+	return r.v.now
+}
+
+// EffectiveParallelism returns total busy time over the run's span: real
+// mode uses the trace (requires EnableTrace); virtual mode uses the
+// simulator's exact accounting. This is the metric of Figure 6.
+func (r *Runtime) EffectiveParallelism() float64 {
+	if r.v != nil {
+		if r.v.now == 0 {
+			return 0
+		}
+		return float64(r.v.busySum) / float64(r.v.now)
+	}
+	if r.tracer == nil {
+		return 0
+	}
+	return r.tracer.EffectiveParallelism(int64(r.wallDur))
+}
+
+// DepStats returns dependency-engine activity counters.
+func (r *Runtime) DepStats() deps.Stats { return r.eng.Stats() }
+
+// Run executes root as the implicit outermost task and returns when the
+// whole task tree has completed. It may be called once per Runtime. If a
+// task body panics, Run re-panics with the resulting *TaskError after the
+// graph has drained; callers that prefer an error value use RunChecked.
+func (r *Runtime) Run(root func(tc *TaskContext)) {
+	if err := r.RunChecked(root); err != nil {
+		panic(err)
+	}
+}
+
+// RunChecked executes root as the implicit outermost task and returns when
+// the whole task tree has completed. A panic in any task body is recovered
+// and returned as a *TaskError: the runtime stops invoking further bodies
+// and drains the remaining dependency graph so no goroutine or token leaks.
+// With Config.Debug it additionally verifies end-of-run engine invariants.
+func (r *Runtime) RunChecked(root func(tc *TaskContext)) error {
+	if r.ran.Swap(true) {
+		panic("core: Runtime.Run called twice; create a new Runtime per run")
+	}
+	if r.cfg.Virtual {
+		r.runVirtual(root)
+		return r.runErr()
+	}
+	w := r.sch.Acquire()
+	r.wallStart = time.Now()
+	rootTask := r.newTask(nil, TaskSpec{Label: "main", Body: root})
+	rootTask.node = r.eng.NewNode(nil, "main", rootTask)
+	r.eng.Register(rootTask.node, nil)
+	tc := &TaskContext{rt: r, task: rootTask, worker: w}
+	r.invokeBody(rootTask, tc)
+	// Implicit wait at the end of the program (like the end of an OpenMP
+	// parallel region): wait for the children, then complete the root.
+	tc.Taskwait()
+	ready := r.finishBody(rootTask)
+	r.dispatchAll(ready, tc.worker)
+	r.sch.Yield(tc.worker)
+	<-r.rootDone
+	r.wallDur = time.Since(r.wallStart)
+	return r.runErr()
+}
+
+func (r *Runtime) now() int64 {
+	return int64(time.Since(r.wallStart))
+}
+
+// convertDeps translates the public Dep slice into engine specs.
+func convertDeps(ds []Dep) []deps.Spec {
+	if len(ds) == 0 {
+		return nil
+	}
+	specs := make([]deps.Spec, 0, len(ds))
+	for _, d := range ds {
+		specs = append(specs, deps.Spec{Data: d.Data, Type: d.Type, Weak: d.Weak, Ivs: d.Ivs})
+	}
+	return specs
+}
+
+// feedCache streams the regions the task actually accesses through the
+// cache of the worker about to run it: Touches if declared, otherwise the
+// strong dependency entries. Weak entries are always skipped: the paper's
+// weak accesses declare that the task itself performs no access (§VI).
+func (r *Runtime) feedCache(t *Task, worker int) {
+	touches := t.spec.Touches
+	if touches == nil {
+		touches = t.spec.Deps
+	}
+	for _, d := range touches {
+		if d.Weak {
+			continue
+		}
+		elemSize := int64(8)
+		r.datasMu.Lock()
+		if int(d.Data) < len(r.datas) {
+			elemSize = r.datas[d.Data].elemSize
+		}
+		r.datasMu.Unlock()
+		base := uint64(d.Data) << 40 // distinct address spaces per data object
+		for _, iv := range d.Ivs {
+			if iv.Empty() {
+				continue
+			}
+			r.caches.Access(worker, base+uint64(iv.Lo*elemSize), uint64(iv.Len()*elemSize))
+		}
+	}
+}
+
+func (r *Runtime) String() string {
+	return fmt.Sprintf("Runtime{workers=%d virtual=%v}", r.cfg.Workers, r.cfg.Virtual)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestPriorityPolicyDispatchOrder(t *testing.T) {
+	rt := New(Config{Workers: 1, Policy: sched.Priority})
+	var mu sync.Mutex
+	var order []int64
+	rt.Run(func(tc *TaskContext) {
+		// With one worker, the root holds the only token while it submits,
+		// so all children queue; they then dispatch by priority.
+		for _, p := range []int64{1, 5, 3, 5, 2} {
+			p := p
+			tc.Submit(TaskSpec{Label: "p", Priority: p, Body: func(*TaskContext) {
+				mu.Lock()
+				order = append(order, p)
+				mu.Unlock()
+			}})
+		}
+	})
+	want := []int64{5, 5, 3, 2, 1}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPriorityPolicyVirtual(t *testing.T) {
+	rt := New(Config{Workers: 1, Virtual: true, Policy: sched.Priority})
+	var order []int64
+	rt.Run(func(tc *TaskContext) {
+		for _, p := range []int64{1, 5, 3} {
+			p := p
+			tc.Submit(TaskSpec{Label: "p", Priority: p, Body: func(*TaskContext) {
+				order = append(order, p)
+			}})
+		}
+	})
+	want := []int64{5, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("virtual dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStealingConfigRespectsDependencies(t *testing.T) {
+	rt := New(Config{Workers: 4, Stealing: true})
+	d := rt.NewData("x", 1000, 8)
+	var stage atomic.Int64
+	var bad atomic.Int64
+	rt.Run(func(tc *TaskContext) {
+		for i := 0; i < 20; i++ {
+			i := i
+			tc.Submit(TaskSpec{
+				Label: "chain",
+				Deps:  []Dep{{Data: d, Type: InOut, Ivs: []Interval{{Lo: 0, Hi: 1000}}}},
+				Body: func(*TaskContext) {
+					if !stage.CompareAndSwap(int64(i), int64(i+1)) {
+						bad.Add(1)
+					}
+				},
+			})
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d chain tasks ran out of dependency order under stealing", bad.Load())
+	}
+	if stage.Load() != 20 {
+		t.Fatalf("chain advanced to %d, want 20", stage.Load())
+	}
+}
+
+func TestStealingConfigNestedWeak(t *testing.T) {
+	rt := New(Config{Workers: 8, Stealing: true, Debug: true})
+	d := rt.NewData("x", 800, 8)
+	var sum atomic.Int64
+	err := rt.RunChecked(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label:    "outer",
+			WeakWait: true,
+			Deps:     []Dep{{Data: d, Type: InOut, Weak: true, Ivs: []Interval{{Lo: 0, Hi: 800}}}},
+			Body: func(tc *TaskContext) {
+				for i := int64(0); i < 8; i++ {
+					i := i
+					tc.Submit(TaskSpec{
+						Label: "leaf",
+						Deps:  []Dep{{Data: d, Type: InOut, Ivs: []Interval{{Lo: i * 100, Hi: (i + 1) * 100}}}},
+						Body:  func(*TaskContext) { sum.Add(1) },
+					})
+				}
+			},
+		})
+		tc.Submit(TaskSpec{
+			Label: "after",
+			Deps:  []Dep{{Data: d, Type: In, Ivs: []Interval{{Lo: 0, Hi: 800}}}},
+			Body: func(*TaskContext) {
+				if sum.Load() != 8 {
+					panic("reader ran before all leaves finished")
+				}
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/deps"
+	"repro/internal/trace"
+)
+
+// TaskSpec describes a task to submit.
+type TaskSpec struct {
+	// Label names the task for diagnostics and graph dumps.
+	Label string
+	// Kind groups tasks for tracing (timeline color); defaults to Label.
+	Kind string
+	// Deps are the depend-clause entries.
+	Deps []Dep
+	// Touches lists the regions the task body actually accesses, used only
+	// by the cache simulator. nil falls back to the strong entries of Deps
+	// (right for leaf tasks); an empty non-nil slice declares the body
+	// touches nothing (right for tasks that only instantiate subtasks,
+	// whose depend entries merely protect the subtasks' accesses).
+	Touches []Dep
+	// WeakWait selects the weakwait clause (§V): when the body returns,
+	// dependencies not covered by live subtasks release immediately and the
+	// rest are handed over to the subtasks. Without it the task behaves as
+	// with the wait clause (§IV): the body returns, and all dependencies
+	// release together once the task and every descendant completed.
+	WeakWait bool
+	// Final marks the task final (the OpenMP final clause): the task itself
+	// is scheduled normally, but every task submitted from inside it — and
+	// inside any of its descendants — is *included*: executed immediately
+	// and inline by the submitting worker, with no dependency registration
+	// or deferral. Recursive decompositions use this as the granularity
+	// cutoff below which per-task overhead is not worth paying.
+	Final bool
+	// Cost is the task's duration in virtual-time units (virtual mode
+	// only); defaults to 1.
+	Cost int64
+	// Priority orders dispatch under the Priority ready-queue policy:
+	// among the ready tasks the highest priority runs first, FIFO between
+	// equals (the OpenMP 4.5 priority clause). Ignored by other policies.
+	Priority int64
+	// Flops is added to the runtime's flop counter when the task runs.
+	Flops int64
+	// Body is the task code. It may be nil (dependency-only task).
+	Body func(tc *TaskContext)
+}
+
+// Task is a submitted task instance.
+type Task struct {
+	rt   *Runtime
+	spec TaskSpec
+	node *deps.Node
+
+	parent *Task
+	depth  int
+	kind   trace.Kind
+	final  bool       // this task and all descendants run their subtasks inline
+	group  *taskgroup // enclosing Taskgroup scope at submission, if any
+
+	// curGroup is the innermost active Taskgroup scope of the body. It is
+	// only touched by the goroutine executing the body.
+	curGroup *taskgroup
+
+	mu        sync.Mutex
+	children  int // direct children not yet fully complete
+	bodyDone  bool
+	completed bool
+	waitCh    chan struct{} // Taskwait blocker
+
+	vEnd     int64 // virtual mode: completion time
+	vCreate  int64 // virtual mode: accumulated creation cost of the body
+	vArrival int64 // virtual mode: earliest start (creation-time modeling)
+}
+
+func (r *Runtime) newTask(parent *Task, spec TaskSpec) *Task {
+	t := &Task{rt: r, spec: spec, parent: parent}
+	if parent != nil {
+		t.depth = parent.depth + 1
+		t.final = spec.Final || parent.final
+	} else {
+		t.final = spec.Final
+	}
+	if r.tracer != nil {
+		kind := spec.Kind
+		if kind == "" {
+			kind = spec.Label
+		}
+		t.kind = r.tracer.KindID(kind)
+	}
+	return t
+}
+
+// TaskContext is passed to every task body: it submits subtasks, waits, and
+// releases dependencies. It must not escape the body invocation, except
+// that Submit/Taskwait/Release may be called at any point within it.
+type TaskContext struct {
+	rt     *Runtime
+	task   *Task
+	worker int
+}
+
+// Runtime returns the owning runtime.
+func (tc *TaskContext) Runtime() *Runtime { return tc.rt }
+
+// Worker returns the worker (simulated core) currently executing the task.
+func (tc *TaskContext) Worker() int { return tc.worker }
+
+// Depth returns the nesting depth (root body = 0).
+func (tc *TaskContext) Depth() int { return tc.task.depth }
+
+// Submit creates a child task of the current task. Its dependencies are
+// computed in the current task's domain; it starts once all its strong
+// entries are satisfied.
+func (tc *TaskContext) Submit(spec TaskSpec) {
+	r := tc.rt
+	if r.cfg.Verify {
+		r.verifyChildCoverage(tc.task, &spec)
+	}
+	if tc.task.final {
+		r.runInline(tc, spec)
+		return
+	}
+	if lim := r.cfg.ThrottleOpenTasks; lim > 0 && r.open.Load() >= int64(lim) {
+		r.throttleWait(tc)
+	}
+	t := r.newTask(tc.task, spec)
+	if r.v != nil && r.cfg.VirtualSubmitCost > 0 {
+		tc.task.vCreate += r.cfg.VirtualSubmitCost
+		t.vArrival = r.v.now + tc.task.vCreate
+	}
+	r.live.Add(1)
+	r.taskCount.Add(1)
+	if g := tc.task.curGroup; g != nil {
+		t.group = g
+		g.add()
+	}
+	tc.task.mu.Lock()
+	tc.task.children++
+	tc.task.mu.Unlock()
+	t.node = r.eng.NewNode(tc.task.node, spec.Label, t)
+	if r.eng.Register(t.node, convertDeps(spec.Deps)) {
+		r.open.Add(1)
+		r.enqueue(t, tc.worker)
+	}
+}
+
+// Taskwait blocks until all direct children (and, transitively, their
+// descendants) have completed. The caller's worker token is yielded while
+// blocked and reacquired afterwards — the cost the paper's wait clause
+// avoids (§IV). Not available in virtual mode.
+func (tc *TaskContext) Taskwait() {
+	r := tc.rt
+	if r.cfg.Virtual {
+		panic("core: Taskwait is not supported in virtual mode; use WeakWait or the default wait-clause completion")
+	}
+	t := tc.task
+	t.mu.Lock()
+	if t.children == 0 {
+		t.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	t.waitCh = ch
+	t.mu.Unlock()
+	r.sch.Yield(tc.worker)
+	<-ch
+	tc.worker = r.sch.Acquire()
+}
+
+// Release implements the release directive (§V): the task asserts that
+// neither it nor any future subtask will reference the given regions again.
+// Covered regions still in use by live subtasks are handed over; the rest
+// release immediately. On an included task (inside a final region) Release
+// is a no-op: included tasks register no dependencies.
+func (tc *TaskContext) Release(ds ...Dep) {
+	if tc.task.node == nil {
+		return
+	}
+	ready := tc.rt.eng.ReleaseRegions(tc.task.node, convertDeps(ds))
+	tc.rt.dispatchAll(ready, tc.worker)
+}
+
+// throttleWait blocks the submitter until the live-task count drops below
+// the configured bound, yielding its worker token while blocked.
+func (r *Runtime) throttleWait(tc *TaskContext) {
+	if r.cfg.Virtual {
+		// Virtual mode is sequential; blocking the driver would deadlock.
+		// The throttle is a real-mode lookahead model only.
+		return
+	}
+	r.sch.Yield(tc.worker)
+	r.throttleMu.Lock()
+	for r.open.Load() >= int64(r.cfg.ThrottleOpenTasks) {
+		r.throttleCond.Wait()
+	}
+	r.throttleMu.Unlock()
+	tc.worker = r.sch.Acquire()
+}
+
+// taskStarted retires the task from the throttle window (it is now
+// executing, no longer "instantiated ahead").
+func (r *Runtime) taskStarted(t *Task) {
+	if t.parent == nil {
+		return
+	}
+	r.open.Add(-1)
+	if r.cfg.ThrottleOpenTasks > 0 {
+		r.throttleMu.Lock()
+		r.throttleCond.Broadcast()
+		r.throttleMu.Unlock()
+	}
+}
+
+// finishBody runs the post-body completion pipeline shared by both modes:
+// weakwait hand-over, then (if no children remain) full completion,
+// cascading to ancestors. Returns the dependency-ready nodes uncovered.
+func (r *Runtime) finishBody(t *Task) []*deps.Node {
+	var ready []*deps.Node
+	if t.spec.WeakWait {
+		ready = r.eng.BodyDone(t.node)
+	}
+	t.mu.Lock()
+	t.bodyDone = true
+	complete := t.children == 0 && !t.completed
+	if complete {
+		t.completed = true
+	}
+	t.mu.Unlock()
+	if complete {
+		ready = append(ready, r.completeTask(t)...)
+	}
+	return ready
+}
+
+// completeTask finalizes a fully-finished task (body + all descendants):
+// the engine releases its remaining dependencies, the live-task accounting
+// is updated, and completion cascades to the parent when this was its last
+// outstanding child.
+func (r *Runtime) completeTask(t *Task) []*deps.Node {
+	ready := r.eng.Complete(t.node)
+	if t.parent == nil {
+		close(r.rootDone)
+		return ready
+	}
+	r.live.Add(-1)
+	if g := t.group; g != nil {
+		g.taskCompleted()
+	}
+	p := t.parent
+	p.mu.Lock()
+	p.children--
+	if p.children == 0 && p.waitCh != nil {
+		close(p.waitCh)
+		p.waitCh = nil
+	}
+	cascade := p.children == 0 && p.bodyDone && !p.completed
+	if cascade {
+		p.completed = true
+	}
+	p.mu.Unlock()
+	if cascade {
+		ready = append(ready, r.completeTask(p)...)
+	}
+	return ready
+}

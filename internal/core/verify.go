@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/regions"
+)
+
+// Verification ("lint") mode: with Config.Verify the runtime checks that
+// the program's depend annotations actually protect the accesses the tasks
+// perform, in the spirit of Nanos6's verification mode. Two checks run:
+//
+//   - Touch assertions: a task body calls TaskContext.Touch to declare an
+//     access it is about to perform; the runtime checks the touch against
+//     the task's own strong depend entries. Weak entries are not valid
+//     coverage — they declare that the task performs no access itself
+//     (§VI).
+//   - Child-entry coverage: at Submit, each depend entry of the child must
+//     be covered by the parent's entries over the same data (weak or
+//     strong — both are protection; a write entry needs a writable cover).
+//     A child of a non-root task that accesses data its parent does not
+//     declare is unprotected against the parent's siblings — exactly the
+//     data-race hazard §III describes.
+//
+// Violations are recorded, not fatal: the run continues and the findings
+// are read back with Runtime.Violations.
+
+// ViolationKind classifies a verification finding.
+type ViolationKind uint8
+
+const (
+	// VTouch is a Touch assertion not covered by the task's strong entries.
+	VTouch ViolationKind = iota
+	// VChildCoverage is a child depend entry not covered by the parent's
+	// depend entries.
+	VChildCoverage
+)
+
+func (k ViolationKind) String() string {
+	if k == VChildCoverage {
+		return "child-coverage"
+	}
+	return "touch"
+}
+
+// Violation is one verification finding.
+type Violation struct {
+	// Kind classifies the finding.
+	Kind ViolationKind
+	// Task is the label of the offending task (for VChildCoverage, the
+	// child).
+	Task string
+	// Parent is the parent task's label (VChildCoverage only).
+	Parent string
+	// Data is the data object involved.
+	Data DataID
+	// Write reports whether the unprotected access writes.
+	Write bool
+	// Missing are the uncovered element intervals.
+	Missing []Interval
+}
+
+func (v Violation) String() string {
+	rw := "read"
+	if v.Write {
+		rw = "write"
+	}
+	if v.Kind == VChildCoverage {
+		return fmt.Sprintf("child-coverage: task %q %ss data %d %v outside parent %q's depend entries",
+			v.Task, rw, v.Data, v.Missing, v.Parent)
+	}
+	return fmt.Sprintf("touch: task %q %ss data %d %v without a covering strong depend entry",
+		v.Task, rw, v.Data, v.Missing)
+}
+
+// maxViolations bounds the stored findings; the total is still counted.
+const maxViolations = 100
+
+func (r *Runtime) addViolation(v Violation) {
+	r.vioMu.Lock()
+	r.vioCount++
+	if len(r.violations) < maxViolations {
+		r.violations = append(r.violations, v)
+	}
+	r.vioMu.Unlock()
+}
+
+// Violations returns the verification findings recorded so far (at most the
+// first 100; ViolationCount gives the total). Empty unless Config.Verify.
+func (r *Runtime) Violations() []Violation {
+	r.vioMu.Lock()
+	defer r.vioMu.Unlock()
+	out := make([]Violation, len(r.violations))
+	copy(out, r.violations)
+	return out
+}
+
+// ViolationCount returns the total number of verification findings.
+func (r *Runtime) ViolationCount() int64 {
+	r.vioMu.Lock()
+	defer r.vioMu.Unlock()
+	return r.vioCount
+}
+
+// uncovered returns the portions of ivs not covered by the entries of deps
+// on data for which keep returns true.
+func uncovered(ivs []Interval, ds []Dep, data DataID, keep func(Dep) bool) []Interval {
+	set := regions.NewSet()
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			set.Add(iv)
+		}
+	}
+	for _, d := range ds {
+		if d.Data != data || !keep(d) {
+			continue
+		}
+		for _, iv := range d.Ivs {
+			set.Remove(iv)
+		}
+	}
+	if set.Len() == 0 {
+		return nil
+	}
+	return set.Intervals()
+}
+
+// Touch asserts that the task body is, at this point, actually reading
+// (write=false) or writing (write=true) the given element intervals of
+// data. In Verify mode the runtime checks the touch against the task's own
+// strong depend entries — a write needs an Out/InOut/Red entry, a read an
+// In/InOut/Red entry — and records a Violation when part of the touch is
+// uncovered. The root task owns every registered data object and is exempt.
+// Without Config.Verify, Touch is a no-op, so instrumented programs can
+// leave the assertions in place.
+func (tc *TaskContext) Touch(data DataID, write bool, ivs ...Interval) {
+	r := tc.rt
+	if !r.cfg.Verify || tc.task.parent == nil {
+		return
+	}
+	missing := uncovered(ivs, tc.task.spec.Deps, data, func(d Dep) bool {
+		if d.Weak {
+			return false
+		}
+		if write {
+			return d.Type.Writes()
+		}
+		return d.Type.Reads()
+	})
+	if missing != nil {
+		r.addViolation(Violation{
+			Kind: VTouch, Task: tc.task.spec.Label, Data: data,
+			Write: write, Missing: missing,
+		})
+	}
+}
+
+// verifyChildCoverage checks, at Submit time, that every depend entry of
+// the child spec is covered by the submitting task's own entries. The root
+// task's domain owns everything, so submissions from the root are exempt.
+func (r *Runtime) verifyChildCoverage(parent *Task, spec *TaskSpec) {
+	if parent.parent == nil {
+		return
+	}
+	for _, cd := range spec.Deps {
+		write := cd.Type.Writes()
+		missing := uncovered(cd.Ivs, parent.spec.Deps, cd.Data, func(pd Dep) bool {
+			if write {
+				return pd.Type.Writes()
+			}
+			return true // any parent entry protects a read
+		})
+		if missing != nil {
+			r.addViolation(Violation{
+				Kind: VChildCoverage, Task: spec.Label, Parent: parent.spec.Label,
+				Data: cd.Data, Write: write, Missing: missing,
+			})
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTouchCoveredIsClean(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label: "leaf",
+			Deps:  []Dep{{Data: d, Type: InOut, Ivs: []Interval{iv(0, 100)}}},
+			Body: func(tc *TaskContext) {
+				tc.Touch(d, false, iv(0, 100)) // read
+				tc.Touch(d, true, iv(10, 90))  // write
+			},
+		})
+	})
+	if n := rt.ViolationCount(); n != 0 {
+		t.Fatalf("clean program reported %d violations: %v", n, rt.Violations())
+	}
+}
+
+func TestTouchWriteUnderReadEntry(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label: "reader",
+			Deps:  []Dep{{Data: d, Type: In, Ivs: []Interval{iv(0, 100)}}},
+			Body: func(tc *TaskContext) {
+				tc.Touch(d, true, iv(20, 40)) // write under depend(in:)
+			},
+		})
+	})
+	vs := rt.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+	v := vs[0]
+	if v.Kind != VTouch || !v.Write || v.Task != "reader" {
+		t.Errorf("violation = %+v", v)
+	}
+	if len(v.Missing) != 1 || !v.Missing[0].Equal(iv(20, 40)) {
+		t.Errorf("Missing = %v, want [20,40)", v.Missing)
+	}
+}
+
+func TestTouchWeakEntryIsNotCoverage(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label:    "outer",
+			WeakWait: true,
+			Deps:     []Dep{{Data: d, Type: InOut, Weak: true, Ivs: []Interval{iv(0, 100)}}},
+			Body: func(tc *TaskContext) {
+				// A weak entry declares the task performs no access itself
+				// (§VI); touching through it is a lint error.
+				tc.Touch(d, false, iv(0, 10))
+			},
+		})
+	})
+	vs := rt.Violations()
+	if len(vs) != 1 || vs[0].Kind != VTouch || vs[0].Write {
+		t.Fatalf("want one read-touch violation, got %v", vs)
+	}
+}
+
+func TestTouchPartialCoverageReportsGaps(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label: "partial",
+			Deps: []Dep{
+				{Data: d, Type: In, Ivs: []Interval{iv(10, 20), iv(40, 50)}},
+			},
+			Body: func(tc *TaskContext) {
+				tc.Touch(d, false, iv(10, 50))
+			},
+		})
+	})
+	vs := rt.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+	want := []Interval{iv(20, 40)}
+	if len(vs[0].Missing) != 1 || !vs[0].Missing[0].Equal(want[0]) {
+		t.Errorf("Missing = %v, want %v", vs[0].Missing, want)
+	}
+}
+
+func TestTouchRootExemptAndNoVerifyNoop(t *testing.T) {
+	// Root is exempt even in Verify mode.
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Touch(d, true, iv(0, 100))
+	})
+	if n := rt.ViolationCount(); n != 0 {
+		t.Fatalf("root touch reported %d violations", n)
+	}
+	// Without Verify, even bad touches record nothing.
+	rt2 := New(Config{Workers: 2})
+	d2 := rt2.NewData("x", 100, 8)
+	rt2.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{Label: "leaf", Body: func(tc *TaskContext) {
+			tc.Touch(d2, true, iv(0, 100))
+		}})
+	})
+	if n := rt2.ViolationCount(); n != 0 {
+		t.Fatalf("Verify off but %d violations recorded", n)
+	}
+}
+
+func TestChildCoverageViolation(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 200, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label:    "outer",
+			WeakWait: true,
+			Deps:     []Dep{{Data: d, Type: InOut, Weak: true, Ivs: []Interval{iv(0, 100)}}},
+			Body: func(tc *TaskContext) {
+				// In range: fine.
+				tc.Submit(TaskSpec{
+					Label: "ok",
+					Deps:  []Dep{{Data: d, Type: InOut, Ivs: []Interval{iv(0, 50)}}},
+				})
+				// Reaches past the parent's entry: the §III hazard.
+				tc.Submit(TaskSpec{
+					Label: "escapes",
+					Deps:  []Dep{{Data: d, Type: In, Ivs: []Interval{iv(50, 150)}}},
+				})
+			},
+		})
+	})
+	vs := rt.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+	v := vs[0]
+	if v.Kind != VChildCoverage || v.Task != "escapes" || v.Parent != "outer" {
+		t.Errorf("violation = %+v", v)
+	}
+	if len(v.Missing) != 1 || !v.Missing[0].Equal(iv(100, 150)) {
+		t.Errorf("Missing = %v, want [100,150)", v.Missing)
+	}
+}
+
+func TestChildWriteNeedsWritableParentCover(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	e := rt.NewData("y", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label:    "outer",
+			WeakWait: true,
+			Deps: []Dep{
+				{Data: d, Type: In, Weak: true, Ivs: []Interval{iv(0, 100)}},
+				{Data: e, Type: InOut, Weak: true, Ivs: []Interval{iv(0, 100)}},
+			},
+			Body: func(tc *TaskContext) {
+				// Writable child under weakinout parent: clean.
+				tc.Submit(TaskSpec{
+					Label: "writer-ok",
+					Deps:  []Dep{{Data: e, Type: Out, Ivs: []Interval{iv(0, 100)}}},
+				})
+				// Reader under weakin parent: clean (any entry protects reads).
+				tc.Submit(TaskSpec{
+					Label: "reader-ok",
+					Deps:  []Dep{{Data: d, Type: In, Ivs: []Interval{iv(0, 100)}}},
+				})
+			},
+		})
+	})
+	if n := rt.ViolationCount(); n != 0 {
+		t.Fatalf("clean nesting reported %d violations: %v", n, rt.Violations())
+	}
+}
+
+func TestChildCoverageRootExempt(t *testing.T) {
+	rt := New(Config{Workers: 2, Verify: true})
+	d := rt.NewData("x", 100, 8)
+	rt.Run(func(tc *TaskContext) {
+		// Submissions from the root may name anything.
+		tc.Submit(TaskSpec{
+			Label: "top",
+			Deps:  []Dep{{Data: d, Type: InOut, Ivs: []Interval{iv(0, 100)}}},
+		})
+	})
+	if n := rt.ViolationCount(); n != 0 {
+		t.Fatalf("root submission reported %d violations", n)
+	}
+}
+
+func TestViolationStringForms(t *testing.T) {
+	v1 := Violation{Kind: VTouch, Task: "t", Data: 1, Write: true, Missing: []Interval{iv(0, 4)}}
+	v2 := Violation{Kind: VChildCoverage, Task: "c", Parent: "p", Data: 2, Missing: []Interval{iv(8, 9)}}
+	if v1.String() == "" || v2.String() == "" || v1.String() == v2.String() {
+		t.Errorf("String forms degenerate: %q vs %q", v1, v2)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkerIdentityAcrossTaskwait is a regression test for the stale
+// worker-id bug: a body that blocks in Taskwait yields its token and may
+// resume holding a different one; the runner loop must continue with the
+// new id, or two goroutines end up sharing a worker. Each body asserts
+// exclusive occupancy of its worker id before and after the blocking call.
+func TestWorkerIdentityAcrossTaskwait(t *testing.T) {
+	const workers = 4
+	for iter := 0; iter < 20; iter++ {
+		rt := New(Config{Workers: workers})
+		var holders [workers]atomic.Int32
+		var bad atomic.Int32
+		occupy := func(w int) {
+			if holders[w].Add(1) != 1 {
+				bad.Add(1)
+			}
+			for i := 0; i < 100; i++ {
+				_ = i // brief occupancy window
+			}
+			holders[w].Add(-1)
+		}
+		rt.Run(func(tc *TaskContext) {
+			for i := 0; i < 32; i++ {
+				tc.Submit(TaskSpec{Label: "waiter", Body: func(tc *TaskContext) {
+					occupy(tc.Worker())
+					tc.Submit(TaskSpec{Label: "leaf", Body: func(tc *TaskContext) {
+						occupy(tc.Worker())
+					}})
+					tc.Taskwait()
+					occupy(tc.Worker()) // possibly a different token now
+				}})
+			}
+		})
+		if bad.Load() != 0 {
+			t.Fatalf("iter %d: %d double-occupancies of a worker id", iter, bad.Load())
+		}
+	}
+}

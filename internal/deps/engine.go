@@ -1,0 +1,579 @@
+package deps
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/regions"
+)
+
+// Stats counts engine activity; useful for tests and for the ablation
+// benchmarks that quantify dependency-tracking overhead (§VIII-A compares
+// flat-taskwait against flat-depend for exactly this).
+type Stats struct {
+	Nodes     int64
+	Fragments int64
+	Links     int64 // same-domain successor links
+	Inbounds  int64 // cross-domain (parent→child) waiter links
+	Grants    int64 // satisfaction grants delivered
+	Handovers int64 // pieces handed over at weakwait / release directive
+	Releases  int64 // pieces released
+}
+
+// Engine computes and enforces dependencies for a tree of Nodes. All public
+// methods are safe for concurrent use; internally a single mutex serializes
+// the dependency structures, and an explicit event queue runs all cascades
+// iteratively so no interval map is mutated while being iterated.
+type Engine struct {
+	mu        sync.Mutex
+	queue     []event
+	ready     []*Node
+	obs       Observer
+	stats     Stats
+	liveFrags int64
+}
+
+type evKind uint8
+
+const (
+	evGrant     evKind = iota // deliver (dR,dW) to frag over iv
+	evDomainDec               // decrement liveCount in node's parent domain
+	evDrain                   // a handed-over piece's cell drained
+)
+
+type event struct {
+	kind   evKind
+	frag   *fragment
+	iv     regions.Interval
+	dR, dW int32
+	owner  *Node // evDomainDec: domain owner
+	data   DataID
+}
+
+// NewEngine returns an engine. obs may be nil.
+func NewEngine(obs Observer) *Engine {
+	return &Engine{obs: obs}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// LiveFragments returns the number of fragments not yet fully released. A
+// quiescent engine at the end of a run must report zero: a non-zero value
+// means dependencies leaked, which the runtime's Debug mode turns into an
+// end-of-run error.
+func (e *Engine) LiveFragments() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.liveFrags
+}
+
+// NewNode creates a node under parent (nil for the root node). The node
+// must be registered with Register before it can become ready.
+func (e *Engine) NewNode(parent *Node, label string, user any) *Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Nodes++
+	n := &Node{parent: parent, label: label, User: user}
+	if e.obs != nil {
+		e.obs.NodeCreated(n, parent)
+	}
+	return n
+}
+
+// Register links the node's depend entries into its parent's domain and
+// reports whether the node is immediately ready to execute (all strong
+// accesses satisfied — weak accesses never defer execution, §VI).
+func (e *Engine) Register(n *Node, specs []Spec) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n.registered {
+		panic("deps: node registered twice: " + n.label)
+	}
+	if len(specs) > 0 && n.parent == nil {
+		panic("deps: root node cannot have dependencies")
+	}
+	for _, spec := range specs {
+		acc := &access{node: n, spec: spec}
+		n.accesses = append(n.accesses, acc)
+		am := n.accessMapEnsure(spec.Data)
+		for _, iv := range spec.Ivs {
+			if iv.Empty() {
+				continue
+			}
+			overlap := false
+			am.VisitRange(iv, func(regions.Interval, **fragment) { overlap = true })
+			if overlap {
+				panic(fmt.Sprintf("deps: task %q declares overlapping depend entries over data %d %v", n.label, spec.Data, iv))
+			}
+			f := newFragment(acc, iv)
+			acc.frags = append(acc.frags, f)
+			e.stats.Fragments++
+			e.liveFrags++
+			e.linkFragment(n, f)
+			am.Set(iv, f)
+		}
+	}
+	n.registered = true
+	if n.unsat == 0 {
+		n.readyNotified = true
+		if e.obs != nil {
+			e.obs.NodeReady(n)
+		}
+		return true
+	}
+	return false
+}
+
+// linkFragment fragments f against the parent domain and links each cell.
+func (e *Engine) linkFragment(n *Node, f *fragment) {
+	dm := n.parent.domainEnsure(f.data())
+	dm.Materialize(f.iv,
+		func(regions.Interval) cellState { return cellState{} },
+		func(cIv regions.Interval, cs *cellState) {
+			e.linkCell(n, f, cIv, cs)
+		})
+}
+
+// linkCell links fragment f over one domain cell: RAW/WAR/WAW edges against
+// the in-domain history, or an inbound link through the parent's own access
+// when the cell has no usable history (§VI). Reduction accesses (§X) form
+// commuting groups: they link after prior writers/readers but not after
+// each other, and everything later links after the whole group.
+func (e *Engine) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellState) {
+	virgin := cs.lastWriter == nil && !cs.written
+	switch f.typ() {
+	case In:
+		if len(cs.reds) > 0 {
+			// A reader after a reduction group waits for every member.
+			for _, rd := range cs.reds {
+				e.linkAfter(rd, f, cIv, 1, 0)
+			}
+		} else if cs.lastWriter != nil {
+			e.linkAfter(cs.lastWriter, f, cIv, 1, 0)
+		} else if !cs.written {
+			e.inbound(n, f, cIv, false)
+		}
+		cs.readers = append(cs.readers, f)
+	case Red:
+		// Order after the pre-group history; commute with other members.
+		// Note: written is NOT set — each group member on a virgin base
+		// must inbound-link individually (like concurrent readers), and
+		// later accesses order after the group members transitively.
+		if cs.lastWriter != nil {
+			e.linkAfter(cs.lastWriter, f, cIv, 1, 1)
+		}
+		for _, r := range cs.readers {
+			e.linkAfter(r, f, cIv, 0, 1)
+		}
+		if virgin {
+			e.inbound(n, f, cIv, true)
+		}
+		cs.reds = append(cs.reds, f)
+	default: // Out, InOut
+		if cs.lastWriter != nil {
+			e.linkAfter(cs.lastWriter, f, cIv, 1, 1)
+		}
+		for _, r := range cs.readers {
+			e.linkAfter(r, f, cIv, 0, 1)
+		}
+		for _, rd := range cs.reds {
+			e.linkAfter(rd, f, cIv, 1, 1)
+		}
+		if virgin {
+			e.inbound(n, f, cIv, true)
+		}
+		cs.lastWriter = f
+		cs.readers = nil
+		cs.reds = nil
+		cs.written = true
+	}
+	cs.liveCount++
+}
+
+// linkAfter creates successor links from every unreleased piece of pred
+// inside iv to g, and charges the corresponding pending grants to g.
+func (e *Engine) linkAfter(pred, g *fragment, iv regions.Interval, dR, dW int32) {
+	if pred.node() == g.node() {
+		// A task never depends on itself; overlapping own entries are
+		// rejected at registration, so this only guards engine internals.
+		return
+	}
+	pred.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
+		if ps.released {
+			return
+		}
+		e.addPending(g, pIv, dR, dW)
+		pred.succs = append(pred.succs, link{target: g, iv: pIv, dR: dR, dW: dW})
+		e.stats.Links++
+		if e.obs != nil {
+			e.obs.Link(pred.node(), g.node(), g.data(), pIv, false)
+		}
+	})
+}
+
+// inbound links fragment f over cIv through the parent's own access
+// fragments: the child waits for the parent access's read (reader) or write
+// (writer) satisfaction. Intervals with no covering parent access are
+// unprotected and impose no ordering.
+func (e *Engine) inbound(n *Node, f *fragment, cIv regions.Interval, isWrite bool) {
+	parent := n.parent
+	if parent.accessMap == nil {
+		return
+	}
+	am := parent.accessMap[f.data()]
+	if am == nil {
+		return
+	}
+	am.VisitRange(cIv, func(aIv regions.Interval, pfp **fragment) {
+		pf := *pfp
+		if isWrite && pf.typ() == In {
+			panic(fmt.Sprintf("deps: task %q writes data %d %v which parent %q covers with a read-only access",
+				n.label, f.data(), aIv, parent.label))
+		}
+		pf.state.VisitRange(aIv, func(pIv regions.Interval, ps *pieceState) {
+			if isWrite {
+				if ps.wSat() {
+					return
+				}
+				e.addPending(f, pIv, 1, 1)
+				pf.wWaiters = append(pf.wWaiters, link{target: f, iv: pIv, dR: 1, dW: 1})
+			} else {
+				if ps.rSat() {
+					return
+				}
+				e.addPending(f, pIv, 1, 0)
+				pf.rWaiters = append(pf.rWaiters, link{target: f, iv: pIv, dR: 1, dW: 0})
+			}
+			e.stats.Inbounds++
+			if e.obs != nil {
+				e.obs.Link(parent, n, f.data(), pIv, true)
+			}
+		})
+	})
+}
+
+// addPending charges (dR,dW) outstanding grants to g over iv, maintaining
+// the owner node's unsatisfied-length accounting for strong accesses.
+func (e *Engine) addPending(g *fragment, iv regions.Interval, dR, dW int32) {
+	n := g.node()
+	strong := !g.weak()
+	reader := g.typ() == In
+	g.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
+		if dR > 0 {
+			if strong && reader && ps.pendR == 0 {
+				n.unsat += pIv.Len()
+			}
+			ps.pendR += dR
+		}
+		if dW > 0 {
+			if strong && !reader && ps.pendW == 0 {
+				n.unsat += pIv.Len()
+			}
+			ps.pendW += dW
+		}
+	})
+}
+
+// BodyDone implements the weakwait clause (§V): the task's code has ended,
+// so every access piece not covered by a live child access releases
+// immediately, and covered pieces are handed over to release when the
+// covering child accesses drain. Returns nodes that became ready.
+func (e *Engine) BodyDone(n *Node) []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, acc := range n.accesses {
+		for _, f := range acc.frags {
+			e.handOverOrRelease(n, f, f.iv)
+		}
+	}
+	e.drainQueue()
+	return e.takeReady()
+}
+
+// ReleaseRegions implements the release directive (§V): the task asserts it
+// and its future subtasks will no longer reference the given subset of its
+// depend clause. Covered pieces are handed over / released exactly as at
+// weakwait, and the regions are removed from the access map so future
+// children cannot link through them. Types and weakness in specs are
+// ignored; only (Data, Ivs) select what to release.
+func (e *Engine) ReleaseRegions(n *Node, specs []Spec) []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, spec := range specs {
+		if n.accessMap == nil {
+			continue
+		}
+		am := n.accessMap[spec.Data]
+		if am == nil {
+			continue
+		}
+		for _, iv := range spec.Ivs {
+			type pair struct {
+				f  *fragment
+				iv regions.Interval
+			}
+			var pairs []pair
+			am.VisitRange(iv, func(aIv regions.Interval, pfp **fragment) {
+				pairs = append(pairs, pair{*pfp, aIv})
+			})
+			for _, p := range pairs {
+				e.handOverOrRelease(n, p.f, p.iv)
+			}
+			am.Remove(iv)
+		}
+	}
+	e.drainQueue()
+	return e.takeReady()
+}
+
+// Complete finalizes the node once its code and all descendants have
+// finished: every remaining piece is marked done and released as soon as it
+// is satisfied. For NoWait/Wait tasks this is the single bulk release the
+// paper attributes to taskwait-terminated tasks; for WeakWait tasks it only
+// sweeps pieces that were never handed over.
+func (e *Engine) Complete(n *Node) []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n.completed = true
+	for _, acc := range n.accesses {
+		for _, f := range acc.frags {
+			e.markDone(f, f.iv)
+		}
+	}
+	e.drainQueue()
+	return e.takeReady()
+}
+
+// handOverOrRelease applies the fine-grained release logic to fragment f
+// over iv: pieces over live inner-domain cells are handed over; everything
+// else is marked done (released once satisfied).
+func (e *Engine) handOverOrRelease(n *Node, f *fragment, iv regions.Interval) {
+	dm := (*regions.Map[cellState])(nil)
+	if n.domain != nil {
+		dm = n.domain[f.data()]
+	}
+	if dm == nil {
+		e.markDone(f, iv)
+		return
+	}
+	dm.VisitRangeGaps(iv,
+		func(cIv regions.Interval, cs *cellState) {
+			if cs.liveCount > 0 {
+				if cs.handover != nil && cs.handover != f {
+					panic("deps: conflicting hand-over targets over one cell")
+				}
+				cs.handover = f
+				e.stats.Handovers++
+				f.state.VisitRange(cIv, func(pIv regions.Interval, ps *pieceState) {
+					if !ps.released {
+						ps.done = true
+						ps.waitDrain = true
+					}
+				})
+				if e.obs != nil {
+					e.obs.Handover(n, f.data(), cIv)
+				}
+			} else {
+				e.markDone(f, cIv)
+			}
+		},
+		func(gap regions.Interval) {
+			e.markDone(f, gap)
+		})
+}
+
+// markDone marks f's pieces over iv as having reached their completion
+// point and releases the ones already satisfied.
+func (e *Engine) markDone(f *fragment, iv regions.Interval) {
+	f.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
+		if ps.released {
+			return
+		}
+		ps.done = true
+		ps.waitDrain = false
+		e.tryRelease(f, pIv, ps)
+	})
+	f.state.MergeRange(iv, releasedEqual)
+}
+
+// releasedEqual merges adjacent fully released pieces: once released, no
+// field of a piece is ever read again (tryRelease normalizes the counters),
+// so all released pieces are interchangeable. Without this coalescing a
+// long-lived fragment — e.g. the whole-range weak access of an outer task —
+// accumulates one map entry per piece-wise release of its subtree and every
+// later split pays a linear shift, turning deep weakwait cascades
+// quadratic.
+func releasedEqual(a, b pieceState) bool { return a.released && b.released }
+
+// tryRelease releases the piece if all release conditions hold. Cascade
+// effects are pushed on the event queue.
+func (e *Engine) tryRelease(f *fragment, pIv regions.Interval, ps *pieceState) {
+	if ps.released || !ps.done || ps.waitDrain || !ps.typeSat(f.typ()) {
+		return
+	}
+	ps.released = true
+	// Normalize the dead piece so adjacent released pieces compare equal
+	// and coalesce (releasedEqual); nothing reads these fields afterwards.
+	ps.pendR, ps.pendW = 0, 0
+	e.stats.Releases++
+	f.relLen += pIv.Len()
+	if f.relLen == f.iv.Len() {
+		e.liveFrags--
+	}
+	if e.obs != nil {
+		e.obs.Released(f.node(), f.data(), pIv)
+	}
+	for _, l := range f.succs {
+		ov := l.iv.Intersect(pIv)
+		if !ov.Empty() {
+			e.queue = append(e.queue, event{kind: evGrant, frag: l.target, iv: ov, dR: l.dR, dW: l.dW})
+		}
+	}
+	if f.node().parent != nil {
+		e.queue = append(e.queue, event{kind: evDomainDec, owner: f.node().parent, data: f.data(), iv: pIv})
+	}
+}
+
+// drainQueue processes cascade events until quiescence. Each handler visits
+// exactly one interval map and defers further effects to the queue.
+func (e *Engine) drainQueue() {
+	for i := 0; i < len(e.queue); i++ {
+		ev := e.queue[i]
+		switch ev.kind {
+		case evGrant:
+			e.handleGrant(ev.frag, ev.iv, ev.dR, ev.dW)
+		case evDomainDec:
+			e.handleDomainDec(ev.owner, ev.data, ev.iv)
+		case evDrain:
+			e.handleDrain(ev.frag, ev.iv)
+		}
+	}
+	e.queue = e.queue[:0]
+}
+
+// handleGrant delivers a satisfaction grant to frag over iv, firing
+// satisfaction transitions: node readiness for strong accesses, waiter
+// grants for weak linking points, and release checks.
+func (e *Engine) handleGrant(f *fragment, iv regions.Interval, dR, dW int32) {
+	e.stats.Grants++
+	n := f.node()
+	strong := !f.weak()
+	reader := f.typ() == In
+	f.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
+		rSatNow, wSatNow := false, false
+		if dR > 0 {
+			if ps.pendR < dR {
+				panic("deps: read-satisfaction grant underflow")
+			}
+			ps.pendR -= dR
+			rSatNow = ps.pendR == 0
+		}
+		if dW > 0 {
+			if ps.pendW < dW {
+				panic("deps: write-satisfaction grant underflow")
+			}
+			ps.pendW -= dW
+			wSatNow = ps.pendW == 0
+		}
+		if strong {
+			if (reader && rSatNow) || (!reader && wSatNow) {
+				e.nodeSatisfy(n, pIv.Len())
+			}
+		}
+		if rSatNow {
+			e.queueWaiterGrants(f.rWaiters, pIv)
+		}
+		if wSatNow {
+			e.queueWaiterGrants(f.wWaiters, pIv)
+		}
+		e.tryRelease(f, pIv, ps)
+	})
+	f.state.MergeRange(iv, releasedEqual)
+}
+
+func (e *Engine) queueWaiterGrants(waiters []link, pIv regions.Interval) {
+	for _, w := range waiters {
+		ov := w.iv.Intersect(pIv)
+		if !ov.Empty() {
+			e.queue = append(e.queue, event{kind: evGrant, frag: w.target, iv: ov, dR: w.dR, dW: w.dW})
+		}
+	}
+}
+
+// handleDomainDec decrements the live-registration count of the owner's
+// domain cells over iv; cells that drain fire their pending hand-over.
+func (e *Engine) handleDomainDec(owner *Node, data DataID, iv regions.Interval) {
+	dm := owner.domain[data]
+	if dm == nil {
+		panic("deps: domain-dec on missing domain")
+	}
+	dm.VisitRange(iv, func(cIv regions.Interval, cs *cellState) {
+		if cs.liveCount <= 0 {
+			panic("deps: domain live-count underflow")
+		}
+		cs.liveCount--
+		if cs.liveCount == 0 && cs.handover != nil {
+			h := cs.handover
+			cs.handover = nil
+			e.queue = append(e.queue, event{kind: evDrain, frag: h, iv: cIv})
+		}
+	})
+	dm.MergeRange(iv, drainedCellsEqual)
+}
+
+// drainedCellsEqual merges adjacent drained domain cells. Cells split at
+// the boundaries of every child fragment piece that releases over them;
+// once drained (no live registration, no pending hand-over, no reader or
+// reduction history) two neighbors with the same writer history behave
+// identically for all future registrations, so the split can be undone.
+// Without this, an outer task's domain accumulates one cell per descendant
+// release and deep weakwait programs turn quadratic.
+func drainedCellsEqual(a, b cellState) bool {
+	return a.liveCount == 0 && b.liveCount == 0 &&
+		a.handover == nil && b.handover == nil &&
+		len(a.readers) == 0 && len(b.readers) == 0 &&
+		len(a.reds) == 0 && len(b.reds) == 0 &&
+		a.lastWriter == b.lastWriter && a.written == b.written
+}
+
+// handleDrain completes the hand-over: the inner-domain cells covering this
+// piece have fully drained, so the piece may release (once satisfied).
+func (e *Engine) handleDrain(f *fragment, iv regions.Interval) {
+	f.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
+		if ps.released {
+			return
+		}
+		ps.waitDrain = false
+		e.tryRelease(f, pIv, ps)
+	})
+	f.state.MergeRange(iv, releasedEqual)
+}
+
+func (e *Engine) nodeSatisfy(n *Node, length int64) {
+	n.unsat -= length
+	if n.unsat < 0 {
+		panic("deps: node unsatisfied-length underflow")
+	}
+	if n.unsat == 0 && n.registered && !n.readyNotified {
+		n.readyNotified = true
+		e.ready = append(e.ready, n)
+		if e.obs != nil {
+			e.obs.NodeReady(n)
+		}
+	}
+}
+
+func (e *Engine) takeReady() []*Node {
+	if len(e.ready) == 0 {
+		return nil
+	}
+	out := make([]*Node, len(e.ready))
+	copy(out, e.ready)
+	e.ready = e.ready[:0]
+	return out
+}

@@ -1,0 +1,129 @@
+package deps
+
+import (
+	"slices"
+
+	"repro/internal/regions"
+)
+
+// access is one registered Spec of a node.
+type access struct {
+	node  *Node
+	spec  Spec
+	frags []*fragment
+}
+
+// fragment is the unit of dependency tracking: one contiguous interval of
+// one access. Per-subinterval state lives in a fragmenting map of pieceState
+// values, so partially overlapping later accesses, partial releases
+// (weakwait hand-over, release directive) and partial satisfaction all
+// fragment the state in place with no structural fix-ups.
+type fragment struct {
+	acc   *access
+	iv    regions.Interval
+	state *regions.Map[pieceState]
+
+	// relLen is the total released element length; the fragment is fully
+	// released (and leaves the engine's live count) when it reaches
+	// iv.Len().
+	relLen int64
+
+	// succs are same-domain successor links created at the successors'
+	// registration: when a piece of this fragment releases, every link
+	// overlapping it grants (dR, dW) to the target over the overlap.
+	succs []link
+
+	// rWaiters/wWaiters are inbound links from child fragments (fragments
+	// of tasks nested inside this fragment's owner) waiting for this
+	// fragment's read/write satisfaction over their interval. This is the
+	// linking-point role of weak accesses (§VI).
+	rWaiters []link
+	wWaiters []link
+}
+
+// pieceState is the per-subinterval state of a fragment. It is a pure value
+// type: splitting an interval entry duplicates it verbatim, which is
+// semantically correct for every field (counters and flags apply uniformly
+// across the piece).
+type pieceState struct {
+	// pendR counts outstanding grants required for read satisfaction
+	// (prior writers, transitively through weak parents). pendW counts the
+	// grants required for write satisfaction (prior writers and readers).
+	pendR, pendW int32
+	// done marks that the owner task reached this piece's completion point:
+	// full completion, weakwait body exit, or a release directive.
+	done bool
+	// waitDrain marks a piece handed over at weakwait: it releases when the
+	// covering child accesses drain from the inner domain.
+	waitDrain bool
+	released  bool
+}
+
+// rSat reports read satisfaction of the piece.
+func (ps pieceState) rSat() bool { return ps.pendR == 0 }
+
+// wSat reports write satisfaction of the piece.
+func (ps pieceState) wSat() bool { return ps.pendW == 0 }
+
+// typeSat reports the satisfaction relevant for the fragment's own access
+// type: readers only need read satisfaction; writers (including
+// reductions, which write) need exclusivity against everything before
+// their group.
+func (ps pieceState) typeSat(t AccessType) bool {
+	if t == In {
+		return ps.rSat()
+	}
+	return ps.wSat()
+}
+
+// link records a dependency edge over an explicit interval. Used both for
+// same-domain successor links (release → grant) and for inbound waiter
+// links (satisfaction → grant).
+type link struct {
+	target *fragment
+	iv     regions.Interval
+	dR, dW int32
+}
+
+func newFragment(acc *access, iv regions.Interval) *fragment {
+	f := &fragment{acc: acc, iv: iv, state: regions.NewMap[pieceState](nil)}
+	f.state.Set(iv, pieceState{})
+	return f
+}
+
+func (f *fragment) data() DataID    { return f.acc.spec.Data }
+func (f *fragment) typ() AccessType { return f.acc.spec.Type }
+func (f *fragment) weak() bool      { return f.acc.spec.Weak }
+func (f *fragment) node() *Node     { return f.acc.node }
+
+// cellState is the per-interval state of a dependency domain: the access
+// history needed to link new sibling accesses, the live-registration count
+// used to detect drain, and the hand-over target for fine-grained release.
+// It is split by value copy; only the readers slice needs cloning.
+type cellState struct {
+	// written is true once any writer (or reduction) has registered over
+	// the cell, even if it has since released. A cell that was never
+	// written links new accesses inbound through the domain owner's own
+	// access (§VI).
+	written    bool
+	lastWriter *fragment
+	readers    []*fragment
+	// reds is the current reduction group: reduction accesses since the
+	// last reader/writer event. Members carry no mutual ordering; a
+	// subsequent reader or writer orders after all of them, and a writer
+	// dissolves the group.
+	reds []*fragment
+	// liveCount is the number of unreleased fragment pieces registered over
+	// this cell. When it reaches zero and a hand-over is pending, the
+	// domain owner's corresponding access piece releases (§V).
+	liveCount int32
+	// handover, when set, is the domain owner's fragment whose piece over
+	// this cell is waiting for the cell to drain.
+	handover *fragment
+}
+
+func cloneCell(c cellState) cellState {
+	c.readers = slices.Clone(c.readers)
+	c.reds = slices.Clone(c.reds)
+	return c
+}

@@ -1,0 +1,153 @@
+// Package deps implements the hierarchical dependency-domain engine that is
+// the primary contribution of the paper: task dependencies across nesting
+// levels, weak dependency types (§VI), fine-grained release of dependencies
+// on weakwait and on the release directive (§V), and dependencies over
+// partially overlapping array sections (§VII).
+//
+// Every task owns a *domain* in which the dependencies of its direct
+// children are computed. Each depend entry of a child becomes an access,
+// fragmented against the domain's per-data interval map. Accesses whose
+// intervals hit a fresh part of the domain link *inbound* through the
+// parent's own access over the same interval, which is how satisfaction
+// propagates from outer domains into inner ones. Fine-grained release (the
+// weakwait hand-over) propagates the other way: when a task's body ends,
+// access pieces still covered by live children are handed over and release
+// exactly when the covering child accesses release. The combination merges
+// every domain into its parent's — observably equivalent to computing all
+// dependencies in a single domain, which is the paper's headline property.
+//
+// The engine is fully serialized by one mutex. All cascade effects
+// (satisfaction grants, domain drain, hand-over release) run through an
+// explicit event queue so that no interval map is structurally modified
+// while being iterated.
+package deps
+
+import (
+	"fmt"
+
+	"repro/internal/regions"
+)
+
+// DataID identifies a registered data object (an array the depend clauses
+// refer to). Intervals are element indices within that object.
+type DataID uint32
+
+// AccessType is the dependency type of a depend-clause entry.
+type AccessType uint8
+
+const (
+	// In corresponds to depend(in: ...): the task reads the region.
+	In AccessType = iota
+	// Out corresponds to depend(out: ...): the task overwrites the region.
+	Out
+	// InOut corresponds to depend(inout: ...): the task reads and writes.
+	InOut
+	// Red is a task-reduction access (the paper's future work, §X, brought
+	// into the nesting/weak-dependency framework): reduction accesses over
+	// the same region commute — they carry no mutual ordering — but order
+	// after prior writers and readers, and everything after the group
+	// orders after every reduction in it. The task must combine its
+	// contribution atomically or via privatization; the engine only
+	// guarantees the group's isolation.
+	Red
+)
+
+// Reads reports whether the access type implies reading the data.
+func (t AccessType) Reads() bool { return t == In || t == InOut || t == Red }
+
+// Writes reports whether the access type implies writing the data.
+func (t AccessType) Writes() bool { return t == Out || t == InOut || t == Red }
+
+func (t AccessType) String() string {
+	switch t {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	case Red:
+		return "reduction"
+	}
+	return fmt.Sprintf("AccessType(%d)", uint8(t))
+}
+
+// Spec is one depend-clause entry: an access of the given type — weak or
+// strong — over a set of disjoint intervals of one data object. Weak specs
+// are the weakin/weakout/weakinout types of §VI: they never defer the task
+// itself; they only link the task's inner dependency domain to the outer
+// one so that subtasks can inherit and release the dependencies.
+type Spec struct {
+	Data DataID
+	Type AccessType
+	Weak bool
+	Ivs  []regions.Interval
+}
+
+func (s Spec) String() string {
+	w := ""
+	if s.Weak {
+		w = "weak"
+	}
+	return fmt.Sprintf("%s%s:data%d%v", w, s.Type, s.Data, s.Ivs)
+}
+
+// Node is the engine's view of a task. A Node is created with NewNode,
+// participates in its parent's domain through Register, and owns a domain
+// for its own children. The zero value is not usable.
+//
+// All fields are guarded by the owning Engine's mutex.
+type Node struct {
+	parent *Node
+	label  string
+
+	// User is an opaque back-reference for the runtime layer (the core
+	// package stores its *Task here). The engine never touches it.
+	User any
+
+	accesses []*access
+	// accessMap indexes this node's own fragments by data and interval, for
+	// inbound linking by children and for the release directive.
+	accessMap map[DataID]*regions.Map[*fragment]
+	// domain is the dependency domain of this node's children.
+	domain map[DataID]*regions.Map[cellState]
+
+	// unsat is the total element length of strong access pieces whose
+	// relevant satisfaction is still pending. The node is ready when it
+	// reaches zero after registration.
+	unsat int64
+
+	registered    bool
+	readyNotified bool
+	completed     bool
+}
+
+// Label returns the diagnostic label given at creation.
+func (n *Node) Label() string { return n.label }
+
+// Parent returns the parent node (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+func (n *Node) domainEnsure(data DataID) *regions.Map[cellState] {
+	if n.domain == nil {
+		n.domain = make(map[DataID]*regions.Map[cellState])
+	}
+	dm := n.domain[data]
+	if dm == nil {
+		dm = regions.NewMap[cellState](cloneCell)
+		n.domain[data] = dm
+	}
+	return dm
+}
+
+func (n *Node) accessMapEnsure(data DataID) *regions.Map[*fragment] {
+	if n.accessMap == nil {
+		n.accessMap = make(map[DataID]*regions.Map[*fragment])
+	}
+	am := n.accessMap[data]
+	if am == nil {
+		am = regions.NewMap[*fragment](nil)
+		n.accessMap[data] = am
+	}
+	return am
+}

@@ -1,0 +1,33 @@
+package deps
+
+import "repro/internal/regions"
+
+// Observer receives engine events. It is invoked with the engine mutex held:
+// implementations must be fast, must not call back into the engine, and are
+// meant for graph capture (the taskgraph tool reproducing Figures 1 and 2)
+// and for tests.
+type Observer interface {
+	// NodeCreated fires when a node is created under parent (nil for root).
+	NodeCreated(n, parent *Node)
+	// NodeReady fires when all strong accesses of a node become satisfied.
+	NodeReady(n *Node)
+	// Link fires for every dependency edge: same-domain successor links
+	// (inbound=false) and cross-domain parent→child satisfaction links
+	// (inbound=true).
+	Link(pred, succ *Node, data DataID, iv regions.Interval, inbound bool)
+	// Handover fires when a piece of n's access over iv is handed over to
+	// its live children at weakwait or release-directive time.
+	Handover(n *Node, data DataID, iv regions.Interval)
+	// Released fires when a piece of n's access over iv releases.
+	Released(n *Node, data DataID, iv regions.Interval)
+}
+
+// NopObserver is an Observer that ignores all events; useful for embedding
+// when only some events are of interest.
+type NopObserver struct{}
+
+func (NopObserver) NodeCreated(_, _ *Node)                                {}
+func (NopObserver) NodeReady(*Node)                                       {}
+func (NopObserver) Link(_, _ *Node, _ DataID, _ regions.Interval, _ bool) {}
+func (NopObserver) Handover(*Node, DataID, regions.Interval)              {}
+func (NopObserver) Released(*Node, DataID, regions.Interval)              {}

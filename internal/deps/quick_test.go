@@ -1,0 +1,230 @@
+package deps
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regions"
+)
+
+// Random-program property tests: any engine-admissible execution order of a
+// randomly generated task program must be serializable to the sequential
+// pre-order execution (every strong read observes the sequential value, the
+// final state matches, and no task is lost or deadlocked). This covers flat
+// programs, nested programs with weak accesses and weakwait, mixed modes,
+// release directives, and three-level nesting.
+
+const quickUniverse = 48
+
+// genDisjoint returns up to maxIvs disjoint intervals inside the universe.
+func genDisjoint(rng *rand.Rand, maxIvs, maxLen int) []regions.Interval {
+	n := 1 + rng.Intn(maxIvs)
+	var out []regions.Interval
+	set := NewSetHelper()
+	for i := 0; i < n; i++ {
+		for try := 0; try < 8; try++ {
+			lo := int64(rng.Intn(quickUniverse))
+			ln := int64(1 + rng.Intn(maxLen))
+			iv := regions.Iv(lo, min64(lo+ln, quickUniverse))
+			if iv.Empty() || set.Overlaps(iv) {
+				continue
+			}
+			set.Add(iv)
+			out = append(out, iv)
+			break
+		}
+	}
+	return out
+}
+
+// NewSetHelper exists to keep the test readable.
+func NewSetHelper() *regions.Set { return regions.NewSet() }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func randType(rng *rand.Rand) AccessType {
+	switch rng.Intn(3) {
+	case 0:
+		return In
+	case 1:
+		return Out
+	default:
+		return InOut
+	}
+}
+
+// genFlat generates a flat program of strong-access tasks.
+func genFlat(rng *rand.Rand) []*simTask {
+	n := 4 + rng.Intn(16)
+	tasks := make([]*simTask, 0, n)
+	for i := 0; i < n; i++ {
+		ivs := genDisjoint(rng, 3, 8)
+		var specs []Spec
+		for _, iv := range ivs {
+			specs = append(specs, Spec{Data: d0, Type: randType(rng), Ivs: []regions.Interval{iv}})
+		}
+		tasks = append(tasks, &simTask{label: fmt.Sprintf("t%d", i), specs: specs})
+	}
+	return tasks
+}
+
+// genNested generates a program of nested tasks: each top-level task covers
+// a region (weakly or strongly) and spawns children whose strong accesses
+// stay inside the cover. With depth > 1, some children are themselves
+// nesting tasks.
+func genNested(rng *rand.Rand, depth int) []*simTask {
+	n := 2 + rng.Intn(5)
+	tasks := make([]*simTask, 0, n)
+	id := 0
+	var gen func(cover regions.Interval, depth int, prefix string) *simTask
+	gen = func(cover regions.Interval, depth int, prefix string) *simTask {
+		id++
+		label := fmt.Sprintf("%s%d", prefix, id)
+		weak := rng.Intn(10) < 7
+		mode := rng.Intn(10) < 7 // weakwait with prob 0.7
+		t := &simTask{
+			label:    label,
+			specs:    []Spec{{Data: d0, Type: InOut, Weak: weak, Ivs: []regions.Interval{cover}}},
+			weakwait: mode,
+		}
+		nKids := 1 + rng.Intn(3)
+		for k := 0; k < nKids; k++ {
+			// Child sub-interval of the cover.
+			if cover.Len() < 2 {
+				break
+			}
+			lo := cover.Lo + rng.Int63n(cover.Len())
+			hi := lo + 1 + rng.Int63n(cover.Hi-lo)
+			sub := regions.Iv(lo, hi)
+			if depth > 1 && sub.Len() >= 4 && rng.Intn(3) == 0 {
+				t.children = append(t.children, gen(sub, depth-1, prefix))
+			} else {
+				id++
+				typ := randType(rng)
+				t.children = append(t.children, &simTask{
+					label: fmt.Sprintf("%sL%d", prefix, id),
+					specs: []Spec{{Data: d0, Type: typ, Ivs: []regions.Interval{sub}}},
+				})
+			}
+		}
+		// Occasionally release the cover early (after child creation).
+		if rng.Intn(4) == 0 {
+			t.releaseAfter = []Spec{{Data: d0, Ivs: []regions.Interval{cover}}}
+		}
+		return t
+	}
+	for i := 0; i < n; i++ {
+		lo := int64(rng.Intn(quickUniverse - 8))
+		ln := int64(6 + rng.Intn(16))
+		cover := regions.Iv(lo, min64(lo+ln, quickUniverse))
+		tasks = append(tasks, gen(cover, depth, fmt.Sprintf("n%d.", i)))
+	}
+	return tasks
+}
+
+func TestQuickFlatSerializable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genFlat(rng)
+		for order := 0; order < 4; order++ {
+			s := newSim(t, u(quickUniverse))
+			s.runRandom(prog, seed*31+int64(order))
+			if t.Failed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNestedWeakSerializable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genNested(rng, 1)
+		for order := 0; order < 4; order++ {
+			s := newSim(t, u(quickUniverse))
+			s.runRandom(prog, seed*37+int64(order))
+			if t.Failed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeepNestingSerializable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genNested(rng, 3)
+		for order := 0; order < 3; order++ {
+			s := newSim(t, u(quickUniverse))
+			s.runRandom(prog, seed*41+int64(order))
+			if t.Failed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMixedFlatNested mixes flat strong tasks and nested weak tasks in
+// one program, which exercises cross-level links in both directions.
+func TestQuickMixedFlatNested(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var prog []*simTask
+		flat := genFlat(rng)
+		nested := genNested(rng, 2)
+		for i := 0; i < len(flat) || i < len(nested); i++ {
+			if i < len(flat) {
+				prog = append(prog, flat[i])
+			}
+			if i < len(nested) {
+				prog = append(prog, nested[i])
+			}
+		}
+		for order := 0; order < 3; order++ {
+			s := newSim(t, u(quickUniverse))
+			s.runRandom(prog, seed*43+int64(order))
+			if t.Failed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(14))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEngineQuiescent: after a full run every fragment piece must have
+// been released exactly once (releases == total pieces is not directly
+// observable, but releases must be >= fragments and the ready queue empty).
+func TestQuickEngineQuiescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		prog := genNested(rng, 2)
+		s := newSim(t, u(quickUniverse))
+		s.runRandom(prog, int64(i))
+		st := s.eng.Stats()
+		if st.Releases < st.Fragments {
+			t.Fatalf("run %d: %d fragments but only %d releases (leaked pieces)", i, st.Fragments, st.Releases)
+		}
+	}
+}

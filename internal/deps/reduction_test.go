@@ -1,0 +1,207 @@
+package deps
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regions"
+)
+
+func red(ivs ...regions.Interval) Spec { return Spec{Data: d0, Type: Red, Ivs: ivs} }
+func weakred(ivs ...regions.Interval) Spec {
+	return Spec{Data: d0, Type: Red, Weak: true, Ivs: ivs}
+}
+
+// TestReductionGroupCommutes: members of a reduction group are all ready
+// at once (no mutual ordering), unlike inout accesses.
+func TestReductionGroupCommutes(t *testing.T) {
+	s := newSim(t, u(4))
+	w := &simTask{label: "W", specs: []Spec{out(regions.Iv(0, 4))}}
+	r1 := &simTask{label: "R1", specs: []Spec{red(regions.Iv(0, 4))}}
+	r2 := &simTask{label: "R2", specs: []Spec{red(regions.Iv(0, 4))}}
+	r3 := &simTask{label: "R3", specs: []Spec{red(regions.Iv(0, 4))}}
+	s.start([]*simTask{w, r1, r2, r3})
+	if s.isReady("R1") || s.isReady("R2") {
+		t.Fatal("reductions must wait for the prior writer")
+	}
+	s.step("W")
+	for _, l := range []string{"R1", "R2", "R3"} {
+		if !s.isReady(l) {
+			t.Fatalf("%s should be ready: group members commute; ready=%v", l, s.readyLabels())
+		}
+	}
+	// Any completion order works; the harness checks the final value.
+	s.step("R2")
+	s.step("R3")
+	s.step("R1")
+	s.finish()
+}
+
+// TestReaderAfterReductionGroup: a reader waits for every group member.
+func TestReaderAfterReductionGroup(t *testing.T) {
+	s := newSim(t, u(4))
+	r1 := &simTask{label: "R1", specs: []Spec{red(regions.Iv(0, 4))}}
+	r2 := &simTask{label: "R2", specs: []Spec{red(regions.Iv(0, 4))}}
+	rd := &simTask{label: "read", specs: []Spec{in(regions.Iv(0, 4))}}
+	s.start([]*simTask{r1, r2, rd})
+	s.step("R1")
+	if s.isReady("read") {
+		t.Fatal("reader must wait for the whole group")
+	}
+	s.step("R2")
+	if !s.isReady("read") {
+		t.Fatal("reader ready once the group drained")
+	}
+	s.finish()
+}
+
+// TestWriterAfterReductionGroup: a writer dissolves the group and waits for
+// all members.
+func TestWriterAfterReductionGroup(t *testing.T) {
+	s := newSim(t, u(4))
+	r1 := &simTask{label: "R1", specs: []Spec{red(regions.Iv(0, 4))}}
+	r2 := &simTask{label: "R2", specs: []Spec{red(regions.Iv(0, 4))}}
+	w := &simTask{label: "W", specs: []Spec{inout(regions.Iv(0, 4))}}
+	r3 := &simTask{label: "R3", specs: []Spec{red(regions.Iv(0, 4))}} // new group
+	s.start([]*simTask{r1, r2, w, r3})
+	s.step("R2")
+	if s.isReady("W") {
+		t.Fatal("writer must wait for R1 too")
+	}
+	s.step("R1")
+	if !s.isReady("W") {
+		t.Fatal("writer ready after the group")
+	}
+	if s.isReady("R3") {
+		t.Fatal("a reduction after the writer starts a new group ordered after it")
+	}
+	s.step("W")
+	if !s.isReady("R3") {
+		t.Fatal("new group ready after the writer")
+	}
+	s.finish()
+}
+
+// TestReductionPartialOverlap: group membership is per-region — a
+// reduction overlapping the group only partially is still concurrent on
+// the overlap but ordered on the writer history of the rest.
+func TestReductionPartialOverlap(t *testing.T) {
+	s := newSim(t, u(8))
+	w := &simTask{label: "W", specs: []Spec{out(regions.Iv(4, 8))}}
+	r1 := &simTask{label: "R1", specs: []Spec{red(regions.Iv(0, 4))}}
+	r2 := &simTask{label: "R2", specs: []Spec{red(regions.Iv(2, 8))}} // overlaps r1 and W's region
+	s.start([]*simTask{w, r1, r2})
+	if !s.isReady("R1") {
+		t.Fatal("R1 is disjoint from W and must be ready immediately")
+	}
+	if s.isReady("R2") {
+		t.Fatal("R2 overlaps W's output and must wait for it")
+	}
+	s.step("W")
+	if !s.isReady("R2") {
+		t.Fatal("R2 ready after W; commutes with R1 on the overlap")
+	}
+	s.finish()
+}
+
+// TestNestedReductionUnderWeak: reduction subtasks under a weak reduction
+// cover, with weakwait — reductions integrate with the nesting extensions.
+func TestNestedReductionUnderWeak(t *testing.T) {
+	s := newSim(t, u(4))
+	w := &simTask{label: "W", specs: []Spec{out(regions.Iv(0, 4))}}
+	k1 := &simTask{label: "K1", specs: []Spec{red(regions.Iv(0, 4))}}
+	k2 := &simTask{label: "K2", specs: []Spec{red(regions.Iv(0, 4))}}
+	p := &simTask{label: "P", specs: []Spec{weakred(regions.Iv(0, 4))}, weakwait: true,
+		children: []*simTask{k1, k2}}
+	after := &simTask{label: "A", specs: []Spec{in(regions.Iv(0, 4))}}
+	s.start([]*simTask{w, p, after})
+	if !s.isReady("P") {
+		t.Fatal("weak reduction cover must not defer P")
+	}
+	s.step("P")
+	if s.isReady("K1") || s.isReady("K2") {
+		t.Fatal("nested reductions must wait for W through the weak cover")
+	}
+	s.step("W")
+	if !s.isReady("K1") || !s.isReady("K2") {
+		t.Fatal("both nested reductions ready after W (commuting)")
+	}
+	s.step("K1")
+	if s.isReady("A") {
+		t.Fatal("reader must wait for the whole nested group")
+	}
+	s.step("K2")
+	if !s.isReady("A") {
+		t.Fatal("reader ready once the nested group drained through the hand-over")
+	}
+	s.finish()
+}
+
+// TestTwoWeakReductionSiblings: two weak-covered reduction subtrees over
+// the same region commute with each other across nesting levels.
+func TestTwoWeakReductionSiblings(t *testing.T) {
+	s := newSim(t, u(4))
+	mk := func(name string) *simTask {
+		leaf := &simTask{label: name + ".leaf", specs: []Spec{red(regions.Iv(0, 4))}}
+		return &simTask{label: name, specs: []Spec{weakred(regions.Iv(0, 4))}, weakwait: true,
+			children: []*simTask{leaf}}
+	}
+	p1, p2 := mk("P1"), mk("P2")
+	after := &simTask{label: "A", specs: []Spec{in(regions.Iv(0, 4))}}
+	s.start([]*simTask{p1, p2, after})
+	s.step("P1")
+	s.step("P2")
+	if !s.isReady("P1.leaf") || !s.isReady("P2.leaf") {
+		t.Fatalf("leaves of both reduction subtrees must be concurrent; ready=%v", s.readyLabels())
+	}
+	s.step("P2.leaf")
+	if s.isReady("A") {
+		t.Fatal("reader waits for both subtrees")
+	}
+	s.step("P1.leaf")
+	if !s.isReady("A") {
+		t.Fatal("reader ready once both reduction subtrees drained")
+	}
+	s.finish()
+}
+
+// TestQuickReductionPrograms: random programs mixing writers, readers and
+// reduction groups stay serializable (reductions modelled as commutative
+// increments in the harness).
+func TestQuickReductionPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(12)
+		var tasks []*simTask
+		for i := 0; i < n; i++ {
+			lo := int64(rng.Intn(40))
+			hi := lo + 1 + rng.Int63n(8)
+			if hi > 48 {
+				hi = 48
+			}
+			var spec Spec
+			switch rng.Intn(4) {
+			case 0:
+				spec = inout(regions.Iv(lo, hi))
+			case 1:
+				spec = in(regions.Iv(lo, hi))
+			default: // bias towards reductions
+				spec = red(regions.Iv(lo, hi))
+			}
+			tasks = append(tasks, &simTask{label: fmt.Sprintf("t%d", i), specs: []Spec{spec}})
+		}
+		for order := 0; order < 4; order++ {
+			s := newSim(t, u(48))
+			s.runRandom(tasks, seed*13+int64(order))
+			if t.Failed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(55))}); err != nil {
+		t.Fatal(err)
+	}
+}

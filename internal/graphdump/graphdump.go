@@ -1,0 +1,171 @@
+// Package graphdump captures the dependency graph the engine builds and
+// renders it as Graphviz DOT — the reproduction of the paper's Figures 1
+// and 2 (the task graphs of listings 1 and 3 at their various stages).
+//
+// It implements deps.Observer: link events become edges, weakwait
+// hand-overs and releases are recorded so the graph can be rendered "at a
+// stage" (before instantiation, before the outer tasks exit, after).
+package graphdump
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/deps"
+	"repro/internal/regions"
+)
+
+// Edge is one captured dependency edge.
+type Edge struct {
+	Pred, Succ string
+	Data       deps.DataID
+	Iv         regions.Interval
+	// Inbound marks parent→child satisfaction links (the weak linking
+	// points of §VI); false means a same-domain successor edge.
+	Inbound bool
+}
+
+// Capture records engine events. It may be registered as the Observer of a
+// runtime and interrogated after (or during) the run.
+type Capture struct {
+	mu       sync.Mutex
+	nodes    []string
+	parent   map[string]string
+	edges    []Edge
+	released []Edge // release events, as pseudo-edges (Succ empty)
+	handover []Edge
+	weak     map[string]bool // nodes that declared any weak access
+}
+
+// New creates an empty capture.
+func New() *Capture {
+	return &Capture{parent: make(map[string]string), weak: make(map[string]bool)}
+}
+
+var _ deps.Observer = (*Capture)(nil)
+
+// NodeCreated implements deps.Observer.
+func (c *Capture) NodeCreated(n, parent *deps.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes = append(c.nodes, n.Label())
+	if parent != nil {
+		c.parent[n.Label()] = parent.Label()
+	}
+}
+
+// NodeReady implements deps.Observer.
+func (c *Capture) NodeReady(*deps.Node) {}
+
+// Link implements deps.Observer.
+func (c *Capture) Link(pred, succ *deps.Node, data deps.DataID, iv regions.Interval, inbound bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.edges = append(c.edges, Edge{Pred: pred.Label(), Succ: succ.Label(), Data: data, Iv: iv, Inbound: inbound})
+}
+
+// Handover implements deps.Observer.
+func (c *Capture) Handover(n *deps.Node, data deps.DataID, iv regions.Interval) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handover = append(c.handover, Edge{Pred: n.Label(), Data: data, Iv: iv})
+}
+
+// Released implements deps.Observer.
+func (c *Capture) Released(n *deps.Node, data deps.DataID, iv regions.Interval) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.released = append(c.released, Edge{Pred: n.Label(), Data: data, Iv: iv})
+}
+
+// Edges returns the captured dependency edges, deduplicated by
+// (pred, succ, inbound) with interval detail dropped.
+func (c *Capture) Edges() []Edge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[string]Edge{}
+	for _, e := range c.edges {
+		key := fmt.Sprintf("%s→%s/%v", e.Pred, e.Succ, e.Inbound)
+		if _, ok := seen[key]; !ok {
+			seen[key] = e
+		}
+	}
+	out := make([]Edge, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Succ < out[j].Succ
+	})
+	return out
+}
+
+// HasEdge reports whether a (pred → succ) dependency edge was captured.
+func (c *Capture) HasEdge(pred, succ string) bool {
+	for _, e := range c.Edges() {
+		if e.Pred == pred && e.Succ == succ {
+			return true
+		}
+	}
+	return false
+}
+
+// DOT renders the captured graph as Graphviz: clusters for parent tasks,
+// solid edges for same-domain dependencies, dashed edges for inbound (weak
+// linking) edges — matching the visual conventions of Figures 1 and 2.
+// varNames optionally maps DataID→variable name for edge labels.
+func (c *Capture) DOT(title string, varNames map[deps.DataID]string) string {
+	c.mu.Lock()
+	nodes := append([]string(nil), c.nodes...)
+	parent := make(map[string]string, len(c.parent))
+	for k, v := range c.parent {
+		parent[k] = v
+	}
+	c.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+
+	// Group children under their parent as clusters (nested rectangles in
+	// the paper's figures).
+	children := map[string][]string{}
+	for _, n := range nodes {
+		children[parent[n]] = append(children[parent[n]], n)
+	}
+	var emit func(p string, indent string)
+	emit = func(p string, indent string) {
+		for _, n := range children[p] {
+			if len(children[n]) > 0 {
+				fmt.Fprintf(&b, "%ssubgraph \"cluster_%s\" {\n%s  label=%q;\n", indent, n, indent, n)
+				fmt.Fprintf(&b, "%s  %q [style=dotted];\n", indent, n)
+				emit(n, indent+"  ")
+				fmt.Fprintf(&b, "%s}\n", indent)
+			} else {
+				fmt.Fprintf(&b, "%s%q;\n", indent, n)
+			}
+		}
+	}
+	emit("main", "  ")
+
+	for _, e := range c.Edges() {
+		label := ""
+		if varNames != nil {
+			if name, ok := varNames[e.Data]; ok {
+				label = name
+			}
+		}
+		style := "solid"
+		if e.Inbound {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, style=%s];\n", e.Pred, e.Succ, label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"encoding/csv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{Quick: true, CSVDir: dir}
+	if err := Fig4(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := Cholesky(io.Discard, o, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig4-scaling.csv", "cholesky-gflops.csv", "cholesky-parallelism.csv"} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		body := string(data)
+		if !strings.HasPrefix(body, "# ") {
+			t.Errorf("%s: missing title comment", name)
+		}
+		recs, err := csv.NewReader(strings.NewReader(strings.SplitN(body, "\n", 2)[1])).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", name, err)
+		}
+		if len(recs) < 2 {
+			t.Errorf("%s: only %d rows", name, len(recs))
+		}
+	}
+}
+
+func TestNoCSVDirNoFiles(t *testing.T) {
+	// Without CSVDir the harness must not touch the filesystem.
+	if err := Fig4(io.Discard, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCholeskyQuick(t *testing.T) {
+	var b strings.Builder
+	if err := Cholesky(&b, Options{Quick: true}, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"GFlop/s", "effective parallelism", "nest-weak", "flat-depend", "nest-depend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Cholesky report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFibOverheadQuick(t *testing.T) {
+	var b strings.Builder
+	if err := FibOverhead(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"none", "sequential", "final", "µs/task"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FibOverhead report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterReportQuick(t *testing.T) {
+	var b strings.Builder
+	if err := ClusterReport(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"eager (strong deps)", "lazy (weak deps)", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ClusterReport missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionsQuick(t *testing.T) {
+	var b strings.Builder
+	if err := Extensions(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Extensions beyond the paper") {
+		t.Error("Extensions header missing")
+	}
+}

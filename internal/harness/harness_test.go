@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+func TestTable1(t *testing.T) {
+	var b bytes.Buffer
+	Table1(&b)
+	out := b.String()
+	for _, v := range workloads.AxpyVariants {
+		if !strings.Contains(out, string(v)) {
+			t.Fatalf("Table I missing variant %s:\n%s", v, out)
+		}
+	}
+	for _, want := range []string{"weakwait", "taskwait", "release directive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig3(&b, Options{Quick: true, Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 3 (top)") || !strings.Contains(out, "Figure 3 (bottom)") {
+		t.Fatalf("missing panels:\n%s", out)
+	}
+	if !strings.Contains(out, "nest-weak-release") {
+		t.Fatalf("missing variant column:\n%s", out)
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig4(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 4") {
+		t.Fatalf("missing figure header:\n%s", b.String())
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig5(&b, Options{Quick: true, Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Gauss-Seidel") {
+		t.Fatalf("missing figure:\n%s", b.String())
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig6(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "Figure 6") != 2 {
+		t.Fatalf("expected two panels (two tile sizes):\n%s", out)
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig7(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "Figure 7") != 2 {
+		t.Fatalf("expected both variants:\n%s", out)
+	}
+	if !strings.Contains(out, "phase overlap") || !strings.Contains(out, "=idle") {
+		t.Fatalf("missing timeline or overlap metric:\n%s", out)
+	}
+}
+
+// TestFig6ShapeQuick: even at smoke-test sizes, the weak variants must
+// reach at least the effective parallelism of nest-depend at the largest
+// core count (the Figure 6 separation).
+func TestFig6ShapeQuick(t *testing.T) {
+	n, ts, iters := int64(256), int64(32), 4
+	weak, err := workloads.RunGS(workloads.Mode{Workers: 8, Virtual: true}, workloads.GSNestWeak,
+		workloads.GSParams{N: n, TS: ts, Iters: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := workloads.RunGS(workloads.Mode{Workers: 8, Virtual: true}, workloads.GSNestDepend,
+		workloads.GSParams{N: n, TS: ts, Iters: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.EffectiveParallelism < dep.EffectiveParallelism {
+		t.Fatalf("weak EP %.2f below nest-depend EP %.2f", weak.EffectiveParallelism, dep.EffectiveParallelism)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.defaults()
+	if o.Scale != 1 || o.Cores <= 0 || o.Reps != 3 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.defaults()
+	if q.Reps != 1 {
+		t.Fatalf("quick should use 1 rep: %+v", q)
+	}
+}
+
+var _ = metrics.Mean // keep the import for the helper table tests above

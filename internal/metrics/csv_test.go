@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestSeriesWriteCSVRoundTrip(t *testing.T) {
+	s := NewSeries("perf sweep", "size", "a", "b")
+	s.AddPoint("64", map[string]float64{"a": 1.5, "b": 2})
+	s.AddPoint("128", map[string]float64{"a": 0.25})
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(buf.String(), "\n", 2)
+	if lines[0] != "# perf sweep" {
+		t.Errorf("title comment = %q", lines[0])
+	}
+	r := csv.NewReader(strings.NewReader(lines[1]))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"size", "a", "b"},
+		{"64", "1.5", "2"},
+		{"128", "0.25", "0"}, // missing value renders 0
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("rows = %v", recs)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if recs[i][j] != want[i][j] {
+				t.Errorf("row %d col %d = %q, want %q", i, j, recs[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("variants", "name", "value")
+	tb.Add("x", "1")
+	tb.Add("y, z", "2") // comma must be quoted by the writer
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := strings.SplitN(buf.String(), "\n", 2)[1]
+	recs, err := csv.NewReader(strings.NewReader(body)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2][0] != "y, z" {
+		t.Fatalf("rows = %v", recs)
+	}
+}

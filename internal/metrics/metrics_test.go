@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatalf("stats wrong: %f %f %f", Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("T", "col", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAddF(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddF("%.2f", 1.234, 5.678)
+	if !strings.Contains(tb.String(), "1.23") || !strings.Contains(tb.String(), "5.68") {
+		t.Fatalf("AddF formatting wrong:\n%s", tb.String())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Fig", "x", "v1", "v2")
+	s.AddPoint("10", map[string]float64{"v1": 1.5, "v2": 2.5})
+	s.AddPoint("20", map[string]float64{"v1": 3.5})
+	out := s.String()
+	for _, want := range []string{"Fig", "v1", "v2", "1.500", "2.500", "3.500", "0.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+	if col := s.Column("v1"); len(col) != 2 || col[1] != 3.5 {
+		t.Fatalf("Column = %v", col)
+	}
+}

@@ -1,0 +1,230 @@
+// Package regions implements the interval algebra that underpins the
+// dependency engine: half-open element intervals, interval sets, and a
+// fragmenting interval map.
+//
+// The paper (§VII) requires dependencies over *partially overlapping* array
+// sections: when a new access overlaps existing accesses only in part, the
+// engine must fragment both so that dependency state is tracked per exact
+// overlap. All of that fragmentation funnels through the Map type in this
+// package: values are split by copying, so higher layers can store counters
+// and flags per interval without structural fix-ups.
+package regions
+
+import "fmt"
+
+// Interval is a half-open interval [Lo, Hi) over element indices.
+// An interval with Hi <= Lo is empty.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Iv is shorthand for constructing an Interval.
+func Iv(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Empty reports whether the interval contains no elements.
+func (i Interval) Empty() bool { return i.Hi <= i.Lo }
+
+// Len returns the number of elements in the interval (0 if empty).
+func (i Interval) Len() int64 {
+	if i.Empty() {
+		return 0
+	}
+	return i.Hi - i.Lo
+}
+
+// Contains reports whether p lies inside the interval.
+func (i Interval) Contains(p int64) bool { return p >= i.Lo && p < i.Hi }
+
+// ContainsIv reports whether o is fully contained in i.
+func (i Interval) ContainsIv(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.Lo >= i.Lo && o.Hi <= i.Hi
+}
+
+// Overlaps reports whether the two intervals share at least one element.
+func (i Interval) Overlaps(o Interval) bool {
+	return i.Lo < o.Hi && o.Lo < i.Hi && !i.Empty() && !o.Empty()
+}
+
+// Intersect returns the common part of the two intervals (possibly empty).
+func (i Interval) Intersect(o Interval) Interval {
+	r := Interval{Lo: max64(i.Lo, o.Lo), Hi: min64(i.Hi, o.Hi)}
+	if r.Empty() {
+		return Interval{}
+	}
+	return r
+}
+
+// Equal reports whether the two intervals cover exactly the same elements.
+// All empty intervals are equal.
+func (i Interval) Equal(o Interval) bool {
+	if i.Empty() && o.Empty() {
+		return true
+	}
+	return i == o
+}
+
+func (i Interval) String() string {
+	if i.Empty() {
+		return "[)"
+	}
+	return fmt.Sprintf("[%d,%d)", i.Lo, i.Hi)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Set is a sorted collection of disjoint, non-adjacent, non-empty intervals.
+// The zero value is an empty set ready for use.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet returns a set containing the given intervals.
+func NewSet(ivs ...Interval) *Set {
+	s := &Set{}
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Add inserts iv into the set, merging with existing intervals as needed.
+func (s *Set) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Find insertion window: all intervals overlapping or adjacent to iv.
+	lo, hi := iv.Lo, iv.Hi
+	first := 0
+	for first < len(s.ivs) && s.ivs[first].Hi < lo {
+		first++
+	}
+	last := first
+	for last < len(s.ivs) && s.ivs[last].Lo <= hi {
+		if s.ivs[last].Lo < lo {
+			lo = s.ivs[last].Lo
+		}
+		if s.ivs[last].Hi > hi {
+			hi = s.ivs[last].Hi
+		}
+		last++
+	}
+	merged := Interval{Lo: lo, Hi: hi}
+	s.ivs = append(s.ivs[:first], append([]Interval{merged}, s.ivs[last:]...)...)
+}
+
+// Remove deletes iv from the set, splitting intervals if needed.
+func (s *Set) Remove(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	var out []Interval
+	for _, e := range s.ivs {
+		if !e.Overlaps(iv) {
+			out = append(out, e)
+			continue
+		}
+		if e.Lo < iv.Lo {
+			out = append(out, Interval{Lo: e.Lo, Hi: iv.Lo})
+		}
+		if e.Hi > iv.Hi {
+			out = append(out, Interval{Lo: iv.Hi, Hi: e.Hi})
+		}
+	}
+	s.ivs = out
+}
+
+// Contains reports whether iv is fully covered by the set.
+func (s *Set) Contains(iv Interval) bool {
+	if iv.Empty() {
+		return true
+	}
+	for _, e := range s.ivs {
+		if e.ContainsIv(iv) {
+			return true
+		}
+		// Partial cover at the start: advance.
+		if e.Lo <= iv.Lo && e.Hi > iv.Lo {
+			iv.Lo = e.Hi
+			if iv.Empty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether iv shares any element with the set.
+func (s *Set) Overlaps(iv Interval) bool {
+	for _, e := range s.ivs {
+		if e.Overlaps(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the total number of elements covered by the set.
+func (s *Set) Len() int64 {
+	var n int64
+	for _, e := range s.ivs {
+		n += e.Len()
+	}
+	return n
+}
+
+// Count returns the number of disjoint intervals in the set.
+func (s *Set) Count() int { return len(s.ivs) }
+
+// Intervals returns a copy of the intervals in ascending order.
+func (s *Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Visit calls f for each interval in ascending order.
+func (s *Set) Visit(f func(Interval)) {
+	for _, e := range s.ivs {
+		f(e)
+	}
+}
+
+func (s *Set) String() string {
+	out := "{"
+	for i, e := range s.ivs {
+		if i > 0 {
+			out += " "
+		}
+		out += e.String()
+	}
+	return out + "}"
+}
+
+// Validate checks the set invariants (sorted, disjoint, non-adjacent,
+// non-empty) and returns an error describing the first violation.
+func (s *Set) Validate() error {
+	for i, e := range s.ivs {
+		if e.Empty() {
+			return fmt.Errorf("regions: set entry %d is empty: %v", i, e)
+		}
+		if i > 0 && s.ivs[i-1].Hi >= e.Lo {
+			return fmt.Errorf("regions: set entries %d,%d overlap or touch: %v %v", i-1, i, s.ivs[i-1], e)
+		}
+	}
+	return nil
+}

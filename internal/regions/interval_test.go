@@ -1,0 +1,222 @@
+package regions
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Iv(3, 7)
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if iv.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", iv.Len())
+	}
+	if !iv.Contains(3) || iv.Contains(7) || iv.Contains(2) {
+		t.Fatal("Contains wrong at boundaries")
+	}
+	if !Iv(5, 5).Empty() || !Iv(6, 2).Empty() {
+		t.Fatal("degenerate intervals should be empty")
+	}
+	if Iv(5, 5).Len() != 0 {
+		t.Fatal("empty interval should have zero length")
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+		inter   Interval
+	}{
+		{Iv(0, 10), Iv(5, 15), true, Iv(5, 10)},
+		{Iv(0, 5), Iv(5, 10), false, Interval{}},
+		{Iv(0, 10), Iv(2, 3), true, Iv(2, 3)},
+		{Iv(0, 10), Iv(10, 20), false, Interval{}},
+		{Iv(0, 0), Iv(0, 10), false, Interval{}},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.overlap)
+		}
+		if got := c.b.Overlaps(c.a); got != c.overlap {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+		if got := c.a.Intersect(c.b); !got.Equal(c.inter) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", c.a, c.b, got, c.inter)
+		}
+	}
+}
+
+func TestIntervalContainsIv(t *testing.T) {
+	if !Iv(0, 10).ContainsIv(Iv(0, 10)) {
+		t.Fatal("interval should contain itself")
+	}
+	if !Iv(0, 10).ContainsIv(Iv(3, 3)) {
+		t.Fatal("any interval contains the empty interval")
+	}
+	if Iv(0, 10).ContainsIv(Iv(5, 11)) {
+		t.Fatal("should not contain overhanging interval")
+	}
+}
+
+func TestSetAddMerging(t *testing.T) {
+	s := NewSet()
+	s.Add(Iv(0, 5))
+	s.Add(Iv(10, 15))
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	// Adjacent intervals merge.
+	s.Add(Iv(5, 10))
+	if s.Count() != 1 || !s.Contains(Iv(0, 15)) {
+		t.Fatalf("expected single merged interval, got %v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAddOverlapping(t *testing.T) {
+	s := NewSet(Iv(0, 10), Iv(20, 30), Iv(40, 50))
+	s.Add(Iv(5, 45))
+	if s.Count() != 1 || s.Len() != 50 {
+		t.Fatalf("expected one interval of 50 elements, got %v", s)
+	}
+}
+
+func TestSetRemoveSplits(t *testing.T) {
+	s := NewSet(Iv(0, 10))
+	s.Remove(Iv(3, 7))
+	if s.Count() != 2 || s.Len() != 6 {
+		t.Fatalf("expected {[0,3) [7,10)}, got %v", s)
+	}
+	if s.Contains(Iv(3, 4)) || !s.Contains(Iv(0, 3)) || !s.Contains(Iv(7, 10)) {
+		t.Fatalf("wrong content after remove: %v", s)
+	}
+	s.Remove(Iv(0, 100))
+	if s.Count() != 0 || s.Len() != 0 {
+		t.Fatalf("expected empty set, got %v", s)
+	}
+}
+
+func TestSetContainsAcrossEntries(t *testing.T) {
+	s := NewSet(Iv(0, 5), Iv(7, 10))
+	if s.Contains(Iv(0, 10)) {
+		t.Fatal("set with a gap should not contain the spanning interval")
+	}
+	s.Add(Iv(5, 7))
+	if !s.Contains(Iv(0, 10)) {
+		t.Fatal("set should contain spanning interval after filling gap")
+	}
+}
+
+func TestSetOverlaps(t *testing.T) {
+	s := NewSet(Iv(10, 20))
+	if s.Overlaps(Iv(0, 10)) || s.Overlaps(Iv(20, 30)) {
+		t.Fatal("touching intervals do not overlap")
+	}
+	if !s.Overlaps(Iv(19, 25)) {
+		t.Fatal("expected overlap")
+	}
+}
+
+// Property: a Set behaves like a bitset under Add/Remove.
+func TestSetQuickAgainstBitset(t *testing.T) {
+	const universe = 200
+	f := func(ops []struct {
+		Add    bool
+		Lo, Hi uint8
+	}) bool {
+		s := NewSet()
+		ref := make([]bool, universe)
+		for _, op := range ops {
+			lo, hi := int64(op.Lo)%universe, int64(op.Hi)%universe
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			iv := Iv(lo, hi)
+			if op.Add {
+				s.Add(iv)
+			} else {
+				s.Remove(iv)
+			}
+			for p := lo; p < hi; p++ {
+				ref[p] = op.Add
+			}
+			if err := s.Validate(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		var refLen int64
+		for p := int64(0); p < universe; p++ {
+			if ref[p] {
+				refLen++
+			}
+			if s.Contains(Iv(p, p+1)) != ref[p] {
+				t.Logf("mismatch at %d", p)
+				return false
+			}
+		}
+		return s.Len() == refLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSection2DFullRows(t *testing.T) {
+	s := Section2D{RowStride: 10, Row: 2, Col: 0, Rows: 3, Cols: 10}
+	ivs := s.Intervals()
+	if len(ivs) != 1 || !ivs[0].Equal(Iv(20, 50)) {
+		t.Fatalf("full rows should coalesce, got %v", ivs)
+	}
+}
+
+func TestSection2DPartialRows(t *testing.T) {
+	s := Section2D{RowStride: 10, Row: 1, Col: 2, Rows: 2, Cols: 3}
+	ivs := s.Intervals()
+	want := []Interval{Iv(12, 15), Iv(22, 25)}
+	if len(ivs) != len(want) {
+		t.Fatalf("got %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if !ivs[i].Equal(want[i]) {
+			t.Fatalf("got %v, want %v", ivs, want)
+		}
+	}
+}
+
+func TestSection2DEmpty(t *testing.T) {
+	if ivs := (Section2D{RowStride: 10, Rows: 0, Cols: 5}).Intervals(); ivs != nil {
+		t.Fatalf("empty section should yield no intervals, got %v", ivs)
+	}
+}
+
+func TestStrided(t *testing.T) {
+	ivs := Strided(5, 1, 4, 3)
+	want := []Interval{Iv(5, 6), Iv(9, 10), Iv(13, 14)}
+	if len(ivs) != 3 {
+		t.Fatalf("got %v", ivs)
+	}
+	for i := range want {
+		if !ivs[i].Equal(want[i]) {
+			t.Fatalf("got %v, want %v", ivs, want)
+		}
+	}
+	// Degenerate stride: contiguous runs collapse into one interval.
+	ivs = Strided(0, 4, 4, 5)
+	if len(ivs) != 1 || !ivs[0].Equal(Iv(0, 20)) {
+		t.Fatalf("contiguous strided section should coalesce, got %v", ivs)
+	}
+}
+
+func TestBlockInterval(t *testing.T) {
+	iv := BlockInterval(4, 8, 1, 2)
+	if !iv.Equal(Iv((1*4+2)*64, (1*4+2)*64+64)) {
+		t.Fatalf("got %v", iv)
+	}
+}

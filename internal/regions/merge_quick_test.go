@@ -1,0 +1,114 @@
+package regions
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test: a Map under random Set/Remove/VisitRange/
+// MergeRange sequences must stay valid and agree point-wise with a naive
+// per-element reference model. MergeRange must never change the map's
+// observable contents — only its entry count.
+func TestQuickMapWithMergeMatchesModel(t *testing.T) {
+	const universe = 128
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMap[int](nil)
+		model := make([]*int, universe) // nil = uncovered
+
+		randIv := func() Interval {
+			lo := rng.Int63n(universe)
+			hi := lo + 1 + rng.Int63n(universe-lo)
+			return Iv(lo, hi)
+		}
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(5) {
+			case 0: // Set
+				iv := randIv()
+				v := rng.Intn(4)
+				m.Set(iv, v)
+				for p := iv.Lo; p < iv.Hi; p++ {
+					vv := v
+					model[p] = &vv
+				}
+			case 1: // Remove
+				iv := randIv()
+				m.Remove(iv)
+				for p := iv.Lo; p < iv.Hi; p++ {
+					model[p] = nil
+				}
+			case 2: // VisitRange mutation: increment values in range
+				iv := randIv()
+				m.VisitRange(iv, func(_ Interval, v *int) { *v++ })
+				for p := iv.Lo; p < iv.Hi; p++ {
+					if model[p] != nil {
+						*model[p]++
+					}
+				}
+				// VisitRange splits shared entries; the per-point model
+				// must not alias, so rebuild pointers.
+				for p := range model {
+					if model[p] != nil {
+						v := *model[p]
+						model[p] = &v
+					}
+				}
+			case 3: // MergeRange on equality: contents must be unchanged
+				m.MergeRange(randIv(), func(a, b int) bool { return a == b })
+			case 4: // Materialize with default value
+				iv := randIv()
+				m.Materialize(iv, func(Interval) int { return 9 }, nil)
+				for p := iv.Lo; p < iv.Hi; p++ {
+					if model[p] == nil {
+						v := 9
+						model[p] = &v
+					}
+				}
+			}
+			if err := m.Validate(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		// Point-wise comparison.
+		for p := int64(0); p < universe; p++ {
+			got := m.Get(p)
+			want := model[p]
+			switch {
+			case got == nil && want == nil:
+			case got == nil || want == nil:
+				t.Logf("seed %d: point %d coverage mismatch (map %v, model %v)", seed, p, got, want)
+				return false
+			case *got != *want:
+				t.Logf("seed %d: point %d = %d, model %d", seed, p, *got, *want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MergeRange with an always-true predicate over fully covered runs must
+// produce the minimal entry count (one entry per maximal covered run).
+func TestMergeRangeMinimality(t *testing.T) {
+	m := NewMap[int](nil)
+	for i := int64(0); i < 50; i++ {
+		m.Set(Iv(i*2, i*2+1), 1) // 50 disjoint single-element entries w/ gaps
+	}
+	m.MergeRange(Iv(0, 100), func(a, b int) bool { return true })
+	if m.Count() != 50 {
+		t.Errorf("gapped entries merged: %d, want 50", m.Count())
+	}
+	m2 := NewMap[int](nil)
+	for i := int64(0); i < 50; i++ {
+		m2.Set(Iv(i, i+1), 1)
+	}
+	m2.MergeRange(Iv(0, 50), func(a, b int) bool { return true })
+	if m2.Count() != 1 {
+		t.Errorf("contiguous equal entries not fully merged: %d, want 1", m2.Count())
+	}
+}

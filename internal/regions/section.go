@@ -1,0 +1,61 @@
+package regions
+
+// Array-section helpers: translate multi-dimensional array sections (the
+// depend-clause syntax of the paper, e.g. A[i][j][:][:]) into flat element
+// intervals over a row-major layout.
+
+// Section2D describes a rectangular section of a row-major 2-D array with
+// rowStride elements per row.
+type Section2D struct {
+	RowStride int64 // elements per full row of the underlying array
+	Row, Col  int64 // first row / column of the section
+	Rows      int64 // number of rows in the section
+	Cols      int64 // number of columns in the section
+}
+
+// Intervals returns the flat element intervals of the section, coalescing
+// adjacent full rows into single intervals where possible.
+func (s Section2D) Intervals() []Interval {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		return nil
+	}
+	if s.Cols == s.RowStride && s.Col == 0 {
+		// Full-width rows are contiguous.
+		lo := s.Row * s.RowStride
+		return []Interval{{Lo: lo, Hi: lo + s.Rows*s.RowStride}}
+	}
+	out := make([]Interval, 0, s.Rows)
+	for r := int64(0); r < s.Rows; r++ {
+		lo := (s.Row+r)*s.RowStride + s.Col
+		out = append(out, Interval{Lo: lo, Hi: lo + s.Cols})
+	}
+	return out
+}
+
+// Strided returns intervals for a strided 1-D section: count elements
+// starting at start, taking runLen consecutive elements every stride.
+// This models depend entries like data[i:N:stride] used by the prefix-sum
+// benchmark (§VIII-C), where a recursive call touches every TS-th element.
+func Strided(start, runLen, stride, count int64) []Interval {
+	if count <= 0 || runLen <= 0 {
+		return nil
+	}
+	if runLen >= stride {
+		// Degenerate: runs touch, the whole range is contiguous.
+		return []Interval{{Lo: start, Hi: start + (count-1)*stride + runLen}}
+	}
+	out := make([]Interval, 0, count)
+	for i := int64(0); i < count; i++ {
+		lo := start + i*stride
+		out = append(out, Interval{Lo: lo, Hi: lo + runLen})
+	}
+	return out
+}
+
+// BlockInterval returns the flat interval of tile (i, j) in a block-array
+// layout [blocksPerSide][blocksPerSide][ts][ts] where each tile is stored
+// contiguously (the Gauss-Seidel data layout of listing 6).
+func BlockInterval(blocksPerSide, ts, i, j int64) Interval {
+	lo := (i*blocksPerSide + j) * ts * ts
+	return Interval{Lo: lo, Hi: lo + ts*ts}
+}

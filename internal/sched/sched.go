@@ -1,0 +1,275 @@
+// Package sched provides the execution substrate of the runtime: a fixed
+// pool of admission tokens (one per simulated core), ready-pool
+// implementations with configurable policy, and token hand-off.
+//
+// The runtime model is goroutine-per-task gated by tokens: a task body runs
+// on its own goroutine only while it holds a token, so at most Workers task
+// bodies execute at once. A task blocking in taskwait yields its token (the
+// paper's observation that a taskwait forces the runtime to keep the task
+// context alive, §IV, maps to the blocked goroutine plus the token
+// round-trip) and reacquires one to resume.
+//
+// Two ready-pool implementations share the Queue contract:
+//
+//   - Scheduler: a central queue with FIFO, LIFO, or Priority discipline.
+//   - Stealing: per-worker deques with LIFO self-pop and FIFO stealing
+//     (the Cilk discipline), for the scheduler ablation benchmarks.
+package sched
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Policy selects the ready-queue discipline of the central Scheduler.
+type Policy uint8
+
+const (
+	// FIFO dispatches ready tasks in arrival order (breadth-first).
+	FIFO Policy = iota
+	// LIFO dispatches the most recently readied task first (depth-first).
+	LIFO
+	// Priority dispatches the highest-priority ready task first, FIFO among
+	// equal priorities (the OpenMP 4.5 priority clause). Requires a
+	// Scheduler built with NewPriority.
+	Priority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LIFO:
+		return "lifo"
+	case Priority:
+		return "priority"
+	}
+	return "fifo"
+}
+
+// Queue is the contract between the runtime and a ready-pool: admission of
+// ready items, token-aware completion chaining, and token yield/reacquire
+// for blocking constructs. from is the submitting worker (-1 when unknown);
+// implementations may use it for locality.
+type Queue[T any] interface {
+	// Submit makes an item runnable. If a token is free the item starts
+	// immediately on a new goroutine; otherwise it queues.
+	Submit(item T, from int)
+	// Finish is called by a runner that completed its item and still holds
+	// worker. It returns the next item to run on this worker, if any;
+	// otherwise the token is retired.
+	Finish(worker int) (next T, ok bool)
+	// Yield releases worker while its holder blocks (taskwait, taskgroup,
+	// throttle). The token is immediately redeployed.
+	Yield(worker int)
+	// Acquire blocks until a worker token is available and returns it.
+	Acquire() int
+	// Workers returns the number of worker tokens.
+	Workers() int
+	// Idle reports whether no items are queued and all tokens are free.
+	Idle() bool
+	// QueueLen returns the number of queued (not running) items.
+	QueueLen() int
+}
+
+// prioItem pairs a queued item with its priority and a FIFO tie-break.
+type prioItem[T any] struct {
+	item T
+	prio int64
+	seq  int64
+}
+
+type prioHeap[T any] []prioItem[T]
+
+func (h prioHeap[T]) Len() int { return len(h) }
+func (h prioHeap[T]) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap[T]) Push(x any)   { *h = append(*h, x.(prioItem[T])) }
+func (h *prioHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler multiplexes ready items of type T over a fixed set of worker
+// tokens through one central queue. spawn is invoked on a fresh goroutine
+// whenever a queued item is matched with a free token; runners that finish
+// an item call Finish to pick up more work or return their token.
+type Scheduler[T any] struct {
+	mu      sync.Mutex
+	queue   []T
+	pq      prioHeap[T]
+	prio    func(T) int64
+	seq     int64
+	policy  Policy
+	free    []int
+	waiters []chan int // blocked Acquire calls (taskwait resumes)
+	spawn   func(item T, worker int)
+	workers int
+}
+
+var _ Queue[int] = (*Scheduler[int])(nil)
+
+// New creates a central scheduler with the given number of worker tokens.
+// policy must be FIFO or LIFO; use NewPriority for the Priority policy.
+func New[T any](workers int, policy Policy, spawn func(item T, worker int)) *Scheduler[T] {
+	if policy == Priority {
+		panic("sched: Priority policy requires NewPriority (a priority extractor)")
+	}
+	return newScheduler(workers, policy, spawn, nil)
+}
+
+// NewPriority creates a central scheduler that dispatches the
+// highest-priority queued item first, FIFO among equal priorities. prio
+// extracts an item's priority.
+func NewPriority[T any](workers int, spawn func(item T, worker int), prio func(T) int64) *Scheduler[T] {
+	if prio == nil {
+		panic("sched: NewPriority requires a priority extractor")
+	}
+	return newScheduler(workers, Priority, spawn, prio)
+}
+
+func newScheduler[T any](workers int, policy Policy, spawn func(item T, worker int), prio func(T) int64) *Scheduler[T] {
+	if workers < 1 {
+		panic("sched: need at least one worker")
+	}
+	s := &Scheduler[T]{policy: policy, spawn: spawn, prio: prio, workers: workers}
+	for i := workers - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// Workers returns the number of worker tokens.
+func (s *Scheduler[T]) Workers() int { return s.workers }
+
+// Submit makes an item runnable. If a token is free the item starts
+// immediately on a new goroutine; otherwise it queues. from is ignored by
+// the central queue.
+func (s *Scheduler[T]) Submit(item T, from int) {
+	s.mu.Lock()
+	if len(s.free) > 0 {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.mu.Unlock()
+		go s.spawn(item, w)
+		return
+	}
+	s.push(item)
+	s.mu.Unlock()
+}
+
+// push queues an item according to policy. Caller holds mu.
+func (s *Scheduler[T]) push(item T) {
+	if s.prio != nil {
+		s.seq++
+		heap.Push(&s.pq, prioItem[T]{item: item, prio: s.prio(item), seq: s.seq})
+		return
+	}
+	s.queue = append(s.queue, item)
+}
+
+// pop removes the next item according to policy. Caller holds mu and has
+// checked queuedLocked() > 0.
+func (s *Scheduler[T]) pop() T {
+	if s.prio != nil {
+		return heap.Pop(&s.pq).(prioItem[T]).item
+	}
+	var item T
+	if s.policy == LIFO {
+		item = s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+	} else {
+		item = s.queue[0]
+		s.queue = s.queue[1:]
+	}
+	return item
+}
+
+func (s *Scheduler[T]) queuedLocked() int {
+	if s.prio != nil {
+		return len(s.pq)
+	}
+	return len(s.queue)
+}
+
+// Finish is called by a runner that completed its item and still holds
+// worker w. It returns the next item to run on this worker, if any.
+// Otherwise the token is handed to a blocked Acquire call (a resuming
+// taskwait, preferred because it holds a live stack) or returned to the
+// pool.
+func (s *Scheduler[T]) Finish(worker int) (next T, ok bool) {
+	s.mu.Lock()
+	if s.queuedLocked() > 0 {
+		item := s.pop()
+		s.mu.Unlock()
+		return item, true
+	}
+	s.releaseLocked(worker)
+	s.mu.Unlock()
+	var zero T
+	return zero, false
+}
+
+// Yield releases worker w while its holder blocks (taskwait). The token is
+// immediately redeployed: to a queued item, to a blocked Acquire, or to the
+// free pool.
+func (s *Scheduler[T]) Yield(worker int) {
+	s.mu.Lock()
+	if s.queuedLocked() > 0 {
+		item := s.pop()
+		s.mu.Unlock()
+		go s.spawn(item, worker)
+		return
+	}
+	s.releaseLocked(worker)
+	s.mu.Unlock()
+}
+
+// releaseLocked hands the token to a waiter or the free pool. Caller holds mu.
+func (s *Scheduler[T]) releaseLocked(worker int) {
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		ch <- worker
+		return
+	}
+	s.free = append(s.free, worker)
+}
+
+// Acquire blocks until a worker token is available and returns it. Used by
+// taskwait resumption and by the runtime's entry goroutine.
+func (s *Scheduler[T]) Acquire() int {
+	s.mu.Lock()
+	if len(s.free) > 0 {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.mu.Unlock()
+		return w
+	}
+	ch := make(chan int, 1)
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	return <-ch
+}
+
+// Idle reports whether no items are queued and all tokens are free — i.e.
+// the system is quiescent. Only meaningful when the caller otherwise knows
+// no runner is active.
+func (s *Scheduler[T]) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedLocked() == 0 && len(s.free) == s.workers && len(s.waiters) == 0
+}
+
+// QueueLen returns the current ready-queue length (diagnostics).
+func (s *Scheduler[T]) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedLocked()
+}

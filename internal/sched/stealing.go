@@ -1,0 +1,158 @@
+package sched
+
+import "sync"
+
+// Stealing is a ready-pool with one deque per worker: a submission lands on
+// the submitting worker's deque, a finishing worker pops its own deque from
+// the back (LIFO — depth-first, cache-warm), and a worker whose deque is
+// empty steals from a victim's front (FIFO — the oldest, coarsest task),
+// scanning victims round-robin from its own id. This is the Cilk
+// work-stealing discipline; the runtime offers it as an ablation against
+// the central queue plus direct successor hand-off that the paper's
+// locality results (§VIII-A) are built on.
+//
+// A single mutex guards the deques and the token pool. The point of this
+// implementation is the *dispatch order* (self-LIFO, steal-FIFO,
+// submission locality), not lock scalability: with one lock there is no
+// lost-wakeup window between an empty-pool check and a token retirement,
+// which keeps the admission invariants identical to the central Scheduler.
+type Stealing[T any] struct {
+	mu      sync.Mutex
+	deques  [][]T
+	queued  int
+	free    []int
+	waiters []chan int
+	spawn   func(item T, worker int)
+	workers int
+}
+
+var _ Queue[int] = (*Stealing[int])(nil)
+
+// NewStealing creates a work-stealing pool with the given number of worker
+// tokens.
+func NewStealing[T any](workers int, spawn func(item T, worker int)) *Stealing[T] {
+	if workers < 1 {
+		panic("sched: need at least one worker")
+	}
+	s := &Stealing[T]{
+		deques:  make([][]T, workers),
+		spawn:   spawn,
+		workers: workers,
+	}
+	for i := workers - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// Workers returns the number of worker tokens.
+func (s *Stealing[T]) Workers() int { return s.workers }
+
+// Submit makes an item runnable. With a free token it starts immediately;
+// otherwise it is pushed onto the submitting worker's deque (worker 0's
+// when from is out of range, e.g. a submission from outside any worker).
+func (s *Stealing[T]) Submit(item T, from int) {
+	if from < 0 || from >= s.workers {
+		from = 0
+	}
+	s.mu.Lock()
+	if len(s.free) > 0 {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.mu.Unlock()
+		go s.spawn(item, w)
+		return
+	}
+	s.deques[from] = append(s.deques[from], item)
+	s.queued++
+	s.mu.Unlock()
+}
+
+// popLocked removes the next item for worker w: own back, then victims'
+// fronts. Caller holds mu and has checked queued > 0... except callers
+// check via the ok return. Returns ok=false when every deque is empty.
+func (s *Stealing[T]) popLocked(w int) (item T, ok bool) {
+	if d := s.deques[w]; len(d) > 0 {
+		item = d[len(d)-1]
+		s.deques[w] = d[:len(d)-1]
+		s.queued--
+		return item, true
+	}
+	for i := 1; i < s.workers; i++ {
+		v := (w + i) % s.workers
+		if d := s.deques[v]; len(d) > 0 {
+			item = d[0]
+			s.deques[v] = d[1:]
+			s.queued--
+			return item, true
+		}
+	}
+	return item, false
+}
+
+// Finish is called by a runner that completed its item and still holds
+// worker w: it pops the worker's own deque, steals if empty, and otherwise
+// retires the token.
+func (s *Stealing[T]) Finish(worker int) (next T, ok bool) {
+	s.mu.Lock()
+	if item, ok := s.popLocked(worker); ok {
+		s.mu.Unlock()
+		return item, true
+	}
+	s.releaseLocked(worker)
+	s.mu.Unlock()
+	var zero T
+	return zero, false
+}
+
+// Yield releases worker w while its holder blocks: the token redeploys to
+// queued work, a blocked Acquire, or the free pool.
+func (s *Stealing[T]) Yield(worker int) {
+	s.mu.Lock()
+	if item, ok := s.popLocked(worker); ok {
+		s.mu.Unlock()
+		go s.spawn(item, worker)
+		return
+	}
+	s.releaseLocked(worker)
+	s.mu.Unlock()
+}
+
+func (s *Stealing[T]) releaseLocked(worker int) {
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		ch <- worker
+		return
+	}
+	s.free = append(s.free, worker)
+}
+
+// Acquire blocks until a worker token is available and returns it.
+func (s *Stealing[T]) Acquire() int {
+	s.mu.Lock()
+	if len(s.free) > 0 {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.mu.Unlock()
+		return w
+	}
+	ch := make(chan int, 1)
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	return <-ch
+}
+
+// Idle reports whether no items are queued and all tokens are free.
+func (s *Stealing[T]) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued == 0 && len(s.free) == s.workers && len(s.waiters) == 0
+}
+
+// QueueLen returns the total number of queued items across all deques.
+func (s *Stealing[T]) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPriorityOrder(t *testing.T) {
+	var order []int
+	done := make(chan struct{})
+	var s *Scheduler[int]
+	s = NewPriority(1, func(item, worker int) {
+		for {
+			order = append(order, item) // single worker: no race
+			next, ok := s.Finish(worker)
+			if !ok {
+				close(done)
+				return
+			}
+			item = next
+		}
+	}, func(item int) int64 { return int64(item % 10) })
+	w := s.Acquire() // hold the token so submissions queue deterministically
+	// Priorities: 3, 1, 3, 2 — expect 3s first (FIFO between them), then 2,
+	// then 1.
+	for _, v := range []int{3, 1, 13, 2} {
+		s.Submit(v, -1)
+	}
+	s.Yield(w)
+	<-done
+	want := []int{3, 13, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPriorityEqualIsFIFO(t *testing.T) {
+	var order []int
+	done := make(chan struct{})
+	var s *Scheduler[int]
+	s = NewPriority(1, func(item, worker int) {
+		for {
+			order = append(order, item)
+			next, ok := s.Finish(worker)
+			if !ok {
+				close(done)
+				return
+			}
+			item = next
+		}
+	}, func(int) int64 { return 7 })
+	w := s.Acquire()
+	for i := 0; i < 5; i++ {
+		s.Submit(i, -1)
+	}
+	s.Yield(w)
+	<-done
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("equal-priority order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestNewPriorityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with Priority policy should panic")
+		}
+	}()
+	New[int](1, Priority, func(int, int) {})
+}
+
+func TestStealingRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	var s *Stealing[int]
+	s = NewStealing(4, func(item, worker int) {
+		for {
+			ran.Add(1)
+			wg.Done()
+			next, ok := s.Finish(worker)
+			if !ok {
+				return
+			}
+			item = next
+		}
+	})
+	const n = 1000
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.Submit(i, i%4)
+	}
+	wg.Wait()
+	if ran.Load() != n {
+		t.Fatalf("ran %d items, want %d", ran.Load(), n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("stealing pool did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStealingSelfLIFOStealFIFO(t *testing.T) {
+	// One token held: queue 3 items on deque 0 and 2 on deque 1, then run
+	// on worker 0. Expect own deque drained LIFO (2,1,0) then deque 1
+	// stolen FIFO (10,11).
+	var order []int
+	done := make(chan struct{})
+	var s *Stealing[int]
+	s = NewStealing(2, func(item, worker int) {
+		for {
+			order = append(order, item)
+			next, ok := s.Finish(worker)
+			if !ok {
+				close(done)
+				return
+			}
+			item = next
+		}
+	})
+	w0 := s.Acquire()
+	w1 := s.Acquire()
+	if w0 > w1 {
+		w0, w1 = w1, w0 // token pop order is an implementation detail
+	}
+	for i := 0; i < 3; i++ {
+		s.Submit(i, 0)
+	}
+	for i := 10; i < 12; i++ {
+		s.Submit(i, 1)
+	}
+	s.Yield(w0) // worker 0 starts draining; worker 1's token stays held
+	<-done
+	want := []int{2, 1, 0, 10, 11}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	s.Yield(w1)
+}
+
+func TestStealingConcurrencyCap(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	var s *Stealing[int]
+	s = NewStealing(workers, func(item, worker int) {
+		for {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+			wg.Done()
+			next, ok := s.Finish(worker)
+			if !ok {
+				return
+			}
+			item = next
+		}
+	})
+	const n = 100
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.Submit(i, i%workers)
+	}
+	wg.Wait()
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak.Load(), workers)
+	}
+}
+
+func TestStealingOutOfRangeFrom(t *testing.T) {
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	var s *Stealing[int]
+	s = NewStealing(2, func(item, worker int) {
+		for {
+			ran.Add(1)
+			wg.Done()
+			next, ok := s.Finish(worker)
+			if !ok {
+				return
+			}
+			item = next
+		}
+	})
+	wg.Add(3)
+	s.Submit(1, -1)
+	s.Submit(2, 99)
+	s.Submit(3, 0)
+	wg.Wait()
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d, want 3", ran.Load())
+	}
+}
+
+// Property: for random worker counts and submission affinities, every item
+// runs exactly once and the pool quiesces.
+func TestQuickStealingAllItemsRunOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(300)
+		counts := make([]atomic.Int32, n)
+		var wg sync.WaitGroup
+		var s *Stealing[int]
+		s = NewStealing(workers, func(item, worker int) {
+			for {
+				counts[item].Add(1)
+				wg.Done()
+				next, ok := s.Finish(worker)
+				if !ok {
+					return
+				}
+				item = next
+			}
+		})
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			s.Submit(i, rng.Intn(workers+2)-1)
+		}
+		wg.Wait()
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Logf("item %d ran %d times", i, counts[i].Load())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(33))}); err != nil {
+		t.Fatal(err)
+	}
+}

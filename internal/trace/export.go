@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Exporters for external trace viewers. Two formats:
+//
+//   - Chrome trace-event JSON (chrome://tracing, Perfetto): one complete
+//     ("X") event per span, workers mapped to thread ids.
+//   - A Paraver-like PRV text form: the format of the BSC tool the paper's
+//     Figure 7 timelines were rendered with. Only the state records needed
+//     to reproduce the timeline are emitted.
+
+// ChromeEvent is one trace-event in the Chrome trace format. Exported so
+// tests (and downstream tooling) can unmarshal what WriteChrome produces.
+type ChromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`  // microseconds in the viewer; we emit raw units
+	Dur   int64  `json:"dur"` // duration in the same units
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+}
+
+// WriteChrome writes the trace as a Chrome trace-event JSON array. Span
+// times are emitted verbatim (nanoseconds in real mode, cost units in
+// virtual mode); the viewer's absolute time unit is microseconds, which
+// only rescales the display.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, ChromeEvent{
+			Name:  t.KindName(s.Kind),
+			Cat:   "task",
+			Phase: "X",
+			TS:    s.Start,
+			Dur:   s.End - s.Start,
+			PID:   1,
+			TID:   s.Worker,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WritePRV writes the trace in a Paraver-like PRV text form: a header line
+//
+//	#Paraver (repro):<extent>:1(<workers>):1:1(<workers>:1)
+//
+// followed by one state record per span,
+//
+//	1:<cpu>:1:1:<thread>:<start>:<end>:<kind+1>
+//
+// with a trailing legend of kind ids as comments. State value 0 is idle, so
+// kinds are shifted by one. This is the shape of the traces behind the
+// paper's Figure 7.
+func (t *Tracer) WritePRV(w io.Writer) error {
+	lo, hi := t.Extent()
+	if _, err := fmt.Fprintf(w, "#Paraver (repro):%d:1(%d):1:1(%d:1)\n",
+		hi-lo, t.Workers(), t.Workers()); err != nil {
+		return err
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Worker != spans[j].Worker {
+			return spans[i].Worker < spans[j].Worker
+		}
+		return spans[i].Start < spans[j].Start
+	})
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "1:%d:1:1:%d:%d:%d:%d\n",
+			s.Worker+1, s.Worker+1, s.Start-lo, s.End-lo, int(s.Kind)+1); err != nil {
+			return err
+		}
+	}
+	for i, name := range t.Kinds() {
+		if _, err := fmt.Fprintf(w, "# state %d = %s\n", i+1, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTracer() *Tracer {
+	t := New(3)
+	kA := t.KindID("sort")
+	kB := t.KindID("sum")
+	t.Record(0, kA, 100, 200)
+	t.Record(0, kB, 200, 260)
+	t.Record(1, kA, 120, 180)
+	t.Record(2, kB, 150, 400)
+	return t
+}
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	byName := map[string]int{}
+	var total int64
+	for _, e := range events {
+		if e.Phase != "X" || e.Cat != "task" {
+			t.Errorf("event %+v: wrong phase or category", e)
+		}
+		if e.Dur <= 0 {
+			t.Errorf("event %+v: non-positive duration", e)
+		}
+		if e.TID < 0 || e.TID > 2 {
+			t.Errorf("event %+v: tid outside worker range", e)
+		}
+		byName[e.Name]++
+		total += e.Dur
+	}
+	if byName["sort"] != 2 || byName["sum"] != 2 {
+		t.Errorf("kind counts = %v, want sort:2 sum:2", byName)
+	}
+	if total != tr.BusyTime() {
+		t.Errorf("total event duration %d != busy time %d", total, tr.BusyTime())
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	tr := New(2)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty trace produced %d events", len(events))
+	}
+}
+
+func TestWritePRVShape(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "#Paraver") {
+		t.Fatalf("missing Paraver header; first line %q", sc.Text())
+	}
+	// Extent is 400-100 = 300 and 3 workers.
+	if !strings.Contains(sc.Text(), ":300:1(3):1:1(3:1)") {
+		t.Errorf("header = %q, want extent 300 and 3 cpus", sc.Text())
+	}
+	var records, legend int
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "1:"):
+			records++
+			parts := strings.Split(line, ":")
+			if len(parts) != 8 {
+				t.Errorf("state record %q has %d fields, want 8", line, len(parts))
+			}
+			if parts[7] != "1" && parts[7] != "2" {
+				t.Errorf("state record %q: state %s not a registered kind", line, parts[7])
+			}
+		case strings.HasPrefix(line, "# state"):
+			legend++
+		default:
+			t.Errorf("unexpected line %q", line)
+		}
+	}
+	if records != 4 {
+		t.Errorf("got %d state records, want 4", records)
+	}
+	if legend != 2 {
+		t.Errorf("got %d legend lines, want 2", legend)
+	}
+}
+
+func TestWritePRVTimesRebased(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The first span of worker 0 starts at extent origin (100 -> 0).
+	if !strings.Contains(buf.String(), "1:1:1:1:1:0:100:1\n") {
+		t.Errorf("worker 0's first record not rebased to 0:\n%s", buf.String())
+	}
+}

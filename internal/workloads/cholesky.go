@@ -1,0 +1,337 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	nanos "repro"
+)
+
+// Blocked Cholesky factorization — the dense linear algebra workload whose
+// scheduling the paper's introduction motivates with [3] (Kurzak et al.)
+// and the canonical OmpSs/Nanos6 demonstration of task nesting with
+// dependencies. A symmetric positive-definite N×N matrix, stored as B×B
+// blocks of TS×TS elements, is factored in place into its lower Cholesky
+// factor by a right-looking algorithm:
+//
+//	for k = 0..B-1:
+//	    potrf(A[k][k])
+//	    for i = k+1..B-1:  trsm(A[k][k], A[i][k])
+//	    for i = k+1..B-1:
+//	        syrk(A[i][k], A[i][i])
+//	        for j = k+1..i-1:  gemm(A[i][k], A[j][k], A[i][j])
+//
+// The nested variants wrap each k-step in a panel task. Because step k's
+// trailing-matrix region strictly contains step k+1's, the weak variant
+// exercises partially overlapping weak accesses across nesting levels — the
+// combination of §VI and §VII.
+
+// CholVariant names one implementation of the Cholesky benchmark.
+type CholVariant string
+
+const (
+	// CholFlatDepend: all kernel tasks in the root domain, block-level
+	// dependencies.
+	CholFlatDepend CholVariant = "flat-depend"
+	// CholNestWeak: one panel task per k-step with weakinout over the
+	// blocks the step touches and weakwait; kernels as subtasks. Panels
+	// instantiate in parallel and kernels of different steps interleave
+	// through the fine-grained cross-level dependencies.
+	CholNestWeak CholVariant = "nest-weak"
+	// CholNestDepend: panel tasks with strong inout over the same region
+	// and a taskwait — steps serialize, as §III predicts.
+	CholNestDepend CholVariant = "nest-depend"
+)
+
+// CholVariants lists the Cholesky variants.
+var CholVariants = []CholVariant{CholNestWeak, CholFlatDepend, CholNestDepend}
+
+// CholParams sizes the Cholesky benchmark: an N×N matrix in TS×TS blocks
+// (N must be a multiple of TS).
+type CholParams struct {
+	N  int64
+	TS int64
+	// Seed generates the SPD input deterministically.
+	Seed int64
+	// Compute performs the real factorization and validates against a
+	// sequential reference; when false only the task graph is exercised
+	// (virtual sweeps).
+	Compute bool
+}
+
+// Kernel flop counts (the standard counts, used for both the virtual-mode
+// cost and the GFlop/s metric).
+func cholPotrfFlops(ts int64) int64 { return ts * ts * ts / 3 }
+func cholTrsmFlops(ts int64) int64  { return ts * ts * ts }
+func cholSyrkFlops(ts int64) int64  { return ts * ts * ts }
+func cholGemmFlops(ts int64) int64  { return 2 * ts * ts * ts }
+
+// block addressing: block (i,j) of a B×B block matrix occupies the
+// contiguous interval [(i*B+j)·TS², (i*B+j+1)·TS²).
+
+// cholPotrf factors block a (TS×TS, row-major) in place into its lower
+// Cholesky factor; the strict upper triangle is left untouched.
+func cholPotrf(a []float64, ts int64) {
+	for c := int64(0); c < ts; c++ {
+		d := a[c*ts+c]
+		for p := int64(0); p < c; p++ {
+			d -= a[c*ts+p] * a[c*ts+p]
+		}
+		d = math.Sqrt(d)
+		a[c*ts+c] = d
+		for r := c + 1; r < ts; r++ {
+			s := a[r*ts+c]
+			for p := int64(0); p < c; p++ {
+				s -= a[r*ts+p] * a[c*ts+p]
+			}
+			a[r*ts+c] = s / d
+		}
+	}
+}
+
+// cholTrsm solves X·Lᵀ = A in place: a := a · l⁻ᵀ with l the lower factor
+// of the diagonal block.
+func cholTrsm(l, a []float64, ts int64) {
+	for r := int64(0); r < ts; r++ {
+		for c := int64(0); c < ts; c++ {
+			s := a[r*ts+c]
+			for p := int64(0); p < c; p++ {
+				s -= a[r*ts+p] * l[c*ts+p]
+			}
+			a[r*ts+c] = s / l[c*ts+c]
+		}
+	}
+}
+
+// cholSyrk updates the lower triangle of the diagonal block: d -= x·xᵀ.
+func cholSyrk(x, d []float64, ts int64) {
+	for r := int64(0); r < ts; r++ {
+		for c := int64(0); c <= r; c++ {
+			s := d[r*ts+c]
+			for p := int64(0); p < ts; p++ {
+				s -= x[r*ts+p] * x[c*ts+p]
+			}
+			d[r*ts+c] = s
+		}
+	}
+}
+
+// cholGemm updates an off-diagonal trailing block: c -= x·yᵀ.
+func cholGemm(x, y, cblk []float64, ts int64) {
+	for r := int64(0); r < ts; r++ {
+		for cc := int64(0); cc < ts; cc++ {
+			s := cblk[r*ts+cc]
+			for p := int64(0); p < ts; p++ {
+				s -= x[r*ts+p] * y[cc*ts+p]
+			}
+			cblk[r*ts+cc] = s
+		}
+	}
+}
+
+// cholInit fills a with a deterministic SPD matrix in block layout:
+// symmetric entries in (-1, 1) plus N on the diagonal (strict diagonal
+// dominance implies positive definiteness).
+func cholInit(a []float64, n, ts, seed int64) {
+	b := n / ts
+	rng := rand.New(rand.NewSource(seed))
+	at := func(r, c int64) *float64 {
+		bi, bj := r/ts, c/ts
+		return &a[(bi*b+bj)*ts*ts+(r%ts)*ts+(c%ts)]
+	}
+	for r := int64(0); r < n; r++ {
+		for c := int64(0); c <= r; c++ {
+			v := 2*rng.Float64() - 1
+			if r == c {
+				v = math.Abs(v) + float64(n)
+			}
+			*at(r, c) = v
+			*at(c, r) = v
+		}
+	}
+}
+
+// cholSequential runs the reference blocked factorization in place.
+func cholSequential(a []float64, n, ts int64) {
+	b := n / ts
+	blk := func(i, j int64) []float64 {
+		off := (i*b + j) * ts * ts
+		return a[off : off+ts*ts]
+	}
+	for k := int64(0); k < b; k++ {
+		cholPotrf(blk(k, k), ts)
+		for i := k + 1; i < b; i++ {
+			cholTrsm(blk(k, k), blk(i, k), ts)
+		}
+		for i := k + 1; i < b; i++ {
+			cholSyrk(blk(i, k), blk(i, i), ts)
+			for j := k + 1; j < i; j++ {
+				cholGemm(blk(i, k), blk(j, k), blk(i, j), ts)
+			}
+		}
+	}
+}
+
+// RunCholesky executes one Cholesky variant and returns its measurements.
+func RunCholesky(mode Mode, variant CholVariant, p CholParams) (Result, error) {
+	if p.N <= 0 || p.TS <= 0 || p.N%p.TS != 0 {
+		return Result{}, errf("cholesky: bad params %+v (N must be a multiple of TS)", p)
+	}
+	b := p.N / p.TS
+	bs := p.TS * p.TS // block elements
+	total := b * b * bs
+
+	rt := nanos.New(mode.config())
+	ad := rt.NewData("A", total, 8)
+
+	var a []float64
+	if p.Compute {
+		a = make([]float64, total)
+		cholInit(a, p.N, p.TS, p.Seed)
+	}
+	blkIv := func(i, j int64) nanos.Interval {
+		off := (i*b + j) * bs
+		return nanos.Iv(off, off+bs)
+	}
+	blk := func(i, j int64) []float64 {
+		if !p.Compute {
+			return nil
+		}
+		off := (i*b + j) * bs
+		return a[off : off+bs]
+	}
+
+	// Kernel task constructors.
+	potrf := func(k int64) nanos.TaskSpec {
+		return nanos.TaskSpec{
+			Label: "potrf", Kind: "potrf",
+			Cost: cholPotrfFlops(p.TS), Flops: cholPotrfFlops(p.TS),
+			Deps: []nanos.Dep{nanos.DInOut(ad, blkIv(k, k))},
+			Body: func(*nanos.TaskContext) {
+				if p.Compute {
+					cholPotrf(blk(k, k), p.TS)
+				}
+			},
+		}
+	}
+	trsm := func(k, i int64) nanos.TaskSpec {
+		return nanos.TaskSpec{
+			Label: "trsm", Kind: "trsm",
+			Cost: cholTrsmFlops(p.TS), Flops: cholTrsmFlops(p.TS),
+			Deps: []nanos.Dep{nanos.DIn(ad, blkIv(k, k)), nanos.DInOut(ad, blkIv(i, k))},
+			Body: func(*nanos.TaskContext) {
+				if p.Compute {
+					cholTrsm(blk(k, k), blk(i, k), p.TS)
+				}
+			},
+		}
+	}
+	syrk := func(k, i int64) nanos.TaskSpec {
+		return nanos.TaskSpec{
+			Label: "syrk", Kind: "syrk",
+			Cost: cholSyrkFlops(p.TS), Flops: cholSyrkFlops(p.TS),
+			Deps: []nanos.Dep{nanos.DIn(ad, blkIv(i, k)), nanos.DInOut(ad, blkIv(i, i))},
+			Body: func(*nanos.TaskContext) {
+				if p.Compute {
+					cholSyrk(blk(i, k), blk(i, i), p.TS)
+				}
+			},
+		}
+	}
+	gemm := func(k, i, j int64) nanos.TaskSpec {
+		return nanos.TaskSpec{
+			Label: "gemm", Kind: "gemm",
+			Cost: cholGemmFlops(p.TS), Flops: cholGemmFlops(p.TS),
+			Deps: []nanos.Dep{
+				nanos.DIn(ad, blkIv(i, k)), nanos.DIn(ad, blkIv(j, k)),
+				nanos.DInOut(ad, blkIv(i, j)),
+			},
+			Body: func(*nanos.TaskContext) {
+				if p.Compute {
+					cholGemm(blk(i, k), blk(j, k), blk(i, j), p.TS)
+				}
+			},
+		}
+	}
+	submitStep := func(tc *nanos.TaskContext, k int64) {
+		tc.Submit(potrf(k))
+		for i := k + 1; i < b; i++ {
+			tc.Submit(trsm(k, i))
+		}
+		for i := k + 1; i < b; i++ {
+			tc.Submit(syrk(k, i))
+			for j := k + 1; j < i; j++ {
+				tc.Submit(gemm(k, i, j))
+			}
+		}
+	}
+	// stepRegion is the set of blocks step k reads or writes: rows i ≥ k,
+	// columns k..i (the lower-triangular trailing matrix). One contiguous
+	// interval per block row.
+	stepRegion := func(k int64) []nanos.Interval {
+		ivs := make([]nanos.Interval, 0, b-k)
+		for i := k; i < b; i++ {
+			ivs = append(ivs, nanos.Iv((i*b+k)*bs, (i*b+i+1)*bs))
+		}
+		return ivs
+	}
+
+	startT := time.Now()
+	switch variant {
+	case CholFlatDepend:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for k := int64(0); k < b; k++ {
+				submitStep(tc, k)
+			}
+		})
+
+	case CholNestWeak:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for k := int64(0); k < b; k++ {
+				k := k
+				tc.Submit(nanos.TaskSpec{
+					Label: "panel", Kind: "panel",
+					WeakWait: true,
+					Touches:  []nanos.Dep{},
+					Deps:     []nanos.Dep{nanos.DWeakInOut(ad, stepRegion(k)...)},
+					Body:     func(tc *nanos.TaskContext) { submitStep(tc, k) },
+				})
+			}
+		})
+
+	case CholNestDepend:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for k := int64(0); k < b; k++ {
+				k := k
+				tc.Submit(nanos.TaskSpec{
+					Label: "panel", Kind: "panel",
+					Touches: []nanos.Dep{},
+					Deps:    []nanos.Dep{nanos.DInOut(ad, stepRegion(k)...)},
+					Body: func(tc *nanos.TaskContext) {
+						submitStep(tc, k)
+						if !mode.Virtual {
+							tc.Taskwait()
+						}
+					},
+				})
+			}
+		})
+
+	default:
+		return Result{}, errf("cholesky: unknown variant %q", variant)
+	}
+
+	res := measure(rt, startT)
+	if p.Compute {
+		ref := make([]float64, total)
+		cholInit(ref, p.N, p.TS, p.Seed)
+		cholSequential(ref, p.N, p.TS)
+		for i := range ref {
+			if a[i] != ref[i] {
+				return res, errf("cholesky %s: element %d = %v, want %v", variant, i, a[i], ref[i])
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestCholKernelsFactorCorrectly(t *testing.T) {
+	// Factor a small SPD matrix with the blocked sequential driver and
+	// verify L·Lᵀ reconstructs the input.
+	const n, ts = 16, 4
+	const bb = n / ts
+	a := make([]float64, n*n)
+	cholInit(a, n, ts, 7)
+	orig := make([]float64, n*n)
+	copy(orig, a)
+	cholSequential(a, n, ts)
+
+	at := func(m []float64, r, c int64) float64 {
+		bi, bj := r/ts, c/ts
+		return m[(bi*bb+bj)*ts*ts+(r%ts)*ts+(c%ts)]
+	}
+	l := func(r, c int64) float64 {
+		if c > r {
+			return 0 // strict upper triangle is garbage by convention
+		}
+		return at(a, r, c)
+	}
+	for r := int64(0); r < n; r++ {
+		for c := int64(0); c <= r; c++ {
+			var s float64
+			for p := int64(0); p < n; p++ {
+				s += l(r, p) * l(c, p)
+			}
+			if math.Abs(s-at(orig, r, c)) > 1e-9*float64(n) {
+				t.Fatalf("L·Lᵀ[%d,%d] = %v, want %v", r, c, s, at(orig, r, c))
+			}
+		}
+	}
+}
+
+func TestCholeskyAllVariantsMatchReference(t *testing.T) {
+	p := CholParams{N: 64, TS: 16, Seed: 42, Compute: true}
+	for _, v := range CholVariants {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", v, workers), func(t *testing.T) {
+				if _, err := RunCholesky(Mode{Workers: workers}, v, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestCholeskyTaskCount(t *testing.T) {
+	// B blocks: potrf B, trsm B(B-1)/2, syrk B(B-1)/2, gemm B(B-1)(B-2)/6,
+	// plus B panel tasks in the nested variants.
+	p := CholParams{N: 80, TS: 16, Seed: 1, Compute: true}
+	const b = 5
+	kernels := int64(b + b*(b-1)/2 + b*(b-1)/2 + b*(b-1)*(b-2)/6)
+	res, err := RunCholesky(Mode{Workers: 4}, CholFlatDepend, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != kernels {
+		t.Errorf("flat-depend tasks = %d, want %d", res.Tasks, kernels)
+	}
+	res, err = RunCholesky(Mode{Workers: 4}, CholNestWeak, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != kernels+b {
+		t.Errorf("nest-weak tasks = %d, want %d", res.Tasks, kernels+b)
+	}
+}
+
+func TestCholeskyLintClean(t *testing.T) {
+	p := CholParams{N: 64, TS: 16, Seed: 3, Compute: true}
+	for _, v := range CholVariants {
+		res, err := RunCholesky(Mode{Workers: 4, Verify: true}, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Runtime.ViolationCount(); n != 0 {
+			t.Errorf("%s: %d lint violations: %v", v, n, res.Runtime.Violations())
+		}
+	}
+}
+
+func TestCholeskyVirtualWeakBeatsNestDepend(t *testing.T) {
+	// The headline claim on this workload: with panel tasks, weak
+	// dependencies + weakwait recover the parallelism that strong panel
+	// dependencies destroy. Virtual mode, identical per-kernel costs.
+	p := CholParams{N: 256, TS: 32, Seed: 5, Compute: false}
+	mode := Mode{Workers: 8, Virtual: true}
+	tWeak, err := RunCholesky(mode, CholNestWeak, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tFlat, err := RunCholesky(mode, CholFlatDepend, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tNest, err := RunCholesky(mode, CholNestDepend, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tWeak.VirtualTime >= tNest.VirtualTime {
+		t.Errorf("nest-weak (%d) not faster than nest-depend (%d)",
+			tWeak.VirtualTime, tNest.VirtualTime)
+	}
+	// Weak nesting should track the flat schedule closely (same effective
+	// dependency structure, §VI's single-domain equivalence).
+	if f := float64(tWeak.VirtualTime) / float64(tFlat.VirtualTime); f > 1.15 {
+		t.Errorf("nest-weak %.2fx slower than flat-depend; want within 15%%", f)
+	}
+}
+
+func TestCholeskyBadParams(t *testing.T) {
+	if _, err := RunCholesky(Mode{Workers: 1}, CholFlatDepend, CholParams{N: 60, TS: 16}); err == nil {
+		t.Error("N not multiple of TS should fail")
+	}
+	if _, err := RunCholesky(Mode{Workers: 1}, CholVariant("nope"), CholParams{N: 32, TS: 16}); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}

@@ -1,0 +1,214 @@
+package workloads
+
+import (
+	"time"
+
+	nanos "repro"
+)
+
+// GSVariant names one implementation of the Gauss-Seidel benchmark
+// (§VIII-B).
+type GSVariant string
+
+const (
+	// GSNestWeak: one task per iteration with depend(weakinout: A[:][:])
+	// and weakwait, one subtask per TS×TS tile (listing 6).
+	GSNestWeak GSVariant = "nest-weak"
+	// GSNestWeakRelease: GSNestWeak plus the release directive as tiles
+	// are created (the paper found this adds overhead here).
+	GSNestWeakRelease GSVariant = "nest-weak-release"
+	// GSFlatDepend: only the tile tasks, all in the root domain.
+	GSFlatDepend GSVariant = "flat-depend"
+	// GSNestDepend: iteration tasks with strong inout over the whole array
+	// and a taskwait — iterations serialize.
+	GSNestDepend GSVariant = "nest-depend"
+)
+
+// GSVariants lists the Gauss-Seidel variants in the paper's order.
+var GSVariants = []GSVariant{GSNestWeak, GSNestWeakRelease, GSFlatDepend, GSNestDepend}
+
+// GSParams sizes the Gauss-Seidel benchmark: Iters sweeps of an N×N plane
+// decomposed into TS×TS tiles (N must be a multiple of TS). The plane has a
+// one-element fixed boundary ring, mirrored in the dependency layout as the
+// halo blocks of listing 6's (2+BLOCKS)×(2+BLOCKS) block array.
+type GSParams struct {
+	N     int64
+	TS    int64
+	Iters int
+	// Compute performs the real stencil and validates against a sequential
+	// sweep. Virtual sweeps may disable it; tile cost is TS·TS either way.
+	Compute bool
+	// ReleaseByPanel makes the release variant release whole block rows
+	// instead of single blocks (the lower-overhead granularity the paper
+	// also tried).
+	ReleaseByPanel bool
+}
+
+// gsKernel applies the in-place 5-point Gauss-Seidel update to tile (bi,bj)
+// (1-based block coordinates) of the (n+2)×(n+2) plane a.
+func gsKernel(a []float64, n, ts, bi, bj int64) {
+	m := n + 2 // row stride
+	r0 := (bi-1)*ts + 1
+	c0 := (bj-1)*ts + 1
+	for r := r0; r < r0+ts; r++ {
+		row := r * m
+		up := (r - 1) * m
+		down := (r + 1) * m
+		for c := c0; c < c0+ts; c++ {
+			a[row+c] = 0.25 * (a[up+c] + a[row+c-1] + a[row+c+1] + a[down+c])
+		}
+	}
+}
+
+// gsInit fills the plane: boundary ring at 1, interior at 0.
+func gsInit(a []float64, n int64) {
+	m := n + 2
+	for i := int64(0); i < m*m; i++ {
+		a[i] = 0
+	}
+	for i := int64(0); i < m; i++ {
+		a[i] = 1         // top
+		a[(m-1)*m+i] = 1 // bottom
+		a[i*m] = 1       // left
+		a[i*m+m-1] = 1   // right
+	}
+}
+
+// gsSequential runs the reference sweep.
+func gsSequential(a []float64, n, ts int64, iters int) {
+	b := n / ts
+	for it := 0; it < iters; it++ {
+		for i := int64(1); i <= b; i++ {
+			for j := int64(1); j <= b; j++ {
+				gsKernel(a, n, ts, i, j)
+			}
+		}
+	}
+}
+
+// RunGS executes one Gauss-Seidel variant and returns its measurements.
+func RunGS(mode Mode, variant GSVariant, p GSParams) (Result, error) {
+	if p.N <= 0 || p.TS <= 0 || p.N%p.TS != 0 || p.Iters <= 0 {
+		return Result{}, errf("gs: bad params %+v (N must be a multiple of TS)", p)
+	}
+	b := p.N / p.TS // interior blocks per side
+	side := b + 2   // block array side including halo
+	total := side * side * p.TS * p.TS
+
+	rt := nanos.New(mode.config())
+	ad := rt.NewData("A", total, 8)
+
+	var a []float64
+	if p.Compute {
+		a = make([]float64, (p.N+2)*(p.N+2))
+		gsInit(a, p.N)
+	}
+
+	blk := func(i, j int64) nanos.Interval { return nanos.BlockInterval(side, p.TS, i, j) }
+
+	tile := func(i, j int64) nanos.TaskSpec {
+		return nanos.TaskSpec{
+			Label: "tile",
+			Kind:  "tile",
+			Cost:  p.TS * p.TS,
+			Flops: 4 * p.TS * p.TS,
+			Deps: []nanos.Dep{
+				nanos.DIn(ad, blk(i-1, j)),  // top
+				nanos.DIn(ad, blk(i, j-1)),  // left
+				nanos.DInOut(ad, blk(i, j)), // center
+				nanos.DIn(ad, blk(i, j+1)),  // right
+				nanos.DIn(ad, blk(i+1, j)),  // bottom
+			},
+			Body: func(*nanos.TaskContext) {
+				if p.Compute {
+					gsKernel(a, p.N, p.TS, i, j)
+				}
+			},
+		}
+	}
+
+	forTiles := func(f func(i, j int64)) {
+		for i := int64(1); i <= b; i++ {
+			for j := int64(1); j <= b; j++ {
+				f(i, j)
+			}
+		}
+	}
+
+	startT := time.Now()
+	switch variant {
+	case GSFlatDepend:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for it := 0; it < p.Iters; it++ {
+				forTiles(func(i, j int64) { tc.Submit(tile(i, j)) })
+			}
+		})
+
+	case GSNestDepend:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for it := 0; it < p.Iters; it++ {
+				tc.Submit(nanos.TaskSpec{
+					Label:   "iteration",
+					Kind:    "iter",
+					Touches: []nanos.Dep{},
+					Deps:    []nanos.Dep{nanos.DInOut(ad, nanos.Iv(0, total))},
+					Body: func(tc *nanos.TaskContext) {
+						forTiles(func(i, j int64) { tc.Submit(tile(i, j)) })
+						if !mode.Virtual {
+							tc.Taskwait()
+						}
+					},
+				})
+			}
+		})
+
+	case GSNestWeak, GSNestWeakRelease:
+		release := variant == GSNestWeakRelease
+		rt.Run(func(tc *nanos.TaskContext) {
+			for it := 0; it < p.Iters; it++ {
+				tc.Submit(nanos.TaskSpec{
+					Label:    "iteration",
+					Kind:     "iter",
+					WeakWait: true,
+					Deps:     []nanos.Dep{nanos.DWeakInOut(ad, nanos.Iv(0, total))},
+					Body: func(tc *nanos.TaskContext) {
+						for i := int64(1); i <= b; i++ {
+							for j := int64(1); j <= b; j++ {
+								tc.Submit(tile(i, j))
+								if release && !p.ReleaseByPanel && i >= 2 && j >= 2 {
+									// Block (i-1,j-1) is not referenced by
+									// any tile submitted after (i,j).
+									tc.Release(nanos.DWeakInOut(ad, blk(i-1, j-1)))
+								}
+							}
+							if release && p.ReleaseByPanel && i >= 2 {
+								// The whole block row i-1 (incl. halo
+								// columns) is finished once row i is
+								// submitted.
+								lo := blk(i-1, 0).Lo
+								hi := blk(i-1, side-1).Hi
+								tc.Release(nanos.DWeakInOut(ad, nanos.Iv(lo, hi)))
+							}
+						}
+					},
+				})
+			}
+		})
+
+	default:
+		return Result{}, errf("gs: unknown variant %q", variant)
+	}
+
+	res := measure(rt, startT)
+	if p.Compute {
+		ref := make([]float64, (p.N+2)*(p.N+2))
+		gsInit(ref, p.N)
+		gsSequential(ref, p.N, p.TS, p.Iters)
+		for i := range ref {
+			if a[i] != ref[i] {
+				return res, errf("gs %s: element %d = %v, want %v", variant, i, a[i], ref[i])
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Golden virtual-mode makespans. Virtual execution is deterministic, so
+// these pin the combined semantics of the dependency engine (linking,
+// weakwait hand-over, weak propagation) and the virtual scheduler (FIFO
+// dispatch, hand-off, arrival times) against accidental change. A diff
+// here is not necessarily a bug — an intentional semantic or scheduling
+// change legitimately moves the numbers — but it must be reviewed and the
+// constants re-recorded, and the *orderings* asserted at the bottom must
+// always survive.
+func TestGoldenVirtualMakespans(t *testing.T) {
+	axpy := map[AxpyVariant]int64{
+		AxpyNestWeakRelease: 8385,
+		AxpyNestWeak:        8385,
+		AxpyNestDepend:      8724,
+		AxpyFlatDepend:      8320,
+		AxpyFlatTaskwait:    8724,
+	}
+	axpyGot := map[AxpyVariant]int64{}
+	for _, v := range AxpyVariants {
+		res, err := RunAxpy(Mode{Workers: 8, Virtual: true, SubmitCost: 16}, v,
+			AxpyParams{N: 1 << 14, Calls: 4, TaskSize: 1 << 11, Alpha: 1, Compute: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		axpyGot[v] = res.VirtualTime
+		if res.VirtualTime != axpy[v] {
+			t.Errorf("axpy %s makespan = %d, golden %d", v, res.VirtualTime, axpy[v])
+		}
+	}
+
+	gs := map[GSVariant]int64{
+		GSNestWeak:        16384,
+		GSNestWeakRelease: 16384,
+		GSFlatDepend:      13312,
+		GSNestDepend:      28672,
+	}
+	gsGot := map[GSVariant]int64{}
+	for _, v := range GSVariants {
+		res, err := RunGS(Mode{Workers: 8, Virtual: true}, v,
+			GSParams{N: 128, TS: 32, Iters: 4, Compute: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gsGot[v] = res.VirtualTime
+		if res.VirtualTime != gs[v] {
+			t.Errorf("gs %s makespan = %d, golden %d", v, res.VirtualTime, gs[v])
+		}
+	}
+
+	chol := map[CholVariant]int64{
+		CholNestWeak:   2271914,
+		CholFlatDepend: 2271914,
+		CholNestDepend: 2446676,
+	}
+	for _, v := range CholVariants {
+		res, err := RunCholesky(Mode{Workers: 8, Virtual: true}, v,
+			CholParams{N: 256, TS: 64, Seed: 1, Compute: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VirtualTime != chol[v] {
+			t.Errorf("cholesky %s makespan = %d, golden %d", v, res.VirtualTime, chol[v])
+		}
+	}
+
+	// The orderings that must hold regardless of the exact constants: the
+	// weak variants never lose to nest-depend, and nest-weak tracks
+	// flat-depend within a small factor.
+	if axpyGot[AxpyNestWeak] > axpyGot[AxpyNestDepend] {
+		t.Error(orderErr("axpy", "nest-weak", axpyGot[AxpyNestWeak], "nest-depend", axpyGot[AxpyNestDepend]))
+	}
+	if gsGot[GSNestWeak] > gsGot[GSNestDepend] {
+		t.Error(orderErr("gs", "nest-weak", gsGot[GSNestWeak], "nest-depend", gsGot[GSNestDepend]))
+	}
+	if f := float64(gsGot[GSNestWeak]) / float64(gsGot[GSFlatDepend]); f > 1.5 {
+		t.Errorf("gs nest-weak %.2fx slower than flat-depend", f)
+	}
+}
+
+func orderErr(bench, a string, av int64, b string, bv int64) string {
+	return fmt.Sprintf("%s: %s (%d) slower than %s (%d); the paper's ordering is violated",
+		bench, a, av, b, bv)
+}

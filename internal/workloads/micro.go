@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"sync/atomic"
+	"time"
+
+	nanos "repro"
+)
+
+// Tasking microbenchmarks in the style of the Barcelona OpenMP Tasks Suite:
+// recursive Fibonacci and N-Queens. They carry almost no computation, so
+// they expose pure runtime overhead — task creation, dependency
+// registration, and the granularity cutoff — complementing the paper's
+// bandwidth-bound AXPY (§VIII-A) at the other end of the spectrum.
+//
+// Fibonacci is built entirely on dependencies: every call writes its value
+// into an own slot of a results array, recursive calls are tasks with
+// depend(weakout: slot) + weakwait that delegate the write to their
+// subtree, and a combiner task with depend(in: left, right) depend(out:
+// slot) performs the addition. No taskwait appears anywhere, so the same
+// code runs in real and virtual mode.
+
+// FibCutoffMode selects what happens below the task-creation cutoff.
+type FibCutoffMode uint8
+
+const (
+	// FibCutoffSequential switches to plain recursion below the cutoff
+	// (the conventional granularity control).
+	FibCutoffSequential FibCutoffMode = iota
+	// FibCutoffFinal submits the subtree with the final clause: tasks keep
+	// being "created" but execute inline as included tasks — the OpenMP
+	// final-clause cutoff.
+	FibCutoffFinal
+	// FibCutoffNone creates tasks all the way to the leaves.
+	FibCutoffNone
+)
+
+func (m FibCutoffMode) String() string {
+	switch m {
+	case FibCutoffFinal:
+		return "final"
+	case FibCutoffNone:
+		return "none"
+	}
+	return "sequential"
+}
+
+// FibParams sizes the Fibonacci microbenchmark.
+type FibParams struct {
+	N      int
+	Cutoff int // subtree size below which the cutoff mode applies
+	Mode   FibCutoffMode
+}
+
+// fibSeq is the plain recursion used below the sequential cutoff and as
+// the reference.
+func fibSeq(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+// fibSlotTable[n] is the number of result slots a call tree of size n
+// needs: every node owns one slot.
+func fibSlotTable(n int) []int64 {
+	s := make([]int64, n+2)
+	s[0], s[1] = 1, 1
+	for i := 2; i <= n; i++ {
+		s[i] = 1 + s[i-1] + s[i-2]
+	}
+	return s
+}
+
+// RunFib executes the Fibonacci microbenchmark and returns the measurements
+// and the computed value.
+//
+// Slot layout: the call tree of fib(n) rooted at slot base owns the
+// contiguous range [base, base+slots(n)): its own result in base, the
+// fib(n-1) subtree in [base+1, base+1+slots(n-1)), and the fib(n-2) subtree
+// after that. Each task declares depend(weakout:) over its whole range, so
+// every child entry nests inside the parent's — the well-formedness
+// discipline of §III/§VII, checked by the Verify mode.
+func RunFib(mode Mode, p FibParams) (Result, int64, error) {
+	if p.N < 0 || p.N > 30 {
+		return Result{}, 0, errf("fib: N=%d out of range (0..30)", p.N)
+	}
+	slotTab := fibSlotTable(p.N)
+	res := make([]int64, slotTab[p.N])
+
+	rt := nanos.New(mode.config())
+	rd := rt.NewData("results", slotTab[p.N], 8)
+
+	// fibTask returns the spec of the task computing fib(n) into slot base,
+	// owning the slot range [base, base+slotTab[n]).
+	var fibTask func(n int, base int64) nanos.TaskSpec
+	fibTask = func(n int, base int64) nanos.TaskSpec {
+		own := nanos.Iv(base, base+1)
+		if n < 2 {
+			return nanos.TaskSpec{
+				Label: "fib-base", Kind: "base",
+				Deps: []nanos.Dep{nanos.DOut(rd, own)},
+				Body: func(*nanos.TaskContext) { res[base] = int64(n) },
+			}
+		}
+		rangeIv := nanos.Iv(base, base+slotTab[n])
+		if n <= p.Cutoff && p.Mode == FibCutoffSequential {
+			return nanos.TaskSpec{
+				Label: "fib-seq", Kind: "seq",
+				// The sequential subtree only ever writes its own slot; the
+				// rest of its range goes unused.
+				Deps: []nanos.Dep{nanos.DOut(rd, own)},
+				Body: func(*nanos.TaskContext) { res[base] = fibSeq(n) },
+			}
+		}
+		l := base + 1
+		r := base + 1 + slotTab[n-1]
+		body := func(tc *nanos.TaskContext) {
+			tc.Submit(fibTask(n-1, l))
+			tc.Submit(fibTask(n-2, r))
+			tc.Submit(nanos.TaskSpec{
+				Label: "fib-sum", Kind: "sum",
+				Deps: []nanos.Dep{
+					nanos.DIn(rd, nanos.Iv(l, l+1)), nanos.DIn(rd, nanos.Iv(r, r+1)),
+					nanos.DOut(rd, own),
+				},
+				Body: func(*nanos.TaskContext) { res[base] = res[l] + res[r] },
+			})
+		}
+		spec := nanos.TaskSpec{
+			Label: "fib", Kind: "fib",
+			WeakWait: true,
+			Touches:  []nanos.Dep{},
+			Deps:     []nanos.Dep{nanos.DWeakOut(rd, rangeIv)},
+			Body:     body,
+		}
+		if n <= p.Cutoff && p.Mode == FibCutoffFinal {
+			spec.Final = true
+			spec.Label = "fib-final"
+		}
+		return spec
+	}
+
+	startT := time.Now()
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Submit(fibTask(p.N, 0))
+	})
+	r := measure(rt, startT)
+	if want := fibSeq(p.N); res[0] != want {
+		return r, res[0], errf("fib(%d) = %d, want %d", p.N, res[0], want)
+	}
+	return r, res[0], nil
+}
+
+// NQueensParams sizes the N-Queens microbenchmark: count the solutions of
+// the N-queens puzzle, spawning one task per placement down to Depth rows,
+// sequential search below. Pure nesting — no dependencies — waited on with
+// a taskgroup (real mode only).
+type NQueensParams struct {
+	N     int
+	Depth int
+}
+
+// nqSolve counts solutions sequentially from the given partial placement.
+// cols[i] is the column of the queen in row i.
+func nqSolve(n int, cols []int8) int64 {
+	row := len(cols)
+	if row == n {
+		return 1
+	}
+	var count int64
+	for c := int8(0); c < int8(n); c++ {
+		if nqSafe(cols, c) {
+			count += nqSolve(n, append(cols, c))
+		}
+	}
+	return count
+}
+
+func nqSafe(cols []int8, c int8) bool {
+	row := len(cols)
+	for r, cc := range cols {
+		if cc == c || int(cc)-int(c) == row-r || int(c)-int(cc) == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// RunNQueens executes the N-Queens microbenchmark and returns the
+// measurements and the solution count.
+func RunNQueens(mode Mode, p NQueensParams) (Result, int64, error) {
+	if p.N <= 0 || p.N > 14 {
+		return Result{}, 0, errf("nqueens: N=%d out of range", p.N)
+	}
+	if mode.Virtual {
+		return Result{}, 0, errf("nqueens: taskgroup-based search needs real mode")
+	}
+	rt := nanos.New(mode.config())
+	var count atomic.Int64
+
+	var place func(tc *nanos.TaskContext, cols []int8)
+	place = func(tc *nanos.TaskContext, cols []int8) {
+		if len(cols) >= p.Depth {
+			count.Add(nqSolve(p.N, cols))
+			return
+		}
+		for c := int8(0); c < int8(p.N); c++ {
+			if !nqSafe(cols, c) {
+				continue
+			}
+			sub := append(append(make([]int8, 0, len(cols)+1), cols...), c)
+			tc.Submit(nanos.TaskSpec{
+				Label: "place", Kind: "place",
+				Body: func(tc *nanos.TaskContext) { place(tc, sub) },
+			})
+		}
+	}
+
+	startT := time.Now()
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Taskgroup(func() {
+			place(tc, nil)
+		})
+		// The taskgroup guarantees every branch finished; snapshot here to
+		// prove it (the root body still runs after the deep wait).
+		count.Store(count.Load())
+	})
+	r := measure(rt, startT)
+	return r, count.Load(), nil
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFibAllCutoffModes(t *testing.T) {
+	for _, m := range []FibCutoffMode{FibCutoffSequential, FibCutoffFinal, FibCutoffNone} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/w%d", m, workers), func(t *testing.T) {
+				res, v, err := RunFib(Mode{Workers: workers}, FibParams{N: 15, Cutoff: 8, Mode: m})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != 610 {
+					t.Fatalf("fib(15) = %d, want 610", v)
+				}
+				if res.Tasks == 0 {
+					t.Error("no tasks recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestFibVirtualMode(t *testing.T) {
+	// The dependency-only formulation runs unchanged in virtual mode.
+	res, v, err := RunFib(Mode{Workers: 8, Virtual: true}, FibParams{N: 12, Cutoff: 4, Mode: FibCutoffSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 144 {
+		t.Fatalf("fib(12) = %d, want 144", v)
+	}
+	if res.VirtualTime <= 0 {
+		t.Error("no virtual makespan recorded")
+	}
+}
+
+func TestFibCutoffReducesTaskCount(t *testing.T) {
+	p := FibParams{N: 16, Cutoff: 8}
+	p.Mode = FibCutoffNone
+	none, _, err := RunFib(Mode{Workers: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mode = FibCutoffSequential
+	seq, _, err := RunFib(Mode{Workers: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Tasks >= none.Tasks {
+		t.Errorf("sequential cutoff created %d tasks, full tasking %d; cutoff should create fewer",
+			seq.Tasks, none.Tasks)
+	}
+	// The final cutoff still counts included tasks (they execute inline but
+	// are tasks), so its count matches full tasking while its deferred
+	// subset matches the sequential cutoff.
+	p.Mode = FibCutoffFinal
+	fin, _, err := RunFib(Mode{Workers: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Tasks != none.Tasks {
+		t.Errorf("final cutoff counted %d tasks, want %d (inline tasks still count)",
+			fin.Tasks, none.Tasks)
+	}
+}
+
+func TestFibLintClean(t *testing.T) {
+	res, _, err := RunFib(Mode{Workers: 4, Verify: true}, FibParams{N: 12, Cutoff: 4, Mode: FibCutoffNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Runtime.ViolationCount(); n != 0 {
+		t.Errorf("%d lint violations: %v", n, res.Runtime.Violations())
+	}
+}
+
+func TestNQueensCounts(t *testing.T) {
+	// Known solution counts.
+	want := map[int]int64{4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+	for n, w := range want {
+		res, got, err := RunNQueens(Mode{Workers: 4}, NQueensParams{N: n, Depth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("nqueens(%d) = %d, want %d", n, got, w)
+		}
+		if n >= 6 && res.Tasks == 0 {
+			t.Error("no tasks recorded")
+		}
+	}
+}
+
+func TestNQueensDepthSweep(t *testing.T) {
+	for depth := 0; depth <= 4; depth++ {
+		_, got, err := RunNQueens(Mode{Workers: 8}, NQueensParams{N: 8, Depth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 92 {
+			t.Errorf("depth %d: nqueens(8) = %d, want 92", depth, got)
+		}
+	}
+}
+
+func TestMicroBadParams(t *testing.T) {
+	if _, _, err := RunFib(Mode{Workers: 1}, FibParams{N: 99}); err == nil {
+		t.Error("fib N out of range should fail")
+	}
+	if _, _, err := RunNQueens(Mode{Workers: 1}, NQueensParams{N: 0}); err == nil {
+		t.Error("nqueens N out of range should fail")
+	}
+	if _, _, err := RunNQueens(Mode{Workers: 1, Virtual: true}, NQueensParams{N: 6, Depth: 1}); err == nil {
+		t.Error("nqueens in virtual mode should fail")
+	}
+}

@@ -1,0 +1,246 @@
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	nanos "repro"
+)
+
+// SortVariant selects the synchronization formulation of the quicksort →
+// prefix-sum benchmark (§VIII-C, Figure 7).
+type SortVariant string
+
+const (
+	// SortWeak: quicksort tasks use weakwait (releasing sorted regions at
+	// base-case granularity) and the prefix sum uses weak dependencies for
+	// all non-leaf tasks, so both algorithms' leaves connect through
+	// fine-grained dependencies and execute concurrently.
+	SortWeak SortVariant = "weak"
+	// SortRegular: regular dependencies and subtree-completion release
+	// everywhere — the prefix sum waits for the full quicksort.
+	SortRegular SortVariant = "regular"
+)
+
+// SortVariants lists both formulations.
+var SortVariants = []SortVariant{SortWeak, SortRegular}
+
+// SortParams sizes the benchmark: N random elements, base case TS (both the
+// insertion-sort cutoff and the prefix-sum block size, as in listing 7).
+type SortParams struct {
+	N    int64
+	TS   int64
+	Seed int64
+}
+
+// median3 orders a[lo], a[mid], a[hi-1] and returns the median's index.
+func median3(a []int64, lo, hi int64) int64 {
+	mid := lo + (hi-lo)/2
+	x, y, z := a[lo], a[mid], a[hi-1]
+	switch {
+	case (x <= y && y <= z) || (z <= y && y <= x):
+		return mid
+	case (y <= x && x <= z) || (z <= x && x <= y):
+		return lo
+	default:
+		return hi - 1
+	}
+}
+
+// partition performs a Lomuto partition of a[lo:hi) around a median-of-3
+// pivot. It returns p with a[lo:p) < a[p] <= a[p+1:hi); element p is final.
+func partition(a []int64, lo, hi int64) int64 {
+	mi := median3(a, lo, hi)
+	a[mi], a[hi-1] = a[hi-1], a[mi]
+	pivot := a[hi-1]
+	p := lo
+	for i := lo; i < hi-1; i++ {
+		if a[i] < pivot {
+			a[i], a[p] = a[p], a[i]
+			p++
+		}
+	}
+	a[p], a[hi-1] = a[hi-1], a[p]
+	return p
+}
+
+func insertionSort(a []int64, lo, hi int64) {
+	for i := lo + 1; i < hi; i++ {
+		v := a[i]
+		j := i - 1
+		for j >= lo && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// RunSortSum executes the benchmark and validates the result (the data is
+// always really sorted and scanned — recursion structure depends on the
+// values, so virtual mode also computes; only the cost model differs).
+func RunSortSum(mode Mode, variant SortVariant, p SortParams) (Result, error) {
+	if p.N <= 0 || p.TS <= 1 {
+		return Result{}, errf("sortsum: bad params %+v", p)
+	}
+	weak := variant == SortWeak
+	rt := nanos.New(mode.config())
+	if tr := rt.Tracer(); tr != nil {
+		// Pre-register the kinds so timeline glyphs are stable across
+		// variants regardless of execution order.
+		for _, k := range []string{"quick_sort", "insertion_sort", "prefix_sum", "prefix_base", "accumulate"} {
+			tr.KindID(k)
+		}
+	}
+	dd := rt.NewData("data", p.N, 8)
+
+	data := make([]int64, p.N)
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := range data {
+		data[i] = rng.Int63n(1 << 30)
+	}
+	ref := make([]int64, p.N)
+	copy(ref, data)
+
+	// quickSort submits the task tree of listing 7's quick_sort: the
+	// enclosing task holds a strong inout over [lo,hi) (it partitions in
+	// place) and weakwait when weak; recursion spawns subtasks per half.
+	var quickBody func(lo, hi int64) func(*nanos.TaskContext)
+	submitQuick := func(tc *nanos.TaskContext, lo, hi int64) {
+		tc.Submit(nanos.TaskSpec{
+			Label:    "quick_sort",
+			Kind:     "quick_sort",
+			Cost:     hi - lo, // partition pass
+			WeakWait: weak,
+			Deps:     []nanos.Dep{nanos.DInOut(dd, nanos.Iv(lo, hi))},
+			Body:     quickBody(lo, hi),
+		})
+	}
+	quickBody = func(lo, hi int64) func(*nanos.TaskContext) {
+		return func(tc *nanos.TaskContext) {
+			if hi-lo <= p.TS {
+				tc.Submit(nanos.TaskSpec{
+					Label: "insertion_sort",
+					Kind:  "insertion_sort",
+					Cost:  (hi - lo) * 4,
+					Deps:  []nanos.Dep{nanos.DInOut(dd, nanos.Iv(lo, hi))},
+					Body:  func(*nanos.TaskContext) { insertionSort(data, lo, hi) },
+				})
+				return
+			}
+			piv := partition(data, lo, hi)
+			// Element piv is in its final position: with weakwait it is
+			// released as soon as this body returns, letting the prefix sum
+			// start on sorted prefixes while sorting continues (§VIII-C).
+			if piv > lo+1 {
+				submitQuick(tc, lo, piv)
+			} else if piv == lo+1 {
+				// Single element left of the pivot is already final.
+				_ = piv
+			}
+			if piv+1 < hi {
+				submitQuick(tc, piv+1, hi)
+			}
+		}
+	}
+
+	// prefixSum mirrors listing 7's prefix_sum: base-case blocks, a
+	// recursive pass over the last element of each block (stride grows by
+	// TS per level), then per-block accumulation of the previous block's
+	// total.
+	var prefixSum func(tc *nanos.TaskContext, lo, n, stride int64)
+	prefixSum = func(tc *nanos.TaskContext, lo, n, stride int64) {
+		if n <= p.TS*stride {
+			tc.Submit(nanos.TaskSpec{
+				Label: "prefix_base",
+				Kind:  "prefix_base",
+				Cost:  n / stride,
+				Deps: []nanos.Dep{
+					nanos.DIn(dd, nanos.Iv(lo, lo+1)),
+					nanos.DInOut(dd, nanos.Iv(lo+stride, lo+n)),
+				},
+				Body: func(*nanos.TaskContext) {
+					for i := stride; i < n; i += stride {
+						data[lo+i] += data[lo+i-stride]
+					}
+				},
+			})
+			return
+		}
+		// Solve the blocks independently (direct calls, as in the paper).
+		for i := int64(0); i < n; i += p.TS * stride {
+			size := min64(p.TS*stride, n-i)
+			prefixSum(tc, lo+i, size, stride)
+		}
+		// Prefix sum over the last element of each block.
+		substart := (p.TS - 1) * stride
+		sub := nanos.Iv(lo+substart, lo+n)
+		dep := nanos.DWeakInOut(dd, sub)
+		if !weak {
+			dep = nanos.DInOut(dd, sub)
+		}
+		tc.Submit(nanos.TaskSpec{
+			Label:    "prefix_sum",
+			Kind:     "prefix_sum",
+			Cost:     1,
+			Touches:  []nanos.Dep{},
+			WeakWait: weak,
+			Deps:     []nanos.Dep{dep},
+			Body: func(tc *nanos.TaskContext) {
+				prefixSum(tc, lo+substart, n-substart, p.TS*stride)
+			},
+		})
+		// Accumulate each block's incoming total over its elements.
+		for i := substart; i+stride < n; i += p.TS * stride {
+			size := min64(p.TS*stride, n-i)
+			base := lo + i
+			tc.Submit(nanos.TaskSpec{
+				Label: "accumulate",
+				Kind:  "accumulate",
+				Cost:  size / stride,
+				Deps: []nanos.Dep{
+					nanos.DIn(dd, nanos.Iv(base, base+1)),
+					nanos.DInOut(dd, nanos.Iv(base+stride, base+size)),
+				},
+				Body: func(*nanos.TaskContext) {
+					for j := stride; j < size; j += stride {
+						data[base+j] += data[base]
+					}
+				},
+			})
+		}
+	}
+
+	startT := time.Now()
+	rt.Run(func(tc *nanos.TaskContext) {
+		// Listing 7 lines 1-5: the sort (strong inout — it partitions) and
+		// the prefix sum (weak — only its leaves touch the data).
+		submitQuick(tc, 0, p.N)
+		pdep := nanos.DWeakInOut(dd, nanos.Iv(0, p.N))
+		if !weak {
+			pdep = nanos.DInOut(dd, nanos.Iv(0, p.N))
+		}
+		tc.Submit(nanos.TaskSpec{
+			Label:    "prefix_sum",
+			Kind:     "prefix_sum",
+			Cost:     1,
+			Touches:  []nanos.Dep{},
+			WeakWait: weak,
+			Deps:     []nanos.Dep{pdep},
+			Body:     func(tc *nanos.TaskContext) { prefixSum(tc, 0, p.N, 1) },
+		})
+	})
+
+	res := measure(rt, startT)
+	// Validate: sorted reference, then inclusive prefix sums.
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	var sum int64
+	for i := range ref {
+		sum += ref[i]
+		if data[i] != sum {
+			return res, errf("sortsum %s: prefix[%d] = %d, want %d", variant, i, data[i], sum)
+		}
+	}
+	return res, nil
+}

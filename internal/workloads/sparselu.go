@@ -1,0 +1,368 @@
+package workloads
+
+import (
+	"math/rand"
+	"time"
+
+	nanos "repro"
+)
+
+// SparseLU — the blocked sparse LU factorization of the Barcelona OpenMP
+// Tasks Suite, the other canonical OmpSs nesting-with-dependencies
+// workload. A B×B block matrix with NULL blocks is factored without
+// pivoting:
+//
+//	for k = 0..B-1:
+//	    lu0(A[k][k])
+//	    for j > k, A[k][j] != NULL:  fwd(A[k][k], A[k][j])
+//	    for i > k, A[i][k] != NULL:  bdiv(A[k][k], A[i][k])
+//	    for i,j > k, A[i][k] != NULL && A[k][j] != NULL:
+//	        allocate A[i][j] if NULL (fill-in)
+//	        bmod(A[i][k], A[k][j], A[i][j])
+//
+// Unlike Cholesky the task graph is *data-dependent*: which kernels exist
+// depends on the sparsity pattern, including fill-in blocks that earlier
+// steps create. A sequential symbolic phase (standard in sparse solvers)
+// materializes the fill-in pattern first, so the panel tasks of the nested
+// variants can generate their kernels concurrently from an immutable
+// structure; the numeric work is then fully task-parallel.
+type SparseLUVariant string
+
+const (
+	// LUFlatDepend: the root generates every kernel task, block deps.
+	LUFlatDepend SparseLUVariant = "flat-depend"
+	// LUNestWeak: one weakwait panel task per k-step with weakinout over
+	// the trailing blocks; the panel generates its kernels (and allocates
+	// the fill-ins it discovers).
+	LUNestWeak SparseLUVariant = "nest-weak"
+	// LUNestDepend: strong panels + taskwait; steps serialize.
+	LUNestDepend SparseLUVariant = "nest-depend"
+)
+
+// SparseLUVariants lists the SparseLU variants.
+var SparseLUVariants = []SparseLUVariant{LUNestWeak, LUFlatDepend, LUNestDepend}
+
+// SparseLUParams sizes the benchmark: a B×B grid of TS×TS blocks with a
+// deterministic sparsity pattern (diagonal always present; off-diagonal
+// block (i,j) present with probability Density).
+type SparseLUParams struct {
+	B       int64
+	TS      int64
+	Density float64
+	Seed    int64
+	// Compute performs the real factorization and validates against the
+	// sequential reference.
+	Compute bool
+}
+
+// luMatrix is the blocked sparse matrix: blocks[i*B+j] == nil means NULL.
+type luMatrix struct {
+	b, ts  int64
+	blocks [][]float64
+}
+
+func (m *luMatrix) at(i, j int64) []float64     { return m.blocks[i*m.b+j] }
+func (m *luMatrix) set(i, j int64, v []float64) { m.blocks[i*m.b+j] = v }
+func (m *luMatrix) alloc(i, j int64) []float64 {
+	if m.at(i, j) == nil {
+		m.set(i, j, make([]float64, m.ts*m.ts))
+	}
+	return m.at(i, j)
+}
+
+// newLUMatrix builds the deterministic sparse input: diagonally dominant
+// diagonal blocks, random sparse off-diagonals.
+func newLUMatrix(p SparseLUParams) *luMatrix {
+	m := &luMatrix{b: p.B, ts: p.TS, blocks: make([][]float64, p.B*p.B)}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := int64(0); i < p.B; i++ {
+		for j := int64(0); j < p.B; j++ {
+			if i != j && rng.Float64() >= p.Density {
+				continue
+			}
+			blk := make([]float64, p.TS*p.TS)
+			for e := range blk {
+				blk[e] = 2*rng.Float64() - 1
+			}
+			if i == j {
+				for d := int64(0); d < p.TS; d++ {
+					blk[d*p.TS+d] += float64(p.TS * p.B) // dominance: no zero pivots
+				}
+			}
+			m.set(i, j, blk)
+		}
+	}
+	return m
+}
+
+// luKernelLU0 factors the diagonal block in place (LU, no pivoting).
+func luKernelLU0(a []float64, ts int64) {
+	for k := int64(0); k < ts; k++ {
+		for i := k + 1; i < ts; i++ {
+			a[i*ts+k] /= a[k*ts+k]
+			for j := k + 1; j < ts; j++ {
+				a[i*ts+j] -= a[i*ts+k] * a[k*ts+j]
+			}
+		}
+	}
+}
+
+// luKernelFwd applies L⁻¹ (unit lower of diag) to a: a := L⁻¹·a.
+func luKernelFwd(diag, a []float64, ts int64) {
+	for k := int64(0); k < ts; k++ {
+		for i := k + 1; i < ts; i++ {
+			l := diag[i*ts+k]
+			for j := int64(0); j < ts; j++ {
+				a[i*ts+j] -= l * a[k*ts+j]
+			}
+		}
+	}
+}
+
+// luKernelBdiv applies U⁻¹ (upper of diag) from the right: a := a·U⁻¹.
+func luKernelBdiv(diag, a []float64, ts int64) {
+	for k := int64(0); k < ts; k++ {
+		d := diag[k*ts+k]
+		for i := int64(0); i < ts; i++ {
+			a[i*ts+k] /= d
+		}
+		for j := k + 1; j < ts; j++ {
+			u := diag[k*ts+j]
+			for i := int64(0); i < ts; i++ {
+				a[i*ts+j] -= a[i*ts+k] * u
+			}
+		}
+	}
+}
+
+// luKernelBmod updates an inner block: inner -= row·col.
+func luKernelBmod(row, col, inner []float64, ts int64) {
+	for i := int64(0); i < ts; i++ {
+		for k := int64(0); k < ts; k++ {
+			r := row[i*ts+k]
+			if r == 0 {
+				continue
+			}
+			for j := int64(0); j < ts; j++ {
+				inner[i*ts+j] -= r * col[k*ts+j]
+			}
+		}
+	}
+}
+
+// luSymbolic materializes every fill-in block the factorization will
+// touch, replicating the sequential fill-in recurrence on the pattern
+// only. After it, the block structure is immutable.
+func luSymbolic(m *luMatrix) {
+	for k := int64(0); k < m.b; k++ {
+		for i := k + 1; i < m.b; i++ {
+			if m.at(i, k) == nil {
+				continue
+			}
+			for j := k + 1; j < m.b; j++ {
+				if m.at(k, j) != nil {
+					m.alloc(i, j)
+				}
+			}
+		}
+	}
+}
+
+// luSequential is the reference factorization (mutates m).
+func luSequential(m *luMatrix) {
+	b, ts := m.b, m.ts
+	for k := int64(0); k < b; k++ {
+		luKernelLU0(m.at(k, k), ts)
+		for j := k + 1; j < b; j++ {
+			if m.at(k, j) != nil {
+				luKernelFwd(m.at(k, k), m.at(k, j), ts)
+			}
+		}
+		for i := k + 1; i < b; i++ {
+			if m.at(i, k) != nil {
+				luKernelBdiv(m.at(k, k), m.at(i, k), ts)
+			}
+		}
+		for i := k + 1; i < b; i++ {
+			if m.at(i, k) == nil {
+				continue
+			}
+			for j := k + 1; j < b; j++ {
+				if m.at(k, j) == nil {
+					continue
+				}
+				luKernelBmod(m.at(i, k), m.at(k, j), m.alloc(i, j), ts)
+			}
+		}
+	}
+}
+
+// RunSparseLU executes one SparseLU variant and returns its measurements
+// plus the number of fill-in blocks allocated.
+func RunSparseLU(mode Mode, variant SparseLUVariant, p SparseLUParams) (Result, int64, error) {
+	if p.B <= 0 || p.TS <= 0 || p.Density < 0 || p.Density > 1 {
+		return Result{}, 0, errf("sparselu: bad params %+v", p)
+	}
+	// Graph-only runs still need the sparsity pattern (it decides the task
+	// set); only the kernel bodies are skipped.
+	m := newLUMatrix(p)
+	before := int64(0)
+	for _, blk := range m.blocks {
+		if blk != nil {
+			before++
+		}
+	}
+	// Symbolic phase: all fill-in materializes here, so the concurrent
+	// panel generators read an immutable structure.
+	luSymbolic(m)
+
+	b, ts := p.B, p.TS
+	bs := ts * ts
+	kflops := ts * ts * ts // uniform kernel cost/flop approximation
+
+	rt := nanos.New(mode.config())
+	ad := rt.NewData("A", b*b*bs, 8)
+	blkIv := func(i, j int64) nanos.Interval {
+		off := (i*b + j) * bs
+		return nanos.Iv(off, off+bs)
+	}
+	run := func(f func()) func(*nanos.TaskContext) {
+		return func(*nanos.TaskContext) {
+			if p.Compute {
+				f()
+			}
+		}
+	}
+
+	// submitStep generates the kernels of step k from the post-symbolic
+	// pattern. Fill-in in row/column k only ever comes from steps before k,
+	// so the pattern step k sees is exactly what a dynamic generation would
+	// have seen — the task set and arithmetic match the reference.
+	submitStep := func(tc *nanos.TaskContext, k int64) {
+		tc.Submit(nanos.TaskSpec{
+			Label: "lu0", Kind: "lu0", Cost: kflops, Flops: kflops,
+			Deps: []nanos.Dep{nanos.DInOut(ad, blkIv(k, k))},
+			Body: run(func() { luKernelLU0(m.at(k, k), ts) }),
+		})
+		for j := k + 1; j < b; j++ {
+			if m.at(k, j) == nil {
+				continue
+			}
+			j := j
+			tc.Submit(nanos.TaskSpec{
+				Label: "fwd", Kind: "fwd", Cost: kflops, Flops: kflops,
+				Deps: []nanos.Dep{nanos.DIn(ad, blkIv(k, k)), nanos.DInOut(ad, blkIv(k, j))},
+				Body: run(func() { luKernelFwd(m.at(k, k), m.at(k, j), ts) }),
+			})
+		}
+		for i := k + 1; i < b; i++ {
+			if m.at(i, k) == nil {
+				continue
+			}
+			i := i
+			tc.Submit(nanos.TaskSpec{
+				Label: "bdiv", Kind: "bdiv", Cost: kflops, Flops: kflops,
+				Deps: []nanos.Dep{nanos.DIn(ad, blkIv(k, k)), nanos.DInOut(ad, blkIv(i, k))},
+				Body: run(func() { luKernelBdiv(m.at(k, k), m.at(i, k), ts) }),
+			})
+		}
+		for i := k + 1; i < b; i++ {
+			if m.at(i, k) == nil {
+				continue
+			}
+			i := i
+			for j := k + 1; j < b; j++ {
+				if m.at(k, j) == nil {
+					continue
+				}
+				j := j
+				tc.Submit(nanos.TaskSpec{
+					Label: "bmod", Kind: "bmod", Cost: kflops, Flops: 2 * kflops,
+					Deps: []nanos.Dep{
+						nanos.DIn(ad, blkIv(i, k)), nanos.DIn(ad, blkIv(k, j)),
+						nanos.DInOut(ad, blkIv(i, j)),
+					},
+					Body: run(func() { luKernelBmod(m.at(i, k), m.at(k, j), m.at(i, j), ts) }),
+				})
+			}
+		}
+	}
+	// stepRegion covers everything step k may touch: the trailing square
+	// [k,b)×[k,b). One contiguous interval per row.
+	stepRegion := func(k int64) []nanos.Interval {
+		ivs := make([]nanos.Interval, 0, b-k)
+		for i := k; i < b; i++ {
+			ivs = append(ivs, nanos.Iv((i*b+k)*bs, (i*b+b)*bs))
+		}
+		return ivs
+	}
+
+	startT := time.Now()
+	switch variant {
+	case LUFlatDepend:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for k := int64(0); k < b; k++ {
+				submitStep(tc, k)
+			}
+		})
+	case LUNestWeak:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for k := int64(0); k < b; k++ {
+				k := k
+				tc.Submit(nanos.TaskSpec{
+					Label: "panel", Kind: "panel",
+					WeakWait: true,
+					Touches:  []nanos.Dep{},
+					Deps:     []nanos.Dep{nanos.DWeakInOut(ad, stepRegion(k)...)},
+					Body:     func(tc *nanos.TaskContext) { submitStep(tc, k) },
+				})
+			}
+		})
+	case LUNestDepend:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for k := int64(0); k < b; k++ {
+				k := k
+				tc.Submit(nanos.TaskSpec{
+					Label: "panel", Kind: "panel",
+					Touches: []nanos.Dep{},
+					Deps:    []nanos.Dep{nanos.DInOut(ad, stepRegion(k)...)},
+					Body: func(tc *nanos.TaskContext) {
+						submitStep(tc, k)
+						if !mode.Virtual {
+							tc.Taskwait()
+						}
+					},
+				})
+			}
+		})
+	default:
+		return Result{}, 0, errf("sparselu: unknown variant %q", variant)
+	}
+
+	res := measure(rt, startT)
+	var after int64
+	for _, blk := range m.blocks {
+		if blk != nil {
+			after++
+		}
+	}
+	fillIns := after - before
+
+	if p.Compute {
+		ref := newLUMatrix(p)
+		luSequential(ref)
+		for idx := range ref.blocks {
+			rb, gb := ref.blocks[idx], m.blocks[idx]
+			if (rb == nil) != (gb == nil) {
+				return res, fillIns, errf("sparselu %s: block %d presence mismatch", variant, idx)
+			}
+			for e := range rb {
+				if rb[e] != gb[e] {
+					return res, fillIns, errf("sparselu %s: block %d elem %d = %v, want %v",
+						variant, idx, e, gb[e], rb[e])
+				}
+			}
+		}
+	}
+	return res, fillIns, nil
+}

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestLUKernelsFactorDenseBlock(t *testing.T) {
+	// One dense 8×8 block: lu0 then L·U must reconstruct the original.
+	const ts = 8
+	p := SparseLUParams{B: 1, TS: ts, Density: 1, Seed: 3}
+	m := newLUMatrix(p)
+	orig := append([]float64(nil), m.at(0, 0)...)
+	luKernelLU0(m.at(0, 0), ts)
+	a := m.at(0, 0)
+	l := func(i, j int64) float64 {
+		switch {
+		case i == j:
+			return 1
+		case i > j:
+			return a[i*ts+j]
+		}
+		return 0
+	}
+	u := func(i, j int64) float64 {
+		if i <= j {
+			return a[i*ts+j]
+		}
+		return 0
+	}
+	for i := int64(0); i < ts; i++ {
+		for j := int64(0); j < ts; j++ {
+			var s float64
+			for k := int64(0); k < ts; k++ {
+				s += l(i, k) * u(k, j)
+			}
+			if math.Abs(s-orig[i*ts+j]) > 1e-9*ts {
+				t.Fatalf("LU[%d,%d] = %v, want %v", i, j, s, orig[i*ts+j])
+			}
+		}
+	}
+}
+
+func TestSparseLUAllVariantsMatchReference(t *testing.T) {
+	p := SparseLUParams{B: 6, TS: 8, Density: 0.4, Seed: 11, Compute: true}
+	for _, v := range SparseLUVariants {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", v, workers), func(t *testing.T) {
+				_, _, err := RunSparseLU(Mode{Workers: workers}, v, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestSparseLUFillIn(t *testing.T) {
+	// A sparse pattern must produce fill-in, and all variants must agree
+	// on how much.
+	p := SparseLUParams{B: 8, TS: 4, Density: 0.3, Seed: 5, Compute: true}
+	var counts []int64
+	for _, v := range SparseLUVariants {
+		_, fills, err := RunSparseLU(Mode{Workers: 4}, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, fills)
+	}
+	if counts[0] == 0 {
+		t.Error("no fill-in on a 30 percent dense pattern; the test is vacuous")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("variant %s fill-ins = %d, want %d", SparseLUVariants[i], counts[i], counts[0])
+		}
+	}
+}
+
+func TestSparseLUDensityExtremes(t *testing.T) {
+	// Fully dense: no fill-in (everything exists). Diagonal-only: nothing
+	// to eliminate, zero fill-in, and the diagonal blocks just factor.
+	_, fills, err := RunSparseLU(Mode{Workers: 2}, LUFlatDepend,
+		SparseLUParams{B: 4, TS: 4, Density: 1, Seed: 1, Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills != 0 {
+		t.Errorf("dense pattern produced %d fill-ins", fills)
+	}
+	_, fills, err = RunSparseLU(Mode{Workers: 2}, LUNestWeak,
+		SparseLUParams{B: 4, TS: 4, Density: 0, Seed: 1, Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills != 0 {
+		t.Errorf("diagonal pattern produced %d fill-ins", fills)
+	}
+}
+
+func TestSparseLULintClean(t *testing.T) {
+	p := SparseLUParams{B: 6, TS: 8, Density: 0.4, Seed: 2, Compute: true}
+	for _, v := range SparseLUVariants {
+		res, _, err := RunSparseLU(Mode{Workers: 4, Verify: true}, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Runtime.ViolationCount(); n != 0 {
+			t.Errorf("%s: %d lint violations: %v", v, n, res.Runtime.Violations())
+		}
+	}
+}
+
+func TestSparseLUVirtualOrdering(t *testing.T) {
+	p := SparseLUParams{B: 10, TS: 8, Density: 0.5, Seed: 9, Compute: false}
+	mode := Mode{Workers: 8, Virtual: true}
+	get := func(v SparseLUVariant) int64 {
+		res, _, err := RunSparseLU(mode, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.VirtualTime
+	}
+	weak, flat, nest := get(LUNestWeak), get(LUFlatDepend), get(LUNestDepend)
+	if weak >= nest {
+		t.Errorf("nest-weak (%d) not faster than nest-depend (%d)", weak, nest)
+	}
+	if f := float64(weak) / float64(flat); f > 1.15 {
+		t.Errorf("nest-weak %.2fx slower than flat-depend; want within 15%%", f)
+	}
+}
+
+func TestSparseLUBadParams(t *testing.T) {
+	if _, _, err := RunSparseLU(Mode{Workers: 1}, LUFlatDepend, SparseLUParams{B: 0, TS: 4}); err == nil {
+		t.Error("B=0 should fail")
+	}
+	if _, _, err := RunSparseLU(Mode{Workers: 1}, SparseLUVariant("nope"), SparseLUParams{B: 2, TS: 2}); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}

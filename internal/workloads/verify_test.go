@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestVerifyLintAllVariants runs every benchmark variant under the
+// runtime's Verify (lint) mode and asserts that the paper's depend
+// annotations are well-formed: no child depend entry escapes its parent's
+// entries. This is exactly the discipline §III and listings 4-7 prescribe —
+// outer depend clauses must protect everything the subtasks access.
+func TestVerifyLintAllVariants(t *testing.T) {
+	mode := Mode{Workers: 4, Verify: true}
+
+	for _, v := range AxpyVariants {
+		t.Run(fmt.Sprintf("axpy/%s", v), func(t *testing.T) {
+			res, err := RunAxpy(mode, v, AxpyParams{N: 1 << 12, Calls: 3, TaskSize: 1 << 10, Alpha: 2, Compute: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := res.Runtime.ViolationCount(); n != 0 {
+				t.Errorf("%d lint violations: %v", n, res.Runtime.Violations())
+			}
+		})
+	}
+	for _, v := range GSVariants {
+		t.Run(fmt.Sprintf("gs/%s", v), func(t *testing.T) {
+			res, err := RunGS(mode, v, GSParams{N: 64, TS: 16, Iters: 3, Compute: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := res.Runtime.ViolationCount(); n != 0 {
+				t.Errorf("%d lint violations: %v", n, res.Runtime.Violations())
+			}
+		})
+	}
+	for _, v := range SortVariants {
+		t.Run(fmt.Sprintf("sortsum/%s", v), func(t *testing.T) {
+			res, err := RunSortSum(mode, v, SortParams{N: 1 << 10, TS: 1 << 6, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := res.Runtime.ViolationCount(); n != 0 {
+				t.Errorf("%d lint violations: %v", n, res.Runtime.Violations())
+			}
+		})
+	}
+}

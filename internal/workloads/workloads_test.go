@@ -1,0 +1,267 @@
+package workloads
+
+import (
+	"testing"
+
+	nanos "repro"
+	"repro/internal/trace"
+)
+
+// Every variant of every benchmark validates its numerical result against a
+// sequential reference inside Run*; these tests drive all of them in both
+// execution modes and additionally check the structural claims of the paper
+// (makespan orderings, phase overlap).
+
+func axpyParams() AxpyParams {
+	return AxpyParams{N: 1 << 12, Calls: 6, TaskSize: 1 << 9, Alpha: 1.5, Compute: true}
+}
+
+func TestAxpyAllVariantsRealMode(t *testing.T) {
+	for _, v := range AxpyVariants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			res, err := RunAxpy(Mode{Workers: 4}, v, axpyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tasks == 0 || res.Flops == 0 {
+				t.Fatalf("missing measurements: %+v", res)
+			}
+		})
+	}
+}
+
+func TestAxpyAllVariantsVirtualMode(t *testing.T) {
+	p := axpyParams()
+	for _, v := range AxpyVariants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			res, err := RunAxpy(Mode{Workers: 8, Virtual: true}, v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.VirtualTime == 0 {
+				t.Fatal("virtual time not measured")
+			}
+		})
+	}
+}
+
+// TestAxpyVirtualOrdering: the paper's headline ordering at high core
+// counts — the weak variants pipeline calls, nest-depend serializes them.
+func TestAxpyVirtualOrdering(t *testing.T) {
+	p := AxpyParams{N: 1 << 14, Calls: 8, TaskSize: 1 << 10, Alpha: 1, Compute: false}
+	mode := Mode{Workers: 16, Virtual: true}
+	times := map[AxpyVariant]int64{}
+	for _, v := range AxpyVariants {
+		res, err := RunAxpy(mode, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[v] = res.VirtualTime
+	}
+	if times[AxpyNestWeak] > times[AxpyNestDepend] {
+		t.Fatalf("nest-weak (%d) should not be slower than nest-depend (%d)",
+			times[AxpyNestWeak], times[AxpyNestDepend])
+	}
+	if times[AxpyNestWeakRelease] > times[AxpyNestWeak] {
+		t.Fatalf("release (%d) should not be slower than plain weakwait (%d)",
+			times[AxpyNestWeakRelease], times[AxpyNestWeak])
+	}
+	// flat-depend uncovers the same dependencies as nest-weak.
+	if times[AxpyFlatDepend] > times[AxpyNestDepend] {
+		t.Fatalf("flat-depend (%d) should beat nest-depend (%d)",
+			times[AxpyFlatDepend], times[AxpyNestDepend])
+	}
+}
+
+func TestAxpyFeaturesTable(t *testing.T) {
+	for _, v := range AxpyVariants {
+		nested, outer, inner, sync := AxpyFeatures(v)
+		if nested == "?" {
+			t.Fatalf("missing feature row for %s", v)
+		}
+		_ = outer
+		_ = inner
+		_ = sync
+	}
+	if n, _, _, _ := AxpyFeatures(AxpyFlatDepend); n != "no" {
+		t.Fatal("flat-depend is not nested")
+	}
+}
+
+func TestAxpyBadParams(t *testing.T) {
+	if _, err := RunAxpy(Mode{}, AxpyNestWeak, AxpyParams{}); err == nil {
+		t.Fatal("expected error for zero params")
+	}
+	if _, err := RunAxpy(Mode{}, AxpyVariant("nope"), axpyParams()); err == nil {
+		t.Fatal("expected error for unknown variant")
+	}
+}
+
+func gsParams() GSParams {
+	return GSParams{N: 64, TS: 16, Iters: 3, Compute: true}
+}
+
+func TestGSAllVariantsRealMode(t *testing.T) {
+	for _, v := range GSVariants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			res, err := RunGS(Mode{Workers: 4}, v, gsParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tasks == 0 {
+				t.Fatal("no tasks ran")
+			}
+		})
+	}
+}
+
+func TestGSAllVariantsVirtualMode(t *testing.T) {
+	for _, v := range GSVariants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			if _, err := RunGS(Mode{Workers: 8, Virtual: true}, v, gsParams()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGSReleaseByPanel(t *testing.T) {
+	p := gsParams()
+	p.ReleaseByPanel = true
+	if _, err := RunGS(Mode{Workers: 4}, GSNestWeakRelease, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGSVirtualEffectiveParallelism: the Figure 6 shape — with plenty of
+// cores, nest-weak exposes cross-iteration wavefronts while nest-depend is
+// capped by a single iteration's parallelism.
+func TestGSVirtualEffectiveParallelism(t *testing.T) {
+	p := GSParams{N: 256, TS: 32, Iters: 8, Compute: false}
+	mode := Mode{Workers: 16, Virtual: true}
+	weak, err := RunGS(mode, GSNestWeak, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := RunGS(mode, GSNestDepend, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := RunGS(mode, GSFlatDepend, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.EffectiveParallelism <= dep.EffectiveParallelism {
+		t.Fatalf("nest-weak EP %.2f should exceed nest-depend EP %.2f",
+			weak.EffectiveParallelism, dep.EffectiveParallelism)
+	}
+	// nest-weak should be in the same league as flat-depend (the paper's
+	// single-domain equivalence).
+	if weak.EffectiveParallelism < 0.8*flat.EffectiveParallelism {
+		t.Fatalf("nest-weak EP %.2f too far below flat-depend EP %.2f",
+			weak.EffectiveParallelism, flat.EffectiveParallelism)
+	}
+}
+
+func TestGSBadParams(t *testing.T) {
+	if _, err := RunGS(Mode{}, GSNestWeak, GSParams{N: 10, TS: 3, Iters: 1}); err == nil {
+		t.Fatal("expected error: N not a multiple of TS")
+	}
+}
+
+func sortParams() SortParams { return SortParams{N: 1 << 12, TS: 1 << 6, Seed: 42} }
+
+func TestSortSumBothVariantsRealMode(t *testing.T) {
+	for _, v := range SortVariants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			if _, err := RunSortSum(Mode{Workers: 4}, v, sortParams()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSortSumBothVariantsVirtualMode(t *testing.T) {
+	for _, v := range SortVariants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			if _, err := RunSortSum(Mode{Workers: 8, Virtual: true}, v, sortParams()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSortSumPhaseOverlap reproduces Figure 7's claim quantitatively: with
+// weak dependencies and weakwait the sort and prefix-sum phases overlap in
+// time; with regular dependencies they cannot. Virtual mode makes the
+// schedule deterministic.
+func TestSortSumPhaseOverlap(t *testing.T) {
+	p := SortParams{N: 1 << 14, TS: 1 << 8, Seed: 7}
+	mode := Mode{Workers: 8, Virtual: true, Trace: true}
+
+	overlap := func(v SortVariant) int64 {
+		res, err := RunSortSum(mode, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := res.Runtime.Tracer()
+		var sortKinds, prefixKinds []trace.Kind
+		for i, name := range tr.Kinds() {
+			switch name {
+			case "quick_sort", "insertion_sort":
+				sortKinds = append(sortKinds, trace.Kind(i))
+			case "prefix_base", "prefix_sum", "accumulate":
+				prefixKinds = append(prefixKinds, trace.Kind(i))
+			}
+		}
+		return tr.Overlap(sortKinds, prefixKinds)
+	}
+
+	weakOv := overlap(SortWeak)
+	regOv := overlap(SortRegular)
+	if weakOv <= 0 {
+		t.Fatalf("weak variant should overlap sort and prefix phases, got %d", weakOv)
+	}
+	if regOv > 0 {
+		t.Fatalf("regular variant should fully serialize the phases, got overlap %d", regOv)
+	}
+}
+
+// TestSortSumAlreadySorted: degenerate input exercises the partition edge
+// cases (all-equal and sorted runs).
+func TestSortSumDegenerateInputs(t *testing.T) {
+	// The generator uses a fixed seed; exercise small N and tiny TS where
+	// base cases and pivot ties dominate.
+	for _, n := range []int64{2, 3, 64, 257} {
+		if _, err := RunSortSum(Mode{Workers: 2}, SortWeak, SortParams{N: n, TS: 4, Seed: 1}); err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+	}
+}
+
+// TestAxpyCacheSimLocality: the Figure 3 mechanism — with hand-off the weak
+// variant keeps successor blocks on the producing worker, so its miss ratio
+// must not exceed the nest-depend variant's. Virtual mode for determinism.
+func TestAxpyCacheSimLocality(t *testing.T) {
+	cache := nanos.CacheConfig{LineBytes: 128, Ways: 16, Sets: 170}
+	p := AxpyParams{N: 1 << 14, Calls: 8, TaskSize: 1 << 10, Alpha: 1, Compute: false}
+	mode := Mode{Workers: 8, Virtual: true, Cache: &cache}
+	weak, err := RunAxpy(mode, AxpyNestWeak, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := RunAxpy(mode, AxpyNestDepend, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.MissRatio > dep.MissRatio+0.01 {
+		t.Fatalf("nest-weak miss ratio %.3f should not exceed nest-depend %.3f",
+			weak.MissRatio, dep.MissRatio)
+	}
+}

@@ -1,0 +1,187 @@
+// Package nanos is a Go reproduction of the tasking runtime described in
+// "Improving the Integration of Task Nesting and Dependencies in OpenMP"
+// (Pérez, Beltran, Labarta, Ayguadé; IPDPS 2017) — the runtime the paper
+// calls Nanos6.
+//
+// The package provides an OpenMP-4.x-style tasking model extended with the
+// paper's three contributions:
+//
+//   - the wait-style detached completion (§IV): a task's body returns
+//     immediately and the task completes when all of its descendants do —
+//     no in-body taskwait required (though Taskwait is available);
+//   - the weakwait clause and release directive (§V): fine-grained release
+//     of dependencies across nesting levels — at body exit (or earlier, via
+//     Release) each dependency region not covered by a live subtask is
+//     released, and covered regions are handed over to release exactly when
+//     the covering subtask finishes;
+//   - weak dependency types (§VI): depend entries that link the dependency
+//     domains of nesting levels without deferring the task itself, so outer
+//     tasks instantiate their subtasks in parallel and the subtasks inherit
+//     the incoming dependency edges.
+//
+// Dependencies are declared over element intervals of registered data
+// objects and may overlap partially (§VII); the engine fragments accesses
+// as needed.
+//
+// A minimal program:
+//
+//	rt := nanos.New(nanos.Config{Workers: 4})
+//	x := rt.NewData("x", 1024, 8)
+//	rt.Run(func(tc *nanos.TaskContext) {
+//	    tc.Submit(nanos.TaskSpec{
+//	        Label: "produce",
+//	        Deps:  []nanos.Dep{nanos.DOut(x, nanos.Iv(0, 1024))},
+//	        Body:  func(tc *nanos.TaskContext) { /* write x */ },
+//	    })
+//	    tc.Submit(nanos.TaskSpec{
+//	        Label: "consume",
+//	        Deps:  []nanos.Dep{nanos.DIn(x, nanos.Iv(0, 1024))},
+//	        Body:  func(tc *nanos.TaskContext) { /* read x */ },
+//	    })
+//	})
+package nanos
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/regions"
+	"repro/internal/sched"
+)
+
+// Core vocabulary, re-exported so user code only imports this package.
+type (
+	// Config configures a Runtime; see the field docs in internal/core.
+	Config = core.Config
+	// Runtime executes one task program (single Run per Runtime).
+	Runtime = core.Runtime
+	// TaskContext is passed to task bodies for submitting subtasks,
+	// waiting, and releasing dependencies.
+	TaskContext = core.TaskContext
+	// TaskSpec describes a task to submit.
+	TaskSpec = core.TaskSpec
+	// Dep is one depend-clause entry.
+	Dep = core.Dep
+	// DataID identifies a registered data object.
+	DataID = core.DataID
+	// Interval is a half-open element interval [Lo, Hi).
+	Interval = core.Interval
+	// AccessType is In, Out, or InOut.
+	AccessType = core.AccessType
+	// CacheConfig configures the per-worker cache simulation.
+	CacheConfig = cachesim.Config
+	// Policy is the ready-queue discipline.
+	Policy = sched.Policy
+	// DepStats exposes dependency-engine activity counters.
+	DepStats = deps.Stats
+	// TaskError reports a panic recovered from a task body; returned by
+	// Runtime.RunChecked (and re-panicked by Runtime.Run).
+	TaskError = core.TaskError
+	// Violation is one finding of the Config.Verify lint checks.
+	Violation = core.Violation
+	// ViolationKind classifies a Violation.
+	ViolationKind = core.ViolationKind
+	// Section2D describes a rectangular section of a row-major 2-D array.
+	Section2D = regions.Section2D
+)
+
+// Access types for Dep.Type.
+const (
+	In    = core.In
+	Out   = core.Out
+	InOut = core.InOut
+	// Red is a task-reduction access (an extension beyond the paper,
+	// following its future-work direction §X): reduction tasks over the
+	// same region execute concurrently — their bodies must combine
+	// contributions atomically — while readers and writers order against
+	// the whole group, across nesting levels.
+	Red = core.Red
+)
+
+// Ready-queue policies for Config.Policy.
+const (
+	FIFO = sched.FIFO
+	LIFO = sched.LIFO
+	// Priority dispatches the ready task with the highest TaskSpec.Priority
+	// first (FIFO among equals) — the OpenMP 4.5 priority clause.
+	Priority = sched.Priority
+)
+
+// Verification finding kinds.
+const (
+	// VTouch is a Touch assertion not covered by the task's strong entries.
+	VTouch = core.VTouch
+	// VChildCoverage is a child depend entry not covered by the parent's.
+	VChildCoverage = core.VChildCoverage
+)
+
+// New creates a runtime.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// Iv constructs the half-open interval [lo, hi).
+func Iv(lo, hi int64) Interval { return regions.Iv(lo, hi) }
+
+// DefaultL2Cache approximates one ThunderX core's share of L2 (§VIII).
+func DefaultL2Cache() CacheConfig { return cachesim.DefaultL2() }
+
+// DefaultSharedL2Cache is the full ThunderX 16 MiB shared L2, for use with
+// Config.SharedCache.
+func DefaultSharedL2Cache() CacheConfig { return cachesim.DefaultSharedL2() }
+
+// DIn builds a strong read dependency: depend(in: ...).
+func DIn(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: In, Ivs: ivs}
+}
+
+// DOut builds a strong overwrite dependency: depend(out: ...).
+func DOut(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: Out, Ivs: ivs}
+}
+
+// DInOut builds a strong read-write dependency: depend(inout: ...).
+func DInOut(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: InOut, Ivs: ivs}
+}
+
+// DWeakIn builds a weak read dependency: depend(weakin: ...) (§VI).
+func DWeakIn(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: In, Weak: true, Ivs: ivs}
+}
+
+// DWeakOut builds a weak overwrite dependency: depend(weakout: ...) (§VI).
+func DWeakOut(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: Out, Weak: true, Ivs: ivs}
+}
+
+// DWeakInOut builds a weak read-write dependency: depend(weakinout: ...)
+// (§VI).
+func DWeakInOut(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: InOut, Weak: true, Ivs: ivs}
+}
+
+// DRed builds a task-reduction dependency: tasks in the same reduction
+// group run concurrently; readers and writers order against the group.
+func DRed(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: Red, Ivs: ivs}
+}
+
+// DWeakRed builds a weak reduction dependency: a linking point that lets a
+// subtree contribute to an enclosing reduction group without deferring the
+// task itself.
+func DWeakRed(data DataID, ivs ...Interval) Dep {
+	return Dep{Data: data, Type: Red, Weak: true, Ivs: ivs}
+}
+
+// BlockInterval returns the flat interval of tile (i, j) in a block-array
+// layout [blocksPerSide][blocksPerSide][ts][ts] with contiguous tiles (the
+// Gauss-Seidel layout of the paper's listing 6).
+func BlockInterval(blocksPerSide, ts, i, j int64) Interval {
+	return regions.BlockInterval(blocksPerSide, ts, i, j)
+}
+
+// Strided returns the intervals of a strided section: count runs of runLen
+// elements every stride, starting at start (the prefix-sum depend shapes of
+// listing 7).
+func Strided(start, runLen, stride, count int64) []Interval {
+	return regions.Strided(start, runLen, stride, count)
+}

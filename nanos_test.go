@@ -1,0 +1,145 @@
+package nanos_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	nanos "repro"
+)
+
+// TestPublicAPIQuickstart runs the doc-comment program shape end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 4})
+	x := rt.NewData("x", 1024, 8)
+	data := make([]float64, 1024)
+	var sum atomic.Int64
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Submit(nanos.TaskSpec{
+			Label: "produce",
+			Deps:  []nanos.Dep{nanos.DOut(x, nanos.Iv(0, 1024))},
+			Body: func(tc *nanos.TaskContext) {
+				for i := range data {
+					data[i] = 1
+				}
+			},
+		})
+		tc.Submit(nanos.TaskSpec{
+			Label: "consume",
+			Deps:  []nanos.Dep{nanos.DIn(x, nanos.Iv(0, 1024))},
+			Body: func(tc *nanos.TaskContext) {
+				var s float64
+				for _, v := range data {
+					s += v
+				}
+				sum.Store(int64(s))
+			},
+		})
+	})
+	if sum.Load() != 1024 {
+		t.Fatalf("consumer read %d, want 1024 (dependency violated)", sum.Load())
+	}
+}
+
+// TestPublicAPIWeakNesting runs the paper's listing 5 shape (axpy with weak
+// outer accesses) through the public API and checks the arithmetic.
+func TestPublicAPIWeakNesting(t *testing.T) {
+	const n, s, calls = 1 << 12, 1 << 8, 5
+	const alpha = 2.0
+	rt := nanos.New(nanos.Config{Workers: 4})
+	xd := rt.NewData("x", n, 8)
+	yd := rt.NewData("y", n, 8)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	rt.Run(func(tc *nanos.TaskContext) {
+		for c := 0; c < calls; c++ {
+			tc.Submit(nanos.TaskSpec{
+				Label:    "axpy",
+				WeakWait: true,
+				Deps: []nanos.Dep{
+					nanos.DWeakIn(xd, nanos.Iv(0, n)),
+					nanos.DWeakInOut(yd, nanos.Iv(0, n)),
+				},
+				Body: func(tc *nanos.TaskContext) {
+					for start := int64(0); start < n; start += s {
+						start := start
+						end := start + s
+						if end > n {
+							end = n
+						}
+						tc.Submit(nanos.TaskSpec{
+							Label: "axpy-block",
+							Deps: []nanos.Dep{
+								nanos.DIn(xd, nanos.Iv(start, end)),
+								nanos.DInOut(yd, nanos.Iv(start, end)),
+							},
+							Body: func(*nanos.TaskContext) {
+								for i := start; i < end; i++ {
+									y[i] += alpha * x[i]
+								}
+							},
+						})
+					}
+				},
+			})
+		}
+	})
+	for i, v := range y {
+		if v != calls*alpha {
+			t.Fatalf("y[%d] = %v, want %v", i, v, float64(calls*alpha))
+		}
+	}
+	if st := rt.DepStats(); st.Handovers == 0 {
+		t.Fatal("weakwait hand-overs expected")
+	}
+}
+
+// TestPublicAPIHelpers covers the small constructors.
+func TestPublicAPIHelpers(t *testing.T) {
+	d := nanos.DataID(3)
+	cases := []struct {
+		dep  nanos.Dep
+		typ  nanos.AccessType
+		weak bool
+	}{
+		{nanos.DIn(d, nanos.Iv(0, 1)), nanos.In, false},
+		{nanos.DOut(d, nanos.Iv(0, 1)), nanos.Out, false},
+		{nanos.DInOut(d, nanos.Iv(0, 1)), nanos.InOut, false},
+		{nanos.DWeakIn(d, nanos.Iv(0, 1)), nanos.In, true},
+		{nanos.DWeakOut(d, nanos.Iv(0, 1)), nanos.Out, true},
+		{nanos.DWeakInOut(d, nanos.Iv(0, 1)), nanos.InOut, true},
+		{nanos.DRed(d, nanos.Iv(0, 1)), nanos.Red, false},
+		{nanos.DWeakRed(d, nanos.Iv(0, 1)), nanos.Red, true},
+	}
+	for i, c := range cases {
+		if c.dep.Data != d || c.dep.Type != c.typ || c.dep.Weak != c.weak {
+			t.Fatalf("case %d: %+v", i, c.dep)
+		}
+	}
+	if iv := nanos.BlockInterval(4, 8, 1, 2); iv.Lo != 6*64 || iv.Len() != 64 {
+		t.Fatalf("BlockInterval = %v", iv)
+	}
+	if ivs := nanos.Strided(0, 1, 4, 3); len(ivs) != 3 {
+		t.Fatalf("Strided = %v", ivs)
+	}
+	if c := nanos.DefaultL2Cache(); c.CapacityBytes() == 0 {
+		t.Fatal("DefaultL2Cache empty")
+	}
+}
+
+// TestPublicAPIVirtualMode exercises virtual mode through the public API.
+func TestPublicAPIVirtualMode(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 8, Virtual: true})
+	d := rt.NewData("x", 4, 8)
+	rt.Run(func(tc *nanos.TaskContext) {
+		for i := int64(0); i < 4; i++ {
+			tc.Submit(nanos.TaskSpec{Label: "t", Cost: 7,
+				Deps: []nanos.Dep{nanos.DInOut(d, nanos.Iv(i, i+1))}})
+		}
+	})
+	if rt.VirtualTime() != 7 {
+		t.Fatalf("VirtualTime = %d, want 7 (independent tasks)", rt.VirtualTime())
+	}
+}

@@ -1,0 +1,152 @@
+package nanos_test
+
+// Public-API tests of the task-reduction extension (the paper's future-work
+// direction §X integrated with nesting and weak dependencies).
+
+import (
+	"sync/atomic"
+	"testing"
+
+	nanos "repro"
+)
+
+// TestReductionParallelSum: N reduction tasks accumulate into one scalar
+// concurrently; a reader afterwards sees the complete sum.
+func TestReductionParallelSum(t *testing.T) {
+	const n = 64
+	rt := nanos.New(nanos.Config{Workers: 8})
+	d := rt.NewData("acc", 1, 8)
+	var acc atomic.Int64
+	var final int64
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Submit(nanos.TaskSpec{
+			Label: "init",
+			Deps:  []nanos.Dep{nanos.DOut(d, nanos.Iv(0, 1))},
+			Body:  func(*nanos.TaskContext) { acc.Store(1000) },
+		})
+		for i := 0; i < n; i++ {
+			tc.Submit(nanos.TaskSpec{
+				Label: "add",
+				Deps:  []nanos.Dep{nanos.DRed(d, nanos.Iv(0, 1))},
+				Body:  func(*nanos.TaskContext) { acc.Add(1) },
+			})
+		}
+		tc.Submit(nanos.TaskSpec{
+			Label: "read",
+			Deps:  []nanos.Dep{nanos.DIn(d, nanos.Iv(0, 1))},
+			Body:  func(*nanos.TaskContext) { final = acc.Load() },
+		})
+	})
+	if final != 1000+n {
+		t.Fatalf("reader saw %d, want %d (group not isolated)", final, 1000+n)
+	}
+}
+
+// TestReductionGroupRunsConcurrently: two reduction tasks rendezvous —
+// which deadlocks if the engine serializes the group.
+func TestReductionGroupRunsConcurrently(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 2})
+	d := rt.NewData("acc", 1, 8)
+	c1 := make(chan struct{})
+	c2 := make(chan struct{})
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Submit(nanos.TaskSpec{Label: "r1",
+			Deps: []nanos.Dep{nanos.DRed(d, nanos.Iv(0, 1))},
+			Body: func(*nanos.TaskContext) { close(c1); <-c2 }})
+		tc.Submit(nanos.TaskSpec{Label: "r2",
+			Deps: []nanos.Dep{nanos.DRed(d, nanos.Iv(0, 1))},
+			Body: func(*nanos.TaskContext) { close(c2); <-c1 }})
+	})
+}
+
+// TestReductionNestedWeak: reduction contributions from nested subtrees
+// through weak reduction covers, overlapping across subtrees.
+func TestReductionNestedWeak(t *testing.T) {
+	const perTree = 16
+	rt := nanos.New(nanos.Config{Workers: 4})
+	d := rt.NewData("acc", 1, 8)
+	var acc atomic.Int64
+	var final int64
+	subtree := func(tc *nanos.TaskContext) {
+		tc.Submit(nanos.TaskSpec{
+			Label:    "branch",
+			WeakWait: true,
+			Deps:     []nanos.Dep{nanos.DWeakRed(d, nanos.Iv(0, 1))},
+			Body: func(tc *nanos.TaskContext) {
+				for i := 0; i < perTree; i++ {
+					tc.Submit(nanos.TaskSpec{
+						Label: "leaf-add",
+						Deps:  []nanos.Dep{nanos.DRed(d, nanos.Iv(0, 1))},
+						Body:  func(*nanos.TaskContext) { acc.Add(1) },
+					})
+				}
+			},
+		})
+	}
+	rt.Run(func(tc *nanos.TaskContext) {
+		subtree(tc)
+		subtree(tc)
+		subtree(tc)
+		tc.Submit(nanos.TaskSpec{
+			Label: "read",
+			Deps:  []nanos.Dep{nanos.DIn(d, nanos.Iv(0, 1))},
+			Body:  func(*nanos.TaskContext) { final = acc.Load() },
+		})
+	})
+	if final != 3*perTree {
+		t.Fatalf("reader saw %d, want %d", final, 3*perTree)
+	}
+}
+
+// TestReductionOrderAgainstWriter: reductions wait for a prior writer and
+// a later writer waits for the group (checked via virtual-time structure).
+func TestReductionOrderAgainstWriter(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 8, Virtual: true})
+	d := rt.NewData("acc", 1, 8)
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Submit(nanos.TaskSpec{Label: "w1", Cost: 10,
+			Deps: []nanos.Dep{nanos.DInOut(d, nanos.Iv(0, 1))}})
+		for i := 0; i < 6; i++ {
+			tc.Submit(nanos.TaskSpec{Label: "red", Cost: 5,
+				Deps: []nanos.Dep{nanos.DRed(d, nanos.Iv(0, 1))}})
+		}
+		tc.Submit(nanos.TaskSpec{Label: "w2", Cost: 10,
+			Deps: []nanos.Dep{nanos.DInOut(d, nanos.Iv(0, 1))}})
+	})
+	// w1 (10) → all reductions in parallel (5) → w2 (10) = 25.
+	if got := rt.VirtualTime(); got != 25 {
+		t.Fatalf("makespan = %d, want 25 (10 + 5 + 10)", got)
+	}
+}
+
+// BenchmarkReductionVsSerialized quantifies the extension: a reduction
+// group versus the same accumulation expressed as a serializing inout
+// chain (the only pre-extension formulation).
+func BenchmarkReductionVsSerialized(b *testing.B) {
+	const n = 256
+	run := func(typ nanos.AccessType) int64 {
+		rt := nanos.New(nanos.Config{Workers: 16, Virtual: true})
+		d := rt.NewData("acc", 1, 8)
+		rt.Run(func(tc *nanos.TaskContext) {
+			for i := 0; i < n; i++ {
+				tc.Submit(nanos.TaskSpec{Label: "add", Cost: 4,
+					Deps: []nanos.Dep{{Data: d, Type: typ, Ivs: []nanos.Interval{nanos.Iv(0, 1)}}}})
+			}
+		})
+		return rt.VirtualTime()
+	}
+	b.Run("reduction", func(b *testing.B) {
+		var vt int64
+		for i := 0; i < b.N; i++ {
+			vt = run(nanos.Red)
+		}
+		b.ReportMetric(float64(vt), "virtual-time")
+	})
+	b.Run("inout-chain", func(b *testing.B) {
+		var vt int64
+		for i := 0; i < b.N; i++ {
+			vt = run(nanos.InOut)
+		}
+		b.ReportMetric(float64(vt), "virtual-time")
+	})
+}

