@@ -1,0 +1,33 @@
+# Build/test entry points; CI (.github/workflows/ci.yml) runs the same
+# targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-short depbench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race pass: the stress suites trim their seed counts under
+# -short so this stays CI-friendly.
+race:
+	$(GO) test -race -short ./...
+
+# Quick benchmark smoke: every benchmark runs at least once (correctness
+# of the benchmark code), without the full measurement sweeps.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Dependency-engine contention table (global vs sharded engine).
+depbench:
+	$(GO) run ./cmd/depbench
+
+ci: build vet test race bench-short

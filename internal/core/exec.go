@@ -20,15 +20,30 @@ func (r *Runtime) enqueue(t *Task, from int) {
 }
 
 // dispatchAll enqueues every ready node. Newly ready tasks enter the
-// throttle window here (the window counts ready-but-unstarted tasks).
+// throttle window here (the window counts ready-but-unstarted tasks). In
+// real mode the whole batch is admitted in one scheduler call — a release
+// cascade that readies many successors pays one ready-pool lock
+// acquisition, not one per edge.
 func (r *Runtime) dispatchAll(nodes []*deps.Node, from int) {
 	if len(nodes) == 0 {
 		return
 	}
 	r.open.Add(int64(len(nodes)))
-	for _, n := range nodes {
-		r.enqueue(n.User.(*Task), from)
+	if r.v != nil {
+		for _, n := range nodes {
+			r.venqueue(n.User.(*Task))
+		}
+		return
 	}
+	if len(nodes) == 1 {
+		r.sch.Submit(nodes[0].User.(*Task), from)
+		return
+	}
+	tasks := make([]*Task, len(nodes))
+	for i, n := range nodes {
+		tasks[i] = n.User.(*Task)
+	}
+	r.sch.SubmitBatch(tasks, from)
 }
 
 // dispatchPreferFirst enqueues all but one ready task and returns that one
@@ -41,11 +56,9 @@ func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int) *Task {
 		r.dispatchAll(nodes, w)
 		return nil
 	}
-	r.open.Add(int64(len(nodes)))
 	next := nodes[0].User.(*Task)
-	for _, n := range nodes[1:] {
-		r.enqueue(n.User.(*Task), w)
-	}
+	r.open.Add(1)
+	r.dispatchAll(nodes[1:], w)
 	return next
 }
 

@@ -71,6 +71,15 @@ type Config struct {
 	// Cilk-style work stealing (self-LIFO, steal-FIFO). Policy is ignored
 	// when set. Real mode only.
 	Stealing bool
+	// DepEngine selects the dependency-engine implementation. EngineAuto
+	// (the zero value) picks the per-data-object sharded engine in real
+	// mode — depend clauses over disjoint data then register and release
+	// with no common lock — and the single-lock global engine in virtual
+	// mode, whose ready ordering keeps the deterministic golden makespans
+	// stable. Both implementations enforce identical semantics (the
+	// differential tests in internal/deps prove it); selecting one
+	// explicitly is for benchmarks and A/B comparisons.
+	DepEngine deps.EngineKind
 	// NoHandoff disables direct successor hand-off: by default, a worker
 	// that finishes a task immediately runs one of the tasks its completion
 	// made ready. This is the locality policy §VIII-A credits for the lower
@@ -127,7 +136,7 @@ type dataInfo struct {
 // single-run: create one, call Run once, then read the metrics.
 type Runtime struct {
 	cfg    Config
-	eng    *deps.Engine
+	eng    deps.Engine
 	sch    sched.Queue[*Task]
 	tracer *trace.Tracer
 	caches *cachesim.Group
@@ -165,7 +174,15 @@ func New(cfg Config) *Runtime {
 		cfg.Workers = 1
 	}
 	r := &Runtime{cfg: cfg, rootDone: make(chan struct{})}
-	r.eng = deps.NewEngine(cfg.Observer)
+	kind := cfg.DepEngine
+	if kind == deps.EngineAuto {
+		if cfg.Virtual {
+			kind = deps.EngineGlobal
+		} else {
+			kind = deps.EngineSharded
+		}
+	}
+	r.eng = deps.NewEngine(kind, cfg.Observer)
 	r.throttleCond = sync.NewCond(&r.throttleMu)
 	if cfg.EnableTrace {
 		r.tracer = trace.New(cfg.Workers)

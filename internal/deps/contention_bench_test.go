@@ -1,0 +1,100 @@
+package deps
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"repro/internal/regions"
+)
+
+// Engine contention benchmarks: w worker goroutines drive independent
+// register → complete → grant chains through one engine. Under the
+// disjoint workload every worker owns its own data object, so the sharded
+// engine gives each worker a private lock while the global engine
+// serializes all of them behind one mutex — the contention pathology this
+// benchmark quantifies. The shared workload puts every worker on the same
+// data object (one hot shard), which bounds the sharded engine's worst
+// case.
+//
+// GOMAXPROCS is raised to the worker count for the duration, so the
+// contention is real even on small hosts (oversubscribed OS threads
+// convoying on one mutex is exactly the production pathology).
+
+// benchChains runs b.N register+complete chain steps split over w
+// goroutines; dataFor assigns each worker its data object.
+func benchChains(b *testing.B, kind EngineKind, w int, dataFor func(worker int) DataID) {
+	prev := runtime.GOMAXPROCS(0)
+	if w > prev {
+		runtime.GOMAXPROCS(w)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	// Engine ops allocate (nodes, fragments, interval-map entries); on
+	// small oversubscribed hosts the collector's own locks would otherwise
+	// drown the engine locks this benchmark is about.
+	defer debug.SetGCPercent(debug.SetGCPercent(1000))
+	b.ReportAllocs()
+	e := NewEngine(kind, nil)
+	root := e.NewNode(nil, "root", nil)
+	e.Register(root, nil)
+	// One generator parent per worker: chains of different workers are
+	// fully independent, as if produced by parallel nesting tasks.
+	parents := make([]*Node, w)
+	for i := range parents {
+		parents[i] = e.NewNode(root, fmt.Sprintf("gen%d", i), nil)
+		e.Register(parents[i], nil)
+	}
+	perW := (b.N + w - 1) / w
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := dataFor(i)
+			ivs := []regions.Interval{regions.Iv(int64(i)*64, int64(i)*64+64)}
+			var prev *Node
+			for n := 0; n < perW; n++ {
+				nd := e.NewNode(parents[i], "t", nil)
+				e.Register(nd, []Spec{{Data: data, Type: InOut, Ivs: ivs}})
+				if prev != nil {
+					e.Complete(prev) // releases, granting readiness to nd
+				}
+				prev = nd
+			}
+			if prev != nil {
+				e.Complete(prev)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BenchmarkSubmitDisjoint: every worker registers and releases over its
+// own data object — the embarrassingly-shardable case the sharded engine
+// is built for.
+func BenchmarkSubmitDisjoint(b *testing.B) {
+	for _, kind := range []EngineKind{EngineGlobal, EngineSharded} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w=%d", kind, w), func(b *testing.B) {
+				benchChains(b, kind, w, func(worker int) DataID { return DataID(worker) })
+			})
+		}
+	}
+}
+
+// BenchmarkSubmitShared: every worker hammers the same data object (the
+// intervals stay disjoint, so no cross-worker dependencies form — only
+// lock contention differs). One hot shard degenerates the sharded engine
+// to a global lock; this bounds its overhead in the worst case.
+func BenchmarkSubmitShared(b *testing.B) {
+	for _, kind := range []EngineKind{EngineGlobal, EngineSharded} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w=%d", kind, w), func(b *testing.B) {
+				benchChains(b, kind, w, func(int) DataID { return 0 })
+			})
+		}
+	}
+}

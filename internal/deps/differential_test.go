@@ -1,0 +1,280 @@
+package deps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regions"
+)
+
+// Differential property tests: the global-lock engine and the sharded
+// engine are driven in lockstep over the same randomly generated program.
+// After every executed task the two ready sets must be identical — the
+// strongest observable-equivalence criterion the engine interface offers —
+// and on top of that each engine's execution is independently checked
+// against the sequential oracle (no happens-before violation, identical
+// final data state), both must reach quiescence (zero live fragments, no
+// lost tasks), and their activity counters must agree. A sharding bug that
+// reorders, drops, or duplicates a grant diverges one of these checks.
+
+// runDifferential executes prog through both engines in lockstep, picking
+// the next task with rng among the (identical) ready sets.
+func runDifferential(t *testing.T, prog []*simTask, universe map[DataID]int64, seed int64) bool {
+	g := newSimEngine(t, EngineGlobal, universe)
+	s := newSimEngine(t, EngineSharded, universe)
+	g.start(prog)
+	s.start(prog)
+	rng := rand.New(rand.NewSource(seed))
+	for step := 0; ; step++ {
+		gl := append([]string(nil), g.readyLabels()...)
+		sl := append([]string(nil), s.readyLabels()...)
+		sort.Strings(gl)
+		sort.Strings(sl)
+		if !equalStrings(gl, sl) {
+			t.Errorf("step %d: ready sets diverged\n  global:  %v\n  sharded: %v", step, gl, sl)
+			return false
+		}
+		if len(gl) == 0 {
+			break
+		}
+		pick := gl[rng.Intn(len(gl))]
+		g.step(pick)
+		s.step(pick)
+		if t.Failed() {
+			return false
+		}
+	}
+	if g.done != g.total || s.done != s.total {
+		t.Errorf("lost tasks: global %d/%d, sharded %d/%d", g.done, g.total, s.done, s.total)
+		return false
+	}
+	for d := range universe {
+		for p := range g.data[d] {
+			if g.data[d][p] != s.data[d][p] {
+				t.Errorf("final state diverged at data %d elem %d: global %d, sharded %d",
+					d, p, g.data[d][p], s.data[d][p])
+				return false
+			}
+		}
+	}
+	gs, ss := g.eng.Stats(), s.eng.Stats()
+	if gs != ss {
+		t.Errorf("stats diverged:\n  global:  %+v\n  sharded: %+v", gs, ss)
+		return false
+	}
+	if gs.Releases < gs.Fragments {
+		t.Errorf("%d fragments but only %d releases (leaked pieces)", gs.Fragments, gs.Releases)
+		return false
+	}
+	if lf := g.eng.LiveFragments(); lf != 0 {
+		t.Errorf("global engine not quiescent: %d live fragments", lf)
+		return false
+	}
+	if lf := s.eng.LiveFragments(); lf != 0 {
+		t.Errorf("sharded engine not quiescent: %d live fragments", lf)
+		return false
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// multiUniverse is the data universe of the multi-object generators: four
+// data objects so that multi-object depend clauses and cross-shard
+// readiness are the common case, not the exception.
+const diffDatas = 4
+
+func multiUniverse() map[DataID]int64 {
+	u := make(map[DataID]int64, diffDatas)
+	for d := 0; d < diffDatas; d++ {
+		u[DataID(d)] = quickUniverse
+	}
+	return u
+}
+
+// genMultiFlat generates a flat program whose tasks carry specs over
+// several data objects (the multi-shard Register path).
+func genMultiFlat(rng *rand.Rand) []*simTask {
+	n := 4 + rng.Intn(16)
+	tasks := make([]*simTask, 0, n)
+	for i := 0; i < n; i++ {
+		var specs []Spec
+		nd := 1 + rng.Intn(3)
+		for _, d := range rng.Perm(diffDatas)[:nd] {
+			for _, iv := range genDisjoint(rng, 2, 8) {
+				specs = append(specs, Spec{Data: DataID(d), Type: randType(rng), Ivs: []regions.Interval{iv}})
+			}
+		}
+		tasks = append(tasks, &simTask{label: fmt.Sprintf("t%d", i), specs: specs})
+	}
+	return tasks
+}
+
+// genMultiNested generates nested tasks whose covers span several data
+// objects: each nesting task covers one interval per chosen data (weakly
+// or strongly) and spawns children whose accesses stay inside one of the
+// covers, with weakwait and early release mixed in.
+func genMultiNested(rng *rand.Rand, depth int) []*simTask {
+	n := 2 + rng.Intn(4)
+	tasks := make([]*simTask, 0, n)
+	id := 0
+	var gen func(covers map[DataID]regions.Interval, depth int, prefix string) *simTask
+	gen = func(covers map[DataID]regions.Interval, depth int, prefix string) *simTask {
+		id++
+		t := &simTask{
+			label:    fmt.Sprintf("%s%d", prefix, id),
+			weakwait: rng.Intn(10) < 7,
+		}
+		datas := make([]DataID, 0, len(covers))
+		for d := range covers {
+			datas = append(datas, d)
+		}
+		sort.Slice(datas, func(i, j int) bool { return datas[i] < datas[j] })
+		for _, d := range datas {
+			t.specs = append(t.specs, Spec{
+				Data: d, Type: InOut, Weak: rng.Intn(10) < 7,
+				Ivs: []regions.Interval{covers[d]},
+			})
+		}
+		nKids := 1 + rng.Intn(3)
+		for k := 0; k < nKids; k++ {
+			d := datas[rng.Intn(len(datas))]
+			cover := covers[d]
+			if cover.Len() < 2 {
+				continue
+			}
+			lo := cover.Lo + rng.Int63n(cover.Len())
+			hi := lo + 1 + rng.Int63n(cover.Hi-lo)
+			sub := regions.Iv(lo, hi)
+			if depth > 1 && sub.Len() >= 4 && rng.Intn(3) == 0 {
+				t.children = append(t.children, gen(map[DataID]regions.Interval{d: sub}, depth-1, prefix))
+			} else {
+				id++
+				t.children = append(t.children, &simTask{
+					label: fmt.Sprintf("%sL%d", prefix, id),
+					specs: []Spec{{Data: d, Type: randType(rng), Ivs: []regions.Interval{sub}}},
+				})
+			}
+		}
+		// Occasionally release one cover early (after child creation).
+		if rng.Intn(4) == 0 {
+			d := datas[rng.Intn(len(datas))]
+			t.releaseAfter = []Spec{{Data: d, Ivs: []regions.Interval{covers[d]}}}
+		}
+		return t
+	}
+	for i := 0; i < n; i++ {
+		covers := make(map[DataID]regions.Interval)
+		nd := 1 + rng.Intn(2)
+		for _, d := range rng.Perm(diffDatas)[:nd] {
+			lo := int64(rng.Intn(quickUniverse - 8))
+			ln := int64(6 + rng.Intn(16))
+			covers[DataID(d)] = regions.Iv(lo, min64(lo+ln, quickUniverse))
+		}
+		tasks = append(tasks, gen(covers, depth, fmt.Sprintf("n%d.", i)))
+	}
+	return tasks
+}
+
+func TestDifferentialFlatMultiData(t *testing.T) {
+	if testEngineKind != EngineGlobal {
+		t.Skip("differential test instantiates both engines explicitly")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genMultiFlat(rng)
+		for order := 0; order < 3; order++ {
+			if !runDifferential(t, prog, multiUniverse(), seed*31+int64(order)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialNestedWeakMultiData(t *testing.T) {
+	if testEngineKind != EngineGlobal {
+		t.Skip("differential test instantiates both engines explicitly")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genMultiNested(rng, 2)
+		for order := 0; order < 3; order++ {
+			if !runDifferential(t, prog, multiUniverse(), seed*37+int64(order)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialDeepNesting(t *testing.T) {
+	if testEngineKind != EngineGlobal {
+		t.Skip("differential test instantiates both engines explicitly")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genMultiNested(rng, 3)
+		for order := 0; order < 2; order++ {
+			if !runDifferential(t, prog, multiUniverse(), seed*41+int64(order)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialSingleData pins the single-shard case: with one data
+// object the sharded engine degenerates to one lock, and the two engines
+// must agree on the existing single-data generators too (nesting, weak
+// accesses, release directives).
+func TestDifferentialSingleData(t *testing.T) {
+	if testEngineKind != EngineGlobal {
+		t.Skip("differential test instantiates both engines explicitly")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var prog []*simTask
+		flat := genFlat(rng)
+		nested := genNested(rng, 2)
+		for i := 0; i < len(flat) || i < len(nested); i++ {
+			if i < len(flat) {
+				prog = append(prog, flat[i])
+			}
+			if i < len(nested) {
+				prog = append(prog, nested[i])
+			}
+		}
+		for order := 0; order < 2; order++ {
+			if !runDifferential(t, prog, u(quickUniverse), seed*43+int64(order)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(24))}); err != nil {
+		t.Fatal(err)
+	}
+}

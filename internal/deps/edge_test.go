@@ -51,7 +51,7 @@ func TestWeakAccessNeverTouched(t *testing.T) {
 // TestReleaseUnknownData: releasing a region of data the task never
 // declared is a no-op.
 func TestReleaseUnknownData(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	n := e.NewNode(root, "n", nil)
@@ -144,7 +144,7 @@ func TestSiblingsAfterWeakwaitHandover(t *testing.T) {
 
 // TestEmptyIntervalSpecsIgnored: empty intervals in a spec are skipped.
 func TestEmptyIntervalSpecsIgnored(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	n := e.NewNode(root, "n", nil)
@@ -159,7 +159,7 @@ func TestEmptyIntervalSpecsIgnored(t *testing.T) {
 
 // TestDoubleRegisterPanics: registering a node twice is an engine-use bug.
 func TestDoubleRegisterPanics(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	n := e.NewNode(root, "n", nil)
@@ -174,7 +174,7 @@ func TestDoubleRegisterPanics(t *testing.T) {
 
 // TestRootWithSpecsPanics: the root cannot have dependencies.
 func TestRootWithSpecsPanics(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	defer func() {
 		if recover() == nil {

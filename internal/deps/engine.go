@@ -2,6 +2,7 @@ package deps
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/regions"
@@ -20,17 +21,99 @@ type Stats struct {
 	Releases  int64 // pieces released
 }
 
-// Engine computes and enforces dependencies for a tree of Nodes. All public
-// methods are safe for concurrent use; internally a single mutex serializes
-// the dependency structures, and an explicit event queue runs all cascades
-// iteratively so no interval map is mutated while being iterated.
-type Engine struct {
-	mu        sync.Mutex
-	queue     []event
-	ready     []*Node
-	obs       Observer
-	stats     Stats
-	liveFrags int64
+func (s *Stats) add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Fragments += o.Fragments
+	s.Links += o.Links
+	s.Inbounds += o.Inbounds
+	s.Grants += o.Grants
+	s.Handovers += o.Handovers
+	s.Releases += o.Releases
+}
+
+// Engine computes and enforces dependencies for a tree of Nodes. All
+// methods are safe for concurrent use. Two implementations share the exact
+// same linking and release semantics and differ only in their locking
+// discipline:
+//
+//   - GlobalEngine serializes every operation behind one mutex (the
+//     reference implementation, and the simplest to reason about).
+//   - ShardedEngine partitions all dependency state per data object, so
+//     tasks whose depend clauses touch disjoint data register, fragment,
+//     and release fully concurrently.
+//
+// The differential tests in this package drive both implementations in
+// lockstep over randomly generated programs to prove them observably
+// equivalent.
+type Engine interface {
+	// Stats returns a snapshot of the activity counters.
+	Stats() Stats
+	// LiveFragments returns the number of fragments not yet fully released.
+	// A quiescent engine at the end of a run must report zero: a non-zero
+	// value means dependencies leaked, which the runtime's Debug mode turns
+	// into an end-of-run error.
+	LiveFragments() int64
+	// NewNode creates a node under parent (nil for the root node). The node
+	// must be registered with Register before it can become ready.
+	NewNode(parent *Node, label string, user any) *Node
+	// Register links the node's depend entries into its parent's domain and
+	// reports whether the node is immediately ready to execute (all strong
+	// accesses satisfied — weak accesses never defer execution, §VI).
+	Register(n *Node, specs []Spec) bool
+	// BodyDone implements the weakwait clause (§V): the task's code has
+	// ended, so every access piece not covered by a live child access
+	// releases immediately, and covered pieces are handed over to release
+	// when the covering child accesses drain. Returns nodes that became
+	// ready.
+	BodyDone(n *Node) []*Node
+	// ReleaseRegions implements the release directive (§V): the task asserts
+	// it and its future subtasks will no longer reference the given subset
+	// of its depend clause. Covered pieces are handed over / released
+	// exactly as at weakwait, and the regions are removed from the access
+	// map so future children cannot link through them. Types and weakness
+	// in specs are ignored; only (Data, Ivs) select what to release.
+	ReleaseRegions(n *Node, specs []Spec) []*Node
+	// Complete finalizes the node once its code and all descendants have
+	// finished: every remaining piece is marked done and released as soon as
+	// it is satisfied. For NoWait/Wait tasks this is the single bulk release
+	// the paper attributes to taskwait-terminated tasks; for WeakWait tasks
+	// it only sweeps pieces that were never handed over.
+	Complete(n *Node) []*Node
+}
+
+// EngineKind selects an Engine implementation.
+type EngineKind uint8
+
+const (
+	// EngineAuto lets the caller pick a default. deps.NewEngine resolves it
+	// to EngineSharded; the core runtime resolves it to EngineSharded in
+	// real mode and EngineGlobal in virtual mode (the virtual driver is
+	// single-threaded, and the global engine's ready ordering keeps the
+	// golden makespans stable).
+	EngineAuto EngineKind = iota
+	// EngineGlobal is the single-mutex reference engine.
+	EngineGlobal
+	// EngineSharded is the per-data-object sharded engine.
+	EngineSharded
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineGlobal:
+		return "global"
+	case EngineSharded:
+		return "sharded"
+	}
+	return "auto"
+}
+
+// NewEngine returns an engine of the given kind. obs may be nil.
+// EngineAuto resolves to the sharded engine.
+func NewEngine(kind EngineKind, obs Observer) Engine {
+	if kind == EngineGlobal {
+		return NewGlobalEngine(obs)
+	}
+	return NewShardedEngine(obs)
 }
 
 type evKind uint8
@@ -50,92 +133,62 @@ type event struct {
 	data   DataID
 }
 
-// NewEngine returns an engine. obs may be nil.
-func NewEngine(obs Observer) *Engine {
-	return &Engine{obs: obs}
+// depCore holds the dependency structures' mutable bookkeeping — the event
+// queue, the ready list, and the activity counters — together with every
+// linking and cascade rule of the engine. It is the lock-free heart shared
+// by both Engine implementations: GlobalEngine owns exactly one depCore
+// behind one mutex; ShardedEngine owns one per data-object shard, each
+// behind its own mutex. A depCore must only be entered while holding the
+// owning lock, and every interval map it touches must belong to that lock's
+// shard (for the global engine: everything).
+//
+// All cascade effects (satisfaction grants, domain drain, hand-over
+// release) run through the explicit event queue so that no interval map is
+// structurally modified while being iterated. Crucially, every event stays
+// within the data object that produced it — successor links, inbound waiter
+// links, domain cells, and hand-over targets all connect fragments of one
+// DataID — which is the property that makes per-data sharding sound.
+type depCore struct {
+	queue     []event
+	ready     []*Node
+	stats     Stats
+	liveFrags int64
+	obs       Observer
 }
 
-// Stats returns a snapshot of the activity counters.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
-}
-
-// LiveFragments returns the number of fragments not yet fully released. A
-// quiescent engine at the end of a run must report zero: a non-zero value
-// means dependencies leaked, which the runtime's Debug mode turns into an
-// end-of-run error.
-func (e *Engine) LiveFragments() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.liveFrags
-}
-
-// NewNode creates a node under parent (nil for the root node). The node
-// must be registered with Register before it can become ready.
-func (e *Engine) NewNode(parent *Node, label string, user any) *Node {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Nodes++
-	n := &Node{parent: parent, label: label, User: user}
-	if e.obs != nil {
-		e.obs.NodeCreated(n, parent)
-	}
-	return n
-}
-
-// Register links the node's depend entries into its parent's domain and
-// reports whether the node is immediately ready to execute (all strong
-// accesses satisfied — weak accesses never defer execution, §VI).
-func (e *Engine) Register(n *Node, specs []Spec) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if n.registered {
-		panic("deps: node registered twice: " + n.label)
-	}
-	if len(specs) > 0 && n.parent == nil {
-		panic("deps: root node cannot have dependencies")
-	}
-	for _, spec := range specs {
-		acc := &access{node: n, spec: spec}
-		n.accesses = append(n.accesses, acc)
-		am := n.accessMapEnsure(spec.Data)
-		for _, iv := range spec.Ivs {
-			if iv.Empty() {
-				continue
-			}
-			overlap := false
-			am.VisitRange(iv, func(regions.Interval, **fragment) { overlap = true })
-			if overlap {
-				panic(fmt.Sprintf("deps: task %q declares overlapping depend entries over data %d %v", n.label, spec.Data, iv))
-			}
-			f := newFragment(acc, iv)
-			acc.frags = append(acc.frags, f)
-			e.stats.Fragments++
-			e.liveFrags++
-			e.linkFragment(n, f)
-			am.Set(iv, f)
+// registerSpec links one depend entry of n. The caller holds the lock
+// covering spec.Data and has already run the registration-wide sanity
+// checks. Registration only creates fragments and charges pending grants —
+// it never releases anything, so no event can be queued here.
+func (c *depCore) registerSpec(n *Node, spec Spec) {
+	acc := &access{node: n, spec: spec}
+	n.accesses = append(n.accesses, acc)
+	am := n.accessMapEnsure(spec.Data)
+	for _, iv := range spec.Ivs {
+		if iv.Empty() {
+			continue
 		}
-	}
-	n.registered = true
-	if n.unsat == 0 {
-		n.readyNotified = true
-		if e.obs != nil {
-			e.obs.NodeReady(n)
+		overlap := false
+		am.VisitRange(iv, func(regions.Interval, **fragment) { overlap = true })
+		if overlap {
+			panic(fmt.Sprintf("deps: task %q declares overlapping depend entries over data %d %v", n.label, spec.Data, iv))
 		}
-		return true
+		f := newFragment(acc, iv)
+		acc.frags = append(acc.frags, f)
+		c.stats.Fragments++
+		c.liveFrags++
+		c.linkFragment(n, f)
+		am.Set(iv, f)
 	}
-	return false
 }
 
 // linkFragment fragments f against the parent domain and links each cell.
-func (e *Engine) linkFragment(n *Node, f *fragment) {
+func (c *depCore) linkFragment(n *Node, f *fragment) {
 	dm := n.parent.domainEnsure(f.data())
 	dm.Materialize(f.iv,
 		func(regions.Interval) cellState { return cellState{} },
 		func(cIv regions.Interval, cs *cellState) {
-			e.linkCell(n, f, cIv, cs)
+			c.linkCell(n, f, cIv, cs)
 		})
 }
 
@@ -144,19 +197,19 @@ func (e *Engine) linkFragment(n *Node, f *fragment) {
 // when the cell has no usable history (§VI). Reduction accesses (§X) form
 // commuting groups: they link after prior writers/readers but not after
 // each other, and everything later links after the whole group.
-func (e *Engine) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellState) {
+func (c *depCore) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellState) {
 	virgin := cs.lastWriter == nil && !cs.written
 	switch f.typ() {
 	case In:
 		if len(cs.reds) > 0 {
 			// A reader after a reduction group waits for every member.
 			for _, rd := range cs.reds {
-				e.linkAfter(rd, f, cIv, 1, 0)
+				c.linkAfter(rd, f, cIv, 1, 0)
 			}
 		} else if cs.lastWriter != nil {
-			e.linkAfter(cs.lastWriter, f, cIv, 1, 0)
+			c.linkAfter(cs.lastWriter, f, cIv, 1, 0)
 		} else if !cs.written {
-			e.inbound(n, f, cIv, false)
+			c.inbound(n, f, cIv, false)
 		}
 		cs.readers = append(cs.readers, f)
 	case Red:
@@ -165,27 +218,27 @@ func (e *Engine) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellSt
 		// must inbound-link individually (like concurrent readers), and
 		// later accesses order after the group members transitively.
 		if cs.lastWriter != nil {
-			e.linkAfter(cs.lastWriter, f, cIv, 1, 1)
+			c.linkAfter(cs.lastWriter, f, cIv, 1, 1)
 		}
 		for _, r := range cs.readers {
-			e.linkAfter(r, f, cIv, 0, 1)
+			c.linkAfter(r, f, cIv, 0, 1)
 		}
 		if virgin {
-			e.inbound(n, f, cIv, true)
+			c.inbound(n, f, cIv, true)
 		}
 		cs.reds = append(cs.reds, f)
 	default: // Out, InOut
 		if cs.lastWriter != nil {
-			e.linkAfter(cs.lastWriter, f, cIv, 1, 1)
+			c.linkAfter(cs.lastWriter, f, cIv, 1, 1)
 		}
 		for _, r := range cs.readers {
-			e.linkAfter(r, f, cIv, 0, 1)
+			c.linkAfter(r, f, cIv, 0, 1)
 		}
 		for _, rd := range cs.reds {
-			e.linkAfter(rd, f, cIv, 1, 1)
+			c.linkAfter(rd, f, cIv, 1, 1)
 		}
 		if virgin {
-			e.inbound(n, f, cIv, true)
+			c.inbound(n, f, cIv, true)
 		}
 		cs.lastWriter = f
 		cs.readers = nil
@@ -197,7 +250,7 @@ func (e *Engine) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellSt
 
 // linkAfter creates successor links from every unreleased piece of pred
 // inside iv to g, and charges the corresponding pending grants to g.
-func (e *Engine) linkAfter(pred, g *fragment, iv regions.Interval, dR, dW int32) {
+func (c *depCore) linkAfter(pred, g *fragment, iv regions.Interval, dR, dW int32) {
 	if pred.node() == g.node() {
 		// A task never depends on itself; overlapping own entries are
 		// rejected at registration, so this only guards engine internals.
@@ -207,11 +260,11 @@ func (e *Engine) linkAfter(pred, g *fragment, iv regions.Interval, dR, dW int32)
 		if ps.released {
 			return
 		}
-		e.addPending(g, pIv, dR, dW)
+		c.addPending(g, pIv, dR, dW)
 		pred.succs = append(pred.succs, link{target: g, iv: pIv, dR: dR, dW: dW})
-		e.stats.Links++
-		if e.obs != nil {
-			e.obs.Link(pred.node(), g.node(), g.data(), pIv, false)
+		c.stats.Links++
+		if c.obs != nil {
+			c.obs.Link(pred.node(), g.node(), g.data(), pIv, false)
 		}
 	})
 }
@@ -220,12 +273,9 @@ func (e *Engine) linkAfter(pred, g *fragment, iv regions.Interval, dR, dW int32)
 // fragments: the child waits for the parent access's read (reader) or write
 // (writer) satisfaction. Intervals with no covering parent access are
 // unprotected and impose no ordering.
-func (e *Engine) inbound(n *Node, f *fragment, cIv regions.Interval, isWrite bool) {
+func (c *depCore) inbound(n *Node, f *fragment, cIv regions.Interval, isWrite bool) {
 	parent := n.parent
-	if parent.accessMap == nil {
-		return
-	}
-	am := parent.accessMap[f.data()]
+	am := parent.accessMapFor(f.data())
 	if am == nil {
 		return
 	}
@@ -240,18 +290,18 @@ func (e *Engine) inbound(n *Node, f *fragment, cIv regions.Interval, isWrite boo
 				if ps.wSat() {
 					return
 				}
-				e.addPending(f, pIv, 1, 1)
+				c.addPending(f, pIv, 1, 1)
 				pf.wWaiters = append(pf.wWaiters, link{target: f, iv: pIv, dR: 1, dW: 1})
 			} else {
 				if ps.rSat() {
 					return
 				}
-				e.addPending(f, pIv, 1, 0)
+				c.addPending(f, pIv, 1, 0)
 				pf.rWaiters = append(pf.rWaiters, link{target: f, iv: pIv, dR: 1, dW: 0})
 			}
-			e.stats.Inbounds++
-			if e.obs != nil {
-				e.obs.Link(parent, n, f.data(), pIv, true)
+			c.stats.Inbounds++
+			if c.obs != nil {
+				c.obs.Link(parent, n, f.data(), pIv, true)
 			}
 		})
 	})
@@ -259,106 +309,58 @@ func (e *Engine) inbound(n *Node, f *fragment, cIv regions.Interval, isWrite boo
 
 // addPending charges (dR,dW) outstanding grants to g over iv, maintaining
 // the owner node's unsatisfied-length accounting for strong accesses.
-func (e *Engine) addPending(g *fragment, iv regions.Interval, dR, dW int32) {
+func (c *depCore) addPending(g *fragment, iv regions.Interval, dR, dW int32) {
 	n := g.node()
 	strong := !g.weak()
 	reader := g.typ() == In
 	g.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
 		if dR > 0 {
 			if strong && reader && ps.pendR == 0 {
-				n.unsat += pIv.Len()
+				n.unsat.Add(pIv.Len())
 			}
 			ps.pendR += dR
 		}
 		if dW > 0 {
 			if strong && !reader && ps.pendW == 0 {
-				n.unsat += pIv.Len()
+				n.unsat.Add(pIv.Len())
 			}
 			ps.pendW += dW
 		}
 	})
 }
 
-// BodyDone implements the weakwait clause (§V): the task's code has ended,
-// so every access piece not covered by a live child access releases
-// immediately, and covered pieces are handed over to release when the
-// covering child accesses drain. Returns nodes that became ready.
-func (e *Engine) BodyDone(n *Node) []*Node {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, acc := range n.accesses {
-		for _, f := range acc.frags {
-			e.handOverOrRelease(n, f, f.iv)
-		}
+// releaseSpec applies the release directive to one spec: covered pieces
+// are handed over / released exactly as at weakwait, and the regions are
+// removed from the access map so future children cannot link through them.
+// The caller holds the lock covering spec.Data.
+func (c *depCore) releaseSpec(n *Node, spec Spec) {
+	am := n.accessMapFor(spec.Data)
+	if am == nil {
+		return
 	}
-	e.drainQueue()
-	return e.takeReady()
-}
-
-// ReleaseRegions implements the release directive (§V): the task asserts it
-// and its future subtasks will no longer reference the given subset of its
-// depend clause. Covered pieces are handed over / released exactly as at
-// weakwait, and the regions are removed from the access map so future
-// children cannot link through them. Types and weakness in specs are
-// ignored; only (Data, Ivs) select what to release.
-func (e *Engine) ReleaseRegions(n *Node, specs []Spec) []*Node {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, spec := range specs {
-		if n.accessMap == nil {
-			continue
+	for _, iv := range spec.Ivs {
+		type pair struct {
+			f  *fragment
+			iv regions.Interval
 		}
-		am := n.accessMap[spec.Data]
-		if am == nil {
-			continue
+		var pairs []pair
+		am.VisitRange(iv, func(aIv regions.Interval, pfp **fragment) {
+			pairs = append(pairs, pair{*pfp, aIv})
+		})
+		for _, p := range pairs {
+			c.handOverOrRelease(n, p.f, p.iv)
 		}
-		for _, iv := range spec.Ivs {
-			type pair struct {
-				f  *fragment
-				iv regions.Interval
-			}
-			var pairs []pair
-			am.VisitRange(iv, func(aIv regions.Interval, pfp **fragment) {
-				pairs = append(pairs, pair{*pfp, aIv})
-			})
-			for _, p := range pairs {
-				e.handOverOrRelease(n, p.f, p.iv)
-			}
-			am.Remove(iv)
-		}
+		am.Remove(iv)
 	}
-	e.drainQueue()
-	return e.takeReady()
-}
-
-// Complete finalizes the node once its code and all descendants have
-// finished: every remaining piece is marked done and released as soon as it
-// is satisfied. For NoWait/Wait tasks this is the single bulk release the
-// paper attributes to taskwait-terminated tasks; for WeakWait tasks it only
-// sweeps pieces that were never handed over.
-func (e *Engine) Complete(n *Node) []*Node {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	n.completed = true
-	for _, acc := range n.accesses {
-		for _, f := range acc.frags {
-			e.markDone(f, f.iv)
-		}
-	}
-	e.drainQueue()
-	return e.takeReady()
 }
 
 // handOverOrRelease applies the fine-grained release logic to fragment f
 // over iv: pieces over live inner-domain cells are handed over; everything
 // else is marked done (released once satisfied).
-func (e *Engine) handOverOrRelease(n *Node, f *fragment, iv regions.Interval) {
-	dm := (*regions.Map[cellState])(nil)
-	if n.domain != nil {
-		dm = n.domain[f.data()]
-	}
+func (c *depCore) handOverOrRelease(n *Node, f *fragment, iv regions.Interval) {
+	dm := n.domainFor(f.data())
 	if dm == nil {
-		e.markDone(f, iv)
+		c.markDone(f, iv)
 		return
 	}
 	dm.VisitRangeGaps(iv,
@@ -368,35 +370,35 @@ func (e *Engine) handOverOrRelease(n *Node, f *fragment, iv regions.Interval) {
 					panic("deps: conflicting hand-over targets over one cell")
 				}
 				cs.handover = f
-				e.stats.Handovers++
+				c.stats.Handovers++
 				f.state.VisitRange(cIv, func(pIv regions.Interval, ps *pieceState) {
 					if !ps.released {
 						ps.done = true
 						ps.waitDrain = true
 					}
 				})
-				if e.obs != nil {
-					e.obs.Handover(n, f.data(), cIv)
+				if c.obs != nil {
+					c.obs.Handover(n, f.data(), cIv)
 				}
 			} else {
-				e.markDone(f, cIv)
+				c.markDone(f, cIv)
 			}
 		},
 		func(gap regions.Interval) {
-			e.markDone(f, gap)
+			c.markDone(f, gap)
 		})
 }
 
 // markDone marks f's pieces over iv as having reached their completion
 // point and releases the ones already satisfied.
-func (e *Engine) markDone(f *fragment, iv regions.Interval) {
+func (c *depCore) markDone(f *fragment, iv regions.Interval) {
 	f.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
 		if ps.released {
 			return
 		}
 		ps.done = true
 		ps.waitDrain = false
-		e.tryRelease(f, pIv, ps)
+		c.tryRelease(f, pIv, ps)
 	})
 	f.state.MergeRange(iv, releasedEqual)
 }
@@ -412,7 +414,7 @@ func releasedEqual(a, b pieceState) bool { return a.released && b.released }
 
 // tryRelease releases the piece if all release conditions hold. Cascade
 // effects are pushed on the event queue.
-func (e *Engine) tryRelease(f *fragment, pIv regions.Interval, ps *pieceState) {
+func (c *depCore) tryRelease(f *fragment, pIv regions.Interval, ps *pieceState) {
 	if ps.released || !ps.done || ps.waitDrain || !ps.typeSat(f.typ()) {
 		return
 	}
@@ -420,47 +422,47 @@ func (e *Engine) tryRelease(f *fragment, pIv regions.Interval, ps *pieceState) {
 	// Normalize the dead piece so adjacent released pieces compare equal
 	// and coalesce (releasedEqual); nothing reads these fields afterwards.
 	ps.pendR, ps.pendW = 0, 0
-	e.stats.Releases++
+	c.stats.Releases++
 	f.relLen += pIv.Len()
 	if f.relLen == f.iv.Len() {
-		e.liveFrags--
+		c.liveFrags--
 	}
-	if e.obs != nil {
-		e.obs.Released(f.node(), f.data(), pIv)
+	if c.obs != nil {
+		c.obs.Released(f.node(), f.data(), pIv)
 	}
 	for _, l := range f.succs {
 		ov := l.iv.Intersect(pIv)
 		if !ov.Empty() {
-			e.queue = append(e.queue, event{kind: evGrant, frag: l.target, iv: ov, dR: l.dR, dW: l.dW})
+			c.queue = append(c.queue, event{kind: evGrant, frag: l.target, iv: ov, dR: l.dR, dW: l.dW})
 		}
 	}
 	if f.node().parent != nil {
-		e.queue = append(e.queue, event{kind: evDomainDec, owner: f.node().parent, data: f.data(), iv: pIv})
+		c.queue = append(c.queue, event{kind: evDomainDec, owner: f.node().parent, data: f.data(), iv: pIv})
 	}
 }
 
 // drainQueue processes cascade events until quiescence. Each handler visits
 // exactly one interval map and defers further effects to the queue.
-func (e *Engine) drainQueue() {
-	for i := 0; i < len(e.queue); i++ {
-		ev := e.queue[i]
+func (c *depCore) drainQueue() {
+	for i := 0; i < len(c.queue); i++ {
+		ev := c.queue[i]
 		switch ev.kind {
 		case evGrant:
-			e.handleGrant(ev.frag, ev.iv, ev.dR, ev.dW)
+			c.handleGrant(ev.frag, ev.iv, ev.dR, ev.dW)
 		case evDomainDec:
-			e.handleDomainDec(ev.owner, ev.data, ev.iv)
+			c.handleDomainDec(ev.owner, ev.data, ev.iv)
 		case evDrain:
-			e.handleDrain(ev.frag, ev.iv)
+			c.handleDrain(ev.frag, ev.iv)
 		}
 	}
-	e.queue = e.queue[:0]
+	c.queue = c.queue[:0]
 }
 
 // handleGrant delivers a satisfaction grant to frag over iv, firing
 // satisfaction transitions: node readiness for strong accesses, waiter
 // grants for weak linking points, and release checks.
-func (e *Engine) handleGrant(f *fragment, iv regions.Interval, dR, dW int32) {
-	e.stats.Grants++
+func (c *depCore) handleGrant(f *fragment, iv regions.Interval, dR, dW int32) {
+	c.stats.Grants++
 	n := f.node()
 	strong := !f.weak()
 	reader := f.typ() == In
@@ -482,33 +484,33 @@ func (e *Engine) handleGrant(f *fragment, iv regions.Interval, dR, dW int32) {
 		}
 		if strong {
 			if (reader && rSatNow) || (!reader && wSatNow) {
-				e.nodeSatisfy(n, pIv.Len())
+				c.nodeSatisfy(n, pIv.Len())
 			}
 		}
 		if rSatNow {
-			e.queueWaiterGrants(f.rWaiters, pIv)
+			c.queueWaiterGrants(f.rWaiters, pIv)
 		}
 		if wSatNow {
-			e.queueWaiterGrants(f.wWaiters, pIv)
+			c.queueWaiterGrants(f.wWaiters, pIv)
 		}
-		e.tryRelease(f, pIv, ps)
+		c.tryRelease(f, pIv, ps)
 	})
 	f.state.MergeRange(iv, releasedEqual)
 }
 
-func (e *Engine) queueWaiterGrants(waiters []link, pIv regions.Interval) {
+func (c *depCore) queueWaiterGrants(waiters []link, pIv regions.Interval) {
 	for _, w := range waiters {
 		ov := w.iv.Intersect(pIv)
 		if !ov.Empty() {
-			e.queue = append(e.queue, event{kind: evGrant, frag: w.target, iv: ov, dR: w.dR, dW: w.dW})
+			c.queue = append(c.queue, event{kind: evGrant, frag: w.target, iv: ov, dR: w.dR, dW: w.dW})
 		}
 	}
 }
 
 // handleDomainDec decrements the live-registration count of the owner's
 // domain cells over iv; cells that drain fire their pending hand-over.
-func (e *Engine) handleDomainDec(owner *Node, data DataID, iv regions.Interval) {
-	dm := owner.domain[data]
+func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval) {
+	dm := owner.domainFor(data)
 	if dm == nil {
 		panic("deps: domain-dec on missing domain")
 	}
@@ -520,7 +522,7 @@ func (e *Engine) handleDomainDec(owner *Node, data DataID, iv regions.Interval) 
 		if cs.liveCount == 0 && cs.handover != nil {
 			h := cs.handover
 			cs.handover = nil
-			e.queue = append(e.queue, event{kind: evDrain, frag: h, iv: cIv})
+			c.queue = append(c.queue, event{kind: evDrain, frag: h, iv: cIv})
 		}
 	})
 	dm.MergeRange(iv, drainedCellsEqual)
@@ -543,37 +545,166 @@ func drainedCellsEqual(a, b cellState) bool {
 
 // handleDrain completes the hand-over: the inner-domain cells covering this
 // piece have fully drained, so the piece may release (once satisfied).
-func (e *Engine) handleDrain(f *fragment, iv regions.Interval) {
+func (c *depCore) handleDrain(f *fragment, iv regions.Interval) {
 	f.state.VisitRange(iv, func(pIv regions.Interval, ps *pieceState) {
 		if ps.released {
 			return
 		}
 		ps.waitDrain = false
-		e.tryRelease(f, pIv, ps)
+		c.tryRelease(f, pIv, ps)
 	})
 	f.state.MergeRange(iv, releasedEqual)
 }
 
-func (e *Engine) nodeSatisfy(n *Node, length int64) {
-	n.unsat -= length
-	if n.unsat < 0 {
+// nodeSatisfy credits length satisfied elements to n's strong accesses.
+// The counter is atomic so that grants delivered concurrently from
+// different shards need no common lock; the registration hold (see
+// Register in either engine) guarantees the count cannot reach zero before
+// registration finished, and the notified CAS elects exactly one ready
+// transition.
+func (c *depCore) nodeSatisfy(n *Node, length int64) {
+	rem := n.unsat.Add(-length)
+	if rem < 0 {
 		panic("deps: node unsatisfied-length underflow")
 	}
-	if n.unsat == 0 && n.registered && !n.readyNotified {
-		n.readyNotified = true
-		e.ready = append(e.ready, n)
-		if e.obs != nil {
-			e.obs.NodeReady(n)
+	if rem == 0 && n.notified.CompareAndSwap(false, true) {
+		c.ready = append(c.ready, n)
+		if c.obs != nil {
+			c.obs.NodeReady(n)
 		}
 	}
 }
 
-func (e *Engine) takeReady() []*Node {
-	if len(e.ready) == 0 {
+// takeReady drains the ready list accumulated by the cascades.
+func (c *depCore) takeReady() []*Node {
+	if len(c.ready) == 0 {
 		return nil
 	}
-	out := make([]*Node, len(e.ready))
-	copy(out, e.ready)
-	e.ready = e.ready[:0]
+	out := make([]*Node, len(c.ready))
+	copy(out, c.ready)
+	c.ready = c.ready[:0]
 	return out
+}
+
+// appendReady drains the ready list into out without the intermediate copy
+// takeReady would make — the sharded engine accumulates ready nodes across
+// several shards into one slice.
+func (c *depCore) appendReady(out []*Node) []*Node {
+	if len(c.ready) == 0 {
+		return out
+	}
+	out = append(out, c.ready...)
+	c.ready = c.ready[:0]
+	return out
+}
+
+// checkRegister runs the registration sanity checks shared by both engines
+// and places the registration hold on n's readiness counter: while held,
+// grants delivered concurrently (sharded engine) cannot observe a zero
+// unsatisfied count, so a node never becomes ready mid-registration.
+func checkRegister(n *Node, specs []Spec) {
+	if n.registered {
+		panic("deps: node registered twice: " + n.label)
+	}
+	if len(specs) > 0 && n.parent == nil {
+		panic("deps: root node cannot have dependencies")
+	}
+	n.unsat.Add(1)
+}
+
+// finishRegister marks registration complete, releases the hold, and
+// reports whether the node is immediately ready. obs may be nil.
+func finishRegister(n *Node, obs Observer) bool {
+	n.registered = true
+	if n.unsat.Add(-1) == 0 && n.notified.CompareAndSwap(false, true) {
+		if obs != nil {
+			obs.NodeReady(n)
+		}
+		return true
+	}
+	return false
+}
+
+// oneData reports whether every spec names the same data object (and there
+// is at least one).
+func oneData(specs []Spec) bool {
+	if len(specs) == 0 {
+		return false
+	}
+	for _, s := range specs[1:] {
+		if s.Data != specs[0].Data {
+			return false
+		}
+	}
+	return true
+}
+
+// specDatas returns the distinct DataIDs of specs in ascending order — the
+// canonical shard acquisition order.
+func specDatas(specs []Spec) []DataID {
+	datas := make([]DataID, 0, len(specs))
+	for _, s := range specs {
+		datas = append(datas, s.Data)
+	}
+	return sortedUnique(datas)
+}
+
+func sortedUnique(datas []DataID) []DataID {
+	if len(datas) < 2 {
+		return datas
+	}
+	sort.Slice(datas, func(i, j int) bool { return datas[i] < datas[j] })
+	w := 1
+	for _, d := range datas[1:] {
+		if d != datas[w-1] {
+			datas[w] = d
+			w++
+		}
+	}
+	return datas[:w]
+}
+
+// syncObserver serializes observer callbacks: the sharded engine fires
+// events from several shards concurrently, but the Observer contract
+// (graph capture, tests) assumes sequential delivery.
+type syncObserver struct {
+	mu    sync.Mutex
+	inner Observer
+}
+
+func wrapObserver(obs Observer) Observer {
+	if obs == nil {
+		return nil
+	}
+	return &syncObserver{inner: obs}
+}
+
+func (o *syncObserver) NodeCreated(n, parent *Node) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.NodeCreated(n, parent)
+}
+
+func (o *syncObserver) NodeReady(n *Node) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.NodeReady(n)
+}
+
+func (o *syncObserver) Link(pred, succ *Node, data DataID, iv regions.Interval, inbound bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.Link(pred, succ, data, iv, inbound)
+}
+
+func (o *syncObserver) Handover(n *Node, data DataID, iv regions.Interval) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.Handover(n, data, iv)
+}
+
+func (o *syncObserver) Released(n *Node, data DataID, iv regions.Interval) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.Released(n, data, iv)
 }

@@ -342,7 +342,7 @@ func TestUnrelatedDataIndependent(t *testing.T) {
 // TestOverlappingOwnSpecsPanics: a task declaring overlapping depend
 // entries is a programming error the engine rejects.
 func TestOverlappingOwnSpecsPanics(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	n := e.NewNode(root, "bad", nil)
@@ -358,7 +358,7 @@ func TestOverlappingOwnSpecsPanics(t *testing.T) {
 // parent covers with only a read access violates the weak-access contract
 // (§VI) and must be diagnosed.
 func TestChildWriteUnderReadOnlyParentPanics(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	w := e.NewNode(root, "w", nil)

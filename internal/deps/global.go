@@ -1,0 +1,99 @@
+package deps
+
+import "sync"
+
+// GlobalEngine is the single-lock Engine: one mutex serializes every
+// submit, release, and cascade across all data objects. It is the
+// reference implementation — simplest to reason about, and the baseline
+// the contention benchmarks measure the sharded engine against.
+type GlobalEngine struct {
+	mu sync.Mutex
+	c  depCore
+}
+
+var _ Engine = (*GlobalEngine)(nil)
+
+// NewGlobalEngine returns a single-lock engine. obs may be nil.
+func NewGlobalEngine(obs Observer) *GlobalEngine {
+	e := &GlobalEngine{}
+	e.c.obs = obs
+	return e
+}
+
+// Stats returns a snapshot of the activity counters.
+func (e *GlobalEngine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.c.stats
+}
+
+// LiveFragments returns the number of fragments not yet fully released.
+func (e *GlobalEngine) LiveFragments() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.c.liveFrags
+}
+
+// NewNode creates a node under parent (nil for the root node).
+func (e *GlobalEngine) NewNode(parent *Node, label string, user any) *Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.c.stats.Nodes++
+	n := &Node{parent: parent, label: label, User: user}
+	if e.c.obs != nil {
+		e.c.obs.NodeCreated(n, parent)
+	}
+	return n
+}
+
+// Register links the node's depend entries into its parent's domain and
+// reports whether the node is immediately ready to execute.
+func (e *GlobalEngine) Register(n *Node, specs []Spec) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	checkRegister(n, specs)
+	for _, spec := range specs {
+		e.c.registerSpec(n, spec)
+	}
+	return finishRegister(n, e.c.obs)
+}
+
+// BodyDone implements the weakwait clause (§V). Returns nodes that became
+// ready.
+func (e *GlobalEngine) BodyDone(n *Node) []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, acc := range n.accesses {
+		for _, f := range acc.frags {
+			e.c.handOverOrRelease(n, f, f.iv)
+		}
+	}
+	e.c.drainQueue()
+	return e.c.takeReady()
+}
+
+// ReleaseRegions implements the release directive (§V).
+func (e *GlobalEngine) ReleaseRegions(n *Node, specs []Spec) []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, spec := range specs {
+		e.c.releaseSpec(n, spec)
+	}
+	e.c.drainQueue()
+	return e.c.takeReady()
+}
+
+// Complete finalizes the node once its code and all descendants have
+// finished.
+func (e *GlobalEngine) Complete(n *Node) []*Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n.completed = true
+	for _, acc := range n.accesses {
+		for _, f := range acc.frags {
+			e.c.markDone(f, f.iv)
+		}
+	}
+	e.c.drainQueue()
+	return e.c.takeReady()
+}

@@ -1,10 +1,32 @@
 package deps
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 )
+
+// testEngineKind selects the Engine implementation the whole test suite
+// runs against. TestMain runs the suite twice — once per implementation —
+// so every scenario, edge case, and property test in this package verifies
+// both the global-lock and the sharded engine.
+var testEngineKind = EngineGlobal
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	code := m.Run()
+	// Benchmark invocations measure both engines explicitly; re-running the
+	// whole suite would just report every benchmark twice.
+	benching := flag.Lookup("test.bench") != nil && flag.Lookup("test.bench").Value.String() != ""
+	if code == 0 && !benching {
+		testEngineKind = EngineSharded
+		fmt.Println("deps: re-running test suite with the sharded engine")
+		code = m.Run()
+	}
+	os.Exit(code)
+}
 
 // The test harness simulates a runtime on top of the engine: it executes
 // ready nodes one at a time (in a driver-chosen order), applies their strong
@@ -29,14 +51,20 @@ type simTask struct {
 // sim drives the engine for a program rooted at a synthetic root task.
 type sim struct {
 	t        *testing.T
-	eng      *Engine
+	eng      Engine
 	data     map[DataID][]int
-	expect   map[string]map[int64]int // label -> element -> expected read value
+	expect   map[string]map[delem]int // label -> (data, element) -> expected read value
 	finalRef map[DataID][]int
 	ready    []*Node
 	nodes    map[*Node]*simNode
 	done     int
 	total    int
+}
+
+// delem addresses one element of one data object in the expectation maps.
+type delem struct {
+	d DataID
+	p int64
 }
 
 type simNode struct {
@@ -49,11 +77,17 @@ type simNode struct {
 }
 
 func newSim(t *testing.T, universe map[DataID]int64) *sim {
+	return newSimEngine(t, testEngineKind, universe)
+}
+
+// newSimEngine builds a sim over an explicit engine implementation; the
+// differential tests use it to drive both engines in lockstep.
+func newSimEngine(t *testing.T, kind EngineKind, universe map[DataID]int64) *sim {
 	s := &sim{
 		t:      t,
-		eng:    NewEngine(nil),
+		eng:    NewEngine(kind, nil),
 		data:   make(map[DataID][]int),
-		expect: make(map[string]map[int64]int),
+		expect: make(map[string]map[delem]int),
 		nodes:  make(map[*Node]*simNode),
 	}
 	for d, n := range universe {
@@ -75,7 +109,7 @@ func (s *sim) reference(tasks []*simTask) {
 		for _, def := range ts {
 			seq++
 			def.seq = seq
-			exp := make(map[int64]int)
+			exp := make(map[delem]int)
 			for _, spec := range def.specs {
 				if spec.Weak {
 					continue
@@ -89,9 +123,9 @@ func (s *sim) reference(tasks []*simTask) {
 							// use a large stride to stay distinguishable.
 							ref[spec.Data][p]++
 						case spec.Type == In:
-							exp[p] = ref[spec.Data][p]
+							exp[delem{spec.Data, p}] = ref[spec.Data][p]
 						case spec.Type == InOut:
-							exp[p] = ref[spec.Data][p]
+							exp[delem{spec.Data, p}] = ref[spec.Data][p]
 							ref[spec.Data][p] = seq * 1000
 						default: // Out
 							ref[spec.Data][p] = seq * 1000
@@ -159,14 +193,14 @@ func (s *sim) execute(sn *simNode) {
 				case spec.Type == Red:
 					s.data[spec.Data][p]++
 				case spec.Type == In:
-					if got := s.data[spec.Data][p]; got != exp[p] {
+					if got, want := s.data[spec.Data][p], exp[delem{spec.Data, p}]; got != want {
 						s.t.Fatalf("task %q read data %d elem %d = %d, want %d (serialization violated)",
-							def.label, spec.Data, p, got, exp[p])
+							def.label, spec.Data, p, got, want)
 					}
 				case spec.Type == InOut:
-					if got := s.data[spec.Data][p]; got != exp[p] {
+					if got, want := s.data[spec.Data][p], exp[delem{spec.Data, p}]; got != want {
 						s.t.Fatalf("task %q read data %d elem %d = %d, want %d (serialization violated)",
-							def.label, spec.Data, p, got, exp[p])
+							def.label, spec.Data, p, got, want)
 					}
 					s.data[spec.Data][p] = def.seq * 1000
 				default: // Out

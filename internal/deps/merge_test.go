@@ -25,7 +25,7 @@ func countDomainEntries(n *Node) int {
 // each level owns a halved range of its parent — completes it bottom-up,
 // and checks the root's domain did not retain one cell per descendant.
 func TestDeepCascadeDomainsStayCompact(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 

@@ -16,14 +16,21 @@
 // every domain into its parent's — observably equivalent to computing all
 // dependencies in a single domain, which is the paper's headline property.
 //
-// The engine is fully serialized by one mutex. All cascade effects
-// (satisfaction grants, domain drain, hand-over release) run through an
-// explicit event queue so that no interval map is structurally modified
-// while being iterated.
+// Two Engine implementations provide these semantics. GlobalEngine
+// serializes everything behind one mutex. ShardedEngine partitions every
+// dependency structure per data object — each DataID gets its own lock,
+// interval maps, and cascade queue, so depend clauses over disjoint data
+// never contend; only the per-node readiness countdown crosses shards, and
+// it is a bare atomic. In both, all cascade effects (satisfaction grants,
+// domain drain, hand-over release) run through an explicit event queue so
+// that no interval map is structurally modified while being iterated, and
+// every event provably stays within the data object that produced it.
 package deps
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/regions"
 )
@@ -96,7 +103,17 @@ func (s Spec) String() string {
 // participates in its parent's domain through Register, and owns a domain
 // for its own children. The zero value is not usable.
 //
-// All fields are guarded by the owning Engine's mutex.
+// Locking: the contents of the per-data interval maps are guarded by the
+// lock covering that data (the engine mutex for GlobalEngine, the data's
+// shard mutex for ShardedEngine). The accessMap/domain Go maps themselves
+// are guarded by mapsMu, because under the sharded engine a child's
+// registration on one data can grow the parent's domain map concurrently
+// with a cascade reading another data's entry. unsat and notified are
+// atomic: they are the only cross-shard state, credited by grants from any
+// shard. accesses, registered, and completed are single-writer fields —
+// mutated only by the registering / completing goroutine, with
+// happens-before to readers established through the unsat countdown and
+// the runtime's own synchronization.
 type Node struct {
 	parent *Node
 	label  string
@@ -106,6 +123,14 @@ type Node struct {
 	User any
 
 	accesses []*access
+	// datas caches the distinct DataIDs of accesses in ascending order —
+	// the canonical shard visiting order, computed once at registration so
+	// the completion-side calls (BodyDone, Complete) pay no sort or
+	// allocation. Single-writer like accesses. For the overwhelmingly
+	// common single-object clause it aliases data0, avoiding the heap.
+	datas  []DataID
+	data0  [1]DataID
+	mapsMu sync.RWMutex
 	// accessMap indexes this node's own fragments by data and interval, for
 	// inbound linking by children and for the release directive.
 	accessMap map[DataID]*regions.Map[*fragment]
@@ -113,13 +138,14 @@ type Node struct {
 	domain map[DataID]*regions.Map[cellState]
 
 	// unsat is the total element length of strong access pieces whose
-	// relevant satisfaction is still pending. The node is ready when it
-	// reaches zero after registration.
-	unsat int64
+	// relevant satisfaction is still pending, plus a +1 registration hold
+	// while Register runs. The node is ready when it reaches zero.
+	unsat atomic.Int64
+	// notified elects the single ready transition (CAS) once unsat drains.
+	notified atomic.Bool
 
-	registered    bool
-	readyNotified bool
-	completed     bool
+	registered bool
+	completed  bool
 }
 
 // Label returns the diagnostic label given at creation.
@@ -129,6 +155,8 @@ func (n *Node) Label() string { return n.label }
 func (n *Node) Parent() *Node { return n.parent }
 
 func (n *Node) domainEnsure(data DataID) *regions.Map[cellState] {
+	n.mapsMu.Lock()
+	defer n.mapsMu.Unlock()
 	if n.domain == nil {
 		n.domain = make(map[DataID]*regions.Map[cellState])
 	}
@@ -140,7 +168,17 @@ func (n *Node) domainEnsure(data DataID) *regions.Map[cellState] {
 	return dm
 }
 
+// domainFor returns the node's domain map for data, or nil if no child has
+// registered an access over it.
+func (n *Node) domainFor(data DataID) *regions.Map[cellState] {
+	n.mapsMu.RLock()
+	defer n.mapsMu.RUnlock()
+	return n.domain[data]
+}
+
 func (n *Node) accessMapEnsure(data DataID) *regions.Map[*fragment] {
+	n.mapsMu.Lock()
+	defer n.mapsMu.Unlock()
 	if n.accessMap == nil {
 		n.accessMap = make(map[DataID]*regions.Map[*fragment])
 	}
@@ -150,4 +188,11 @@ func (n *Node) accessMapEnsure(data DataID) *regions.Map[*fragment] {
 		n.accessMap[data] = am
 	}
 	return am
+}
+
+// accessMapFor returns the node's own access map for data, or nil.
+func (n *Node) accessMapFor(data DataID) *regions.Map[*fragment] {
+	n.mapsMu.RLock()
+	defer n.mapsMu.RUnlock()
+	return n.accessMap[data]
 }

@@ -28,7 +28,7 @@ func (r *readyList) has(name string) bool {
 }
 
 func TestReleasePartialSubInterval(t *testing.T) {
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	var ready readyList
@@ -72,7 +72,7 @@ func TestReleasePartialSubInterval(t *testing.T) {
 func TestReleaseManySlicesThenComplete(t *testing.T) {
 	// Release a fragment one slice at a time (worst-case fragmentation for
 	// the piece map), then complete; coalescing must keep things exact.
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	holder := e.NewNode(root, "holder", nil)
@@ -103,7 +103,7 @@ func TestReleaseManySlicesThenComplete(t *testing.T) {
 func TestReleaseOnWeakParentHandsOverToLiveChild(t *testing.T) {
 	// A weak parent releases a region a live child covers: the hand-over
 	// must fire when the child completes, not at the release.
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 
@@ -139,7 +139,7 @@ func TestReleaseOnWeakParentHandsOverToLiveChild(t *testing.T) {
 func TestStridedSpecsThroughEngine(t *testing.T) {
 	// Multi-interval specs (the strided shapes of listing 7) fragment and
 	// link per interval.
-	e := NewEngine(nil)
+	e := NewEngine(testEngineKind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 

@@ -53,6 +53,12 @@ type Queue[T any] interface {
 	// Submit makes an item runnable. If a token is free the item starts
 	// immediately on a new goroutine; otherwise it queues.
 	Submit(item T, from int)
+	// SubmitBatch makes several items runnable in one admission: tokens are
+	// matched and goroutines spawned for as many items as have free tokens,
+	// and the rest queue, all under a single lock acquisition. A dependency
+	// release that readies many successors hands them over in one call
+	// instead of one lock round-trip per edge.
+	SubmitBatch(items []T, from int)
 	// Finish is called by a runner that completed its item and still holds
 	// worker. It returns the next item to run on this worker, if any;
 	// otherwise the token is retired.
@@ -161,6 +167,26 @@ func (s *Scheduler[T]) Submit(item T, from int) {
 		return
 	}
 	s.push(item)
+	s.mu.Unlock()
+}
+
+// SubmitBatch makes every item runnable under one lock acquisition: items
+// start on free tokens first (goroutine-per-item, as Submit), the rest
+// queue according to policy.
+func (s *Scheduler[T]) SubmitBatch(items []T, from int) {
+	if len(items) == 0 {
+		return
+	}
+	s.mu.Lock()
+	i := 0
+	for ; i < len(items) && len(s.free) > 0; i++ {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		go s.spawn(items[i], w)
+	}
+	for ; i < len(items); i++ {
+		s.push(items[i])
+	}
 	s.mu.Unlock()
 }
 

@@ -68,6 +68,30 @@ func (s *Stealing[T]) Submit(item T, from int) {
 	s.mu.Unlock()
 }
 
+// SubmitBatch makes every item runnable under one lock acquisition: items
+// start on free tokens first, the rest land on the submitting worker's
+// deque in order (so the oldest is stolen first, as with repeated Submit).
+func (s *Stealing[T]) SubmitBatch(items []T, from int) {
+	if len(items) == 0 {
+		return
+	}
+	if from < 0 || from >= s.workers {
+		from = 0
+	}
+	s.mu.Lock()
+	i := 0
+	for ; i < len(items) && len(s.free) > 0; i++ {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		go s.spawn(items[i], w)
+	}
+	if rest := items[i:]; len(rest) > 0 {
+		s.deques[from] = append(s.deques[from], rest...)
+		s.queued += len(rest)
+	}
+	s.mu.Unlock()
+}
+
 // popLocked removes the next item for worker w: own back, then victims'
 // fronts. Caller holds mu and has checked queued > 0... except callers
 // check via the ok return. Returns ok=false when every deque is empty.

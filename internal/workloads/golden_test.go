@@ -3,6 +3,8 @@ package workloads
 import (
 	"fmt"
 	"testing"
+
+	nanos "repro"
 )
 
 // Golden virtual-mode makespans. Virtual execution is deterministic, so
@@ -86,4 +88,80 @@ func TestGoldenVirtualMakespans(t *testing.T) {
 func orderErr(bench, a string, av int64, b string, bv int64) string {
 	return fmt.Sprintf("%s: %s (%d) slower than %s (%d); the paper's ordering is violated",
 		bench, a, av, b, bv)
+}
+
+// TestGoldenEngineSchedulerMatrix runs the three compute-validating
+// workloads (cholesky, sparselu, sortsum) under both dependency engines ×
+// every central-queue policy, in real mode with computation enabled, so
+// each run's numerical result is checked against the sequential oracle.
+// This is the workload-level completion of the differential tests in
+// internal/deps: whatever the engine implementation and dispatch order,
+// the dependency semantics must produce oracle-identical numerics.
+func TestGoldenEngineSchedulerMatrix(t *testing.T) {
+	engines := []nanos.EngineKind{nanos.EngineGlobal, nanos.EngineSharded}
+	policies := []struct {
+		name   string
+		policy nanos.Policy
+	}{
+		{"fifo", nanos.FIFO},
+		{"lifo", nanos.LIFO},
+		{"priority", nanos.Priority},
+	}
+	workers := 8
+	if testing.Short() {
+		workers = 4
+	}
+	for _, eng := range engines {
+		for _, pol := range policies {
+			mode := Mode{Workers: workers, Engine: eng, Policy: pol.policy, Debug: true}
+			t.Run(fmt.Sprintf("%s/%s", eng, pol.name), func(t *testing.T) {
+				for _, v := range CholVariants {
+					res, err := RunCholesky(mode, v, CholParams{N: 128, TS: 32, Seed: 7, Compute: true})
+					if err != nil {
+						t.Fatalf("cholesky %s: %v", v, err)
+					}
+					if st := res.Runtime.DepStats(); st.Releases < st.Fragments {
+						t.Fatalf("cholesky %s: %d fragments, %d releases (leak)", v, st.Fragments, st.Releases)
+					}
+				}
+				for _, v := range SparseLUVariants {
+					res, _, err := RunSparseLU(mode, v, SparseLUParams{B: 6, TS: 16, Density: 0.5, Seed: 7, Compute: true})
+					if err != nil {
+						t.Fatalf("sparselu %s: %v", v, err)
+					}
+					if st := res.Runtime.DepStats(); st.Releases < st.Fragments {
+						t.Fatalf("sparselu %s: %d fragments, %d releases (leak)", v, st.Fragments, st.Releases)
+					}
+				}
+				for _, v := range SortVariants {
+					res, err := RunSortSum(mode, v, SortParams{N: 1 << 13, TS: 1 << 8, Seed: 7})
+					if err != nil {
+						t.Fatalf("sortsum %s: %v", v, err)
+					}
+					if st := res.Runtime.DepStats(); st.Releases < st.Fragments {
+						t.Fatalf("sortsum %s: %d fragments, %d releases (leak)", v, st.Fragments, st.Releases)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenEngineStealing covers the remaining ready pool: both engines
+// under the work-stealing deques, oracle-validated as above.
+func TestGoldenEngineStealing(t *testing.T) {
+	for _, eng := range []nanos.EngineKind{nanos.EngineGlobal, nanos.EngineSharded} {
+		mode := Mode{Workers: 8, Engine: eng, Stealing: true, Debug: true}
+		t.Run(eng.String(), func(t *testing.T) {
+			if _, err := RunCholesky(mode, CholNestWeak, CholParams{N: 128, TS: 32, Seed: 7, Compute: true}); err != nil {
+				t.Fatalf("cholesky: %v", err)
+			}
+			if _, _, err := RunSparseLU(mode, LUNestWeak, SparseLUParams{B: 6, TS: 16, Density: 0.5, Seed: 7, Compute: true}); err != nil {
+				t.Fatalf("sparselu: %v", err)
+			}
+			if _, err := RunSortSum(mode, SortWeak, SortParams{N: 1 << 13, TS: 1 << 8, Seed: 7}); err != nil {
+				t.Fatalf("sortsum: %v", err)
+			}
+		})
+	}
 }

@@ -34,6 +34,10 @@ type Mode struct {
 	// Stealing replaces the central ready queue with per-worker deques and
 	// Cilk-style work stealing (scheduler ablation; real mode only).
 	Stealing bool
+	// Engine selects the dependency-engine implementation (engine A/B
+	// comparisons; EngineAuto picks sharded in real mode, global in
+	// virtual mode).
+	Engine nanos.EngineKind
 	// NoHandoff disables direct successor hand-off (locality ablation).
 	NoHandoff bool
 	// Trace enables span recording (needed for timelines and, in real
@@ -52,6 +56,10 @@ type Mode struct {
 	// Verify enables the runtime's lint checks (Touch and child-entry
 	// coverage); findings are available on Result.Runtime.Violations().
 	Verify bool
+	// Debug enables the runtime's end-of-run invariant checks (every
+	// dependency fragment released, no live tasks); violations panic out
+	// of the run.
+	Debug bool
 }
 
 func (m Mode) config() nanos.Config {
@@ -64,6 +72,7 @@ func (m Mode) config() nanos.Config {
 		Virtual:           m.Virtual,
 		Policy:            m.Policy,
 		Stealing:          m.Stealing,
+		DepEngine:         m.Engine,
 		NoHandoff:         m.NoHandoff,
 		EnableTrace:       m.Trace,
 		Cache:             m.Cache,
@@ -71,6 +80,7 @@ func (m Mode) config() nanos.Config {
 		ThrottleOpenTasks: m.Throttle,
 		VirtualSubmitCost: m.SubmitCost,
 		Verify:            m.Verify,
+		Debug:             m.Debug,
 	}
 }
 

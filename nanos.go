@@ -23,6 +23,17 @@
 // objects and may overlap partially (§VII); the engine fragments accesses
 // as needed.
 //
+// Two dependency-engine implementations enforce these semantics behind the
+// deps.Engine interface, selectable via Config.DepEngine: EngineGlobal
+// serializes everything behind one mutex (the reference), while
+// EngineSharded partitions all dependency state per data object — each
+// DataID gets its own lock and cascade queue, so depend clauses over
+// disjoint data register and release with no common lock, and a task's
+// cross-object readiness countdown is a bare atomic. EngineAuto (default)
+// picks sharded in real mode and global in virtual mode. Differential
+// property tests drive both engines in lockstep over random task programs
+// to keep them observably equivalent.
+//
 // A minimal program:
 //
 //	rt := nanos.New(nanos.Config{Workers: 4})
@@ -83,6 +94,9 @@ type (
 	ViolationKind = core.ViolationKind
 	// Section2D describes a rectangular section of a row-major 2-D array.
 	Section2D = regions.Section2D
+	// EngineKind selects the dependency-engine implementation
+	// (Config.DepEngine).
+	EngineKind = deps.EngineKind
 )
 
 // Access types for Dep.Type.
@@ -96,6 +110,20 @@ const (
 	// contributions atomically — while readers and writers order against
 	// the whole group, across nesting levels.
 	Red = core.Red
+)
+
+// Dependency-engine kinds for Config.DepEngine.
+const (
+	// EngineAuto picks the sharded engine in real mode and the global
+	// engine in virtual mode (whose ready ordering keeps the deterministic
+	// virtual makespans stable).
+	EngineAuto = deps.EngineAuto
+	// EngineGlobal is the single-mutex reference engine.
+	EngineGlobal = deps.EngineGlobal
+	// EngineSharded partitions dependency state per data object: depend
+	// clauses over disjoint data register, fragment, and release
+	// concurrently.
+	EngineSharded = deps.EngineSharded
 )
 
 // Ready-queue policies for Config.Policy.
