@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-short depbench ci
+.PHONY: all build vet test race bench-short sched-smoke depbench ci
 
 all: build
 
@@ -26,8 +26,15 @@ race:
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Dependency-engine contention table (global vs sharded engine).
+# Scheduler admission contention smoke: the pool matrix at w=1/4/8 plus
+# the w=1 parity regression guard (the sharded pools' lock-free fast paths
+# must stay at parity with the single-lock reference when uncontended).
+sched-smoke:
+	$(GO) test -run 'TestSchedW1Parity' -bench 'BenchmarkSchedContentionMatrix' -benchtime 1x ./internal/sched
+
+# Contention tables (deps: global vs sharded engine; sched: single-lock vs
+# sharded ready pools).
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short
+ci: build vet test race bench-short sched-smoke

@@ -1,21 +1,32 @@
-// Command depbench quantifies dependency-engine lock contention: the same
-// disjoint-data chain workload (w generator goroutines, each registering
-// and completing a serial chain of tasks over its own data object) runs
-// through the global-lock engine and the per-data-object sharded engine at
-// increasing worker counts.
+// Command depbench quantifies runtime lock contention on the two hot
+// paths the sharded subsystems remove locks from:
 //
-// Two measurements are reported per configuration:
+//   - deps: the dependency engine. The same disjoint-data chain workload
+//     (w generator goroutines, each registering and completing a serial
+//     chain of tasks over its own data object) runs through the
+//     global-lock engine and the per-data-object sharded engine.
+//   - sched: the scheduler admission path. The analogous disjoint chain
+//     workload (w runner chains, each submitting its successor from its
+//     own worker and chaining through Finish) runs through the single-lock
+//     ready pools and the sharded (lock-free deque) pools.
+//
+// Measurements per configuration:
 //
 //   - wall time / throughput, which on a large host shows the sharded
-//     engine scaling where the global engine flatlines;
+//     implementations scaling where the single-lock ones flatline;
 //   - total mutex wait time (the runtime/metrics /sync/mutex/wait/total
 //     counter), which exposes the serialization even on small or
-//     oversubscribed hosts where wall clock cannot: the global engine
-//     accumulates lock wait proportional to worker count while the
-//     sharded engine's stays near zero, because disjoint data never
-//     shares a lock.
+//     oversubscribed hosts where wall clock cannot: the single-lock
+//     implementations accumulate lock wait proportional to worker count
+//     while the sharded ones' stays near zero;
+//   - package-attributed mutex contention cycles (runtime.MutexProfile
+//     filtered to the package under test), isolating exactly the locks the
+//     sharding removes;
+//   - for the scheduler pools, the steal rate (items taken from another
+//     worker's shard per 1000 ops) — the redistribution cost of sharding
+//     the ready pool.
 //
-// Usage: depbench [-ops N] [-workers 1,2,4,8]
+// Usage: depbench [-mode all|deps|sched] [-ops N] [-workers 1,2,4,8]
 package main
 
 import (
@@ -28,10 +39,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/deps"
 	"repro/internal/regions"
+	"repro/internal/sched"
 )
 
 func mutexWait() time.Duration {
@@ -40,11 +53,12 @@ func mutexWait() time.Duration {
 	return time.Duration(sample[0].Value.Float64() * float64(time.Second))
 }
 
-// engineLockCycles sums mutex-contention cycles attributed to the deps
-// package by the runtime mutex profiler — unlike the process-wide wait
-// counter it excludes allocator and scheduler locks, so it isolates
-// exactly the serialization the sharded engine removes.
-func engineLockCycles() int64 {
+// pkgLockCycles sums mutex-contention cycles attributed to pkg (e.g.
+// "repro/internal/deps.") by the runtime mutex profiler — unlike the
+// process-wide wait counter it excludes allocator and scheduler locks, so
+// it isolates exactly the serialization the sharded implementations
+// remove.
+func pkgLockCycles(pkg string) int64 {
 	n, _ := runtime.MutexProfile(nil)
 	records := make([]runtime.BlockProfileRecord, n+50)
 	n, ok := runtime.MutexProfile(records)
@@ -58,7 +72,7 @@ func engineLockCycles() int64 {
 	for _, r := range records[:n] {
 		for _, pc := range r.Stack() {
 			f := runtime.FuncForPC(pc)
-			if f != nil && strings.Contains(f.Name(), "repro/internal/deps.") {
+			if f != nil && strings.Contains(f.Name(), pkg) {
 				cycles += r.Cycles
 				break
 			}
@@ -67,11 +81,11 @@ func engineLockCycles() int64 {
 	return cycles
 }
 
-// run drives ops register→complete chain steps split over w goroutines
+// runDeps drives ops register→complete chain steps split over w goroutines
 // (rounded down to a multiple of w; the actual count is returned), each
 // goroutine on its own data object, and returns the wall time and the
 // process-wide mutex wait accumulated during the run.
-func run(kind deps.EngineKind, w, ops int) (ranOps int, wall, wait time.Duration, lockCycles int64) {
+func runDeps(kind deps.EngineKind, w, ops int) (ranOps int, wall, wait time.Duration, lockCycles int64) {
 	e := deps.NewEngine(kind, nil)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
@@ -83,7 +97,7 @@ func run(kind deps.EngineKind, w, ops int) (ranOps int, wall, wait time.Duration
 	perW := ops / w
 	var wg sync.WaitGroup
 	wait0 := mutexWait()
-	cyc0 := engineLockCycles()
+	cyc0 := pkgLockCycles("repro/internal/deps.")
 	start := time.Now()
 	for i := 0; i < w; i++ {
 		wg.Add(1)
@@ -106,11 +120,75 @@ func run(kind deps.EngineKind, w, ops int) (ranOps int, wall, wait time.Duration
 		}(i)
 	}
 	wg.Wait()
-	return perW * w, time.Since(start), mutexWait() - wait0, engineLockCycles() - cyc0
+	return perW * w, time.Since(start), mutexWait() - wait0, pkgLockCycles("repro/internal/deps.") - cyc0
+}
+
+// statser is implemented by the ready pools that report steal counters.
+type statser interface {
+	Stats() sched.PoolStats
+}
+
+// runSched drives ops submit→finish chain steps split over w runner
+// chains, each chain submitting its successor from its own worker — the
+// scheduler-admission analogue of the disjoint dependency chains: all
+// chains are independent, so the only serialization is the ready pool's
+// own locking.
+func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int], w, ops int) (ranOps int, wall, wait time.Duration, lockCycles, steals int64) {
+	perW := ops / w
+	remaining := make([]atomic.Int64, w)
+	for i := range remaining {
+		remaining[i].Store(int64(perW))
+	}
+	var done sync.WaitGroup
+	done.Add(w)
+	var q sched.Queue[int]
+	q = mk(w, func(chain, worker int) {
+		for {
+			if remaining[chain].Add(-1) > 0 {
+				q.Submit(chain, worker)
+			} else {
+				done.Done()
+			}
+			next, ok := q.Finish(worker)
+			if !ok {
+				return
+			}
+			chain = next
+		}
+	})
+	wait0 := mutexWait()
+	cyc0 := pkgLockCycles("repro/internal/sched.")
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		q.Submit(i, -1)
+	}
+	done.Wait()
+	wall = time.Since(start)
+	wait = mutexWait() - wait0
+	lockCycles = pkgLockCycles("repro/internal/sched.") - cyc0
+	if st, ok := q.(statser); ok {
+		steals = st.Stats().Steals
+	}
+	return perW * w, wall, wait, lockCycles, steals
+}
+
+var schedPools = []struct {
+	name string
+	mk   func(workers int, spawn func(item, worker int)) sched.Queue[int]
+}{
+	{"locked-stealing", func(w int, s func(int, int)) sched.Queue[int] { return sched.NewLockedStealing(w, s) }},
+	{"central", func(w int, s func(int, int)) sched.Queue[int] { return sched.New(w, sched.FIFO, s) }},
+	{"stealing", func(w int, s func(int, int)) sched.Queue[int] { return sched.NewStealing(w, s) }},
+	{"sharded-central", func(w int, s func(int, int)) sched.Queue[int] { return sched.NewShardedCentral(w, s) }},
 }
 
 func main() {
-	opsFlag := flag.Int("ops", 400_000, "chain steps per configuration")
+	modeFlag := flag.String("mode", "all", "which table to print: all, deps, or sched")
+	opsFlag := flag.Int("ops", 400_000, "chain steps per dependency-engine configuration")
+	// Scheduler admission ops are ~10x cheaper than engine ops, so the
+	// sched table needs a longer run for lock contention to accumulate
+	// measurably on small hosts.
+	schedOpsFlag := flag.Int("sched-ops", 2_000_000, "chain steps per scheduler-pool configuration")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	flag.Parse()
 
@@ -123,31 +201,63 @@ func main() {
 		}
 		workers = append(workers, n)
 	}
+	if *modeFlag != "all" && *modeFlag != "deps" && *modeFlag != "sched" {
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
 
 	// Keep the collector out of the measurement as far as possible: the
-	// workload allocates nodes and fragments, and GC's own locks would
-	// pollute the mutex-wait counter.
+	// workloads allocate (nodes, fragments, deque rings), and GC's own
+	// locks would pollute the mutex-wait counter.
 	debug.SetGCPercent(1000)
 	runtime.SetMutexProfileFraction(1)
 
-	fmt.Printf("%-8s %8s %12s %12s %10s %14s %18s\n",
-		"engine", "workers", "ops", "wall", "Mops/s", "mutex-wait", "engine-lock-Gcyc")
-	for _, w := range workers {
-		prev := runtime.GOMAXPROCS(0)
-		if w > prev {
-			runtime.GOMAXPROCS(w)
+	if *modeFlag == "all" || *modeFlag == "deps" {
+		fmt.Printf("dependency engine (disjoint-data chains)\n")
+		fmt.Printf("%-8s %8s %12s %12s %10s %14s %18s\n",
+			"engine", "workers", "ops", "wall", "Mops/s", "mutex-wait", "engine-lock-Gcyc")
+		for _, w := range workers {
+			prev := runtime.GOMAXPROCS(0)
+			if w > prev {
+				runtime.GOMAXPROCS(w)
+			}
+			for _, kind := range []deps.EngineKind{deps.EngineGlobal, deps.EngineSharded} {
+				// Warm-up pass absorbs one-time costs (shard tables, size
+				// classes), then the measured pass.
+				runDeps(kind, w, *opsFlag/10)
+				runtime.GC()
+				ranOps, wall, wait, cycles := runDeps(kind, w, *opsFlag)
+				fmt.Printf("%-8s %8d %12d %12s %10.2f %14s %18.3f\n",
+					kind, w, ranOps, wall.Round(time.Millisecond),
+					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
+					float64(cycles)/1e9)
+			}
+			runtime.GOMAXPROCS(prev)
 		}
-		for _, kind := range []deps.EngineKind{deps.EngineGlobal, deps.EngineSharded} {
-			// Warm-up pass absorbs one-time costs (shard tables, size
-			// classes), then the measured pass.
-			run(kind, w, *opsFlag/10)
-			runtime.GC()
-			ranOps, wall, wait, cycles := run(kind, w, *opsFlag)
-			fmt.Printf("%-8s %8d %12d %12s %10.2f %14s %18.3f\n",
-				kind, w, ranOps, wall.Round(time.Millisecond),
-				float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-				float64(cycles)/1e9)
+	}
+
+	if *modeFlag == "all" || *modeFlag == "sched" {
+		if *modeFlag == "all" {
+			fmt.Println()
 		}
-		runtime.GOMAXPROCS(prev)
+		fmt.Printf("scheduler admission path (disjoint submit/finish chains)\n")
+		fmt.Printf("%-16s %8s %12s %12s %10s %14s %17s %12s\n",
+			"pool", "workers", "ops", "wall", "Mops/s", "mutex-wait", "sched-lock-Gcyc", "steals/kop")
+		for _, w := range workers {
+			prev := runtime.GOMAXPROCS(0)
+			if w > prev {
+				runtime.GOMAXPROCS(w)
+			}
+			for _, p := range schedPools {
+				runSched(p.mk, w, *schedOpsFlag/10)
+				runtime.GC()
+				ranOps, wall, wait, cycles, steals := runSched(p.mk, w, *schedOpsFlag)
+				fmt.Printf("%-16s %8d %12d %12s %10.2f %14s %17.3f %12.2f\n",
+					p.name, w, ranOps, wall.Round(time.Millisecond),
+					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
+					float64(cycles)/1e9, float64(steals)/float64(ranOps)*1000)
+			}
+			runtime.GOMAXPROCS(prev)
+		}
 	}
 }

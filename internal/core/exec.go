@@ -47,8 +47,14 @@ func (r *Runtime) dispatchAll(nodes []*deps.Node, from int) {
 }
 
 // dispatchPreferFirst enqueues all but one ready task and returns that one
-// for worker w to run next (nil if none or hand-off disabled).
-func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int) *Task {
+// for worker w to run next (nil if none or hand-off disabled). Among the
+// readied successors it prefers one whose readiness was granted over the
+// finished task's primary data object (the deps engines record the granting
+// data as each node's locality hint): that successor consumes what this
+// worker just produced, so running it here keeps the data warm, and the
+// rest of the batch lands on this worker's shard for the other workers to
+// steal.
+func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, done *deps.Node) *Task {
 	if len(nodes) == 0 {
 		return nil
 	}
@@ -56,8 +62,23 @@ func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int) *Task {
 		r.dispatchAll(nodes, w)
 		return nil
 	}
-	next := nodes[0].User.(*Task)
+	pick := 0
+	if len(nodes) > 1 && done != nil {
+		if pd, ok := done.PrimaryData(); ok {
+			for i, n := range nodes {
+				if i > 3 { // bounded scan: the hint is a heuristic
+					break
+				}
+				if rd, ok := n.ReadyData(); ok && rd == pd {
+					pick = i
+					break
+				}
+			}
+		}
+	}
+	next := nodes[pick].User.(*Task)
 	r.open.Add(1)
+	nodes[pick] = nodes[0] // displaced head joins the batch
 	r.dispatchAll(nodes[1:], w)
 	return next
 }
@@ -107,5 +128,5 @@ func (r *Runtime) executeTask(t *Task, w int) (*Task, int) {
 		r.flops.Add(t.spec.Flops)
 	}
 	ready := r.finishBody(t)
-	return r.dispatchPreferFirst(ready, tc.worker), tc.worker
+	return r.dispatchPreferFirst(ready, tc.worker, t.node), tc.worker
 }

@@ -64,21 +64,34 @@ type Config struct {
 	// Workers is the number of simulated cores (worker tokens / virtual
 	// cores). Defaults to 1 if zero.
 	Workers int
-	// Policy is the ready-queue discipline (default FIFO). The Priority
-	// policy dispatches the highest TaskSpec.Priority first.
+	// Policy is the ready-queue discipline of the central pool (default
+	// FIFO). The Priority policy dispatches the highest TaskSpec.Priority
+	// first. Under PoolAuto, an explicit LIFO or Priority policy selects
+	// the central single-lock pool (those disciplines are global orders);
+	// the stealing pools ignore Policy.
 	Policy sched.Policy
-	// Stealing replaces the central ready queue with per-worker deques and
-	// Cilk-style work stealing (self-LIFO, steal-FIFO). Policy is ignored
-	// when set. Real mode only.
+	// ReadyPool selects the ready-pool implementation. PoolAuto (the zero
+	// value) picks the sharded work-stealing pool in real mode — per-worker
+	// lock-free deques, so the admission path (Submit/Finish/Yield) of
+	// different workers never serializes on a common lock — except that an
+	// explicit LIFO or Priority Policy selects the central queue. Virtual
+	// mode runs its own deterministic event-driven list and ignores this.
+	// All pools enforce identical admission invariants (the differential
+	// tests in internal/sched prove it); selecting one explicitly is for
+	// ablations and A/B comparisons.
+	ReadyPool sched.PoolKind
+	// Stealing is the legacy selector for the work-stealing pool, kept for
+	// existing callers: equivalent to ReadyPool = PoolStealing when
+	// ReadyPool is PoolAuto.
 	Stealing bool
 	// DepEngine selects the dependency-engine implementation. EngineAuto
-	// (the zero value) picks the per-data-object sharded engine in real
-	// mode — depend clauses over disjoint data then register and release
-	// with no common lock — and the single-lock global engine in virtual
-	// mode, whose ready ordering keeps the deterministic golden makespans
-	// stable. Both implementations enforce identical semantics (the
-	// differential tests in internal/deps prove it); selecting one
-	// explicitly is for benchmarks and A/B comparisons.
+	// (the zero value) picks the per-data-object sharded engine — depend
+	// clauses over disjoint data then register and release with no common
+	// lock — in both real and virtual mode (the sharded engine's ready
+	// ordering reproduces the recorded golden makespans; see
+	// internal/workloads' golden tests). Both implementations enforce
+	// identical semantics (the differential tests in internal/deps prove
+	// it); selecting one explicitly is for benchmarks and A/B comparisons.
 	DepEngine deps.EngineKind
 	// NoHandoff disables direct successor hand-off: by default, a worker
 	// that finishes a task immediately runs one of the tasks its completion
@@ -176,11 +189,7 @@ func New(cfg Config) *Runtime {
 	r := &Runtime{cfg: cfg, rootDone: make(chan struct{})}
 	kind := cfg.DepEngine
 	if kind == deps.EngineAuto {
-		if cfg.Virtual {
-			kind = deps.EngineGlobal
-		} else {
-			kind = deps.EngineSharded
-		}
+		kind = deps.EngineSharded
 	}
 	r.eng = deps.NewEngine(kind, cfg.Observer)
 	r.throttleCond = sync.NewCond(&r.throttleMu)
@@ -194,16 +203,39 @@ func New(cfg Config) *Runtime {
 			r.caches = cachesim.NewGroup(cfg.Workers, *cfg.Cache)
 		}
 	}
-	switch {
-	case cfg.Virtual:
+	if cfg.Virtual {
 		r.v = newVState(cfg.Workers)
-	case cfg.Stealing:
+		return r
+	}
+	pool := cfg.ReadyPool
+	if pool == sched.PoolAuto {
+		switch {
+		case cfg.Stealing:
+			pool = sched.PoolStealing
+		case cfg.Policy != sched.FIFO:
+			// LIFO and Priority are global orders over all ready tasks;
+			// only the central queue provides them.
+			pool = sched.PoolCentral
+		default:
+			pool = sched.PoolStealing
+		}
+	}
+	switch pool {
+	case sched.PoolCentral:
+		if cfg.Policy == sched.Priority {
+			r.sch = sched.NewPriority(cfg.Workers, r.runWorker,
+				func(t *Task) int64 { return t.spec.Priority })
+		} else {
+			r.sch = sched.New(cfg.Workers, cfg.Policy, r.runWorker)
+		}
+	case sched.PoolShardedCentral:
+		r.sch = sched.NewShardedCentral(cfg.Workers, r.runWorker)
+	case sched.PoolStealing:
 		r.sch = sched.NewStealing(cfg.Workers, r.runWorker)
-	case cfg.Policy == sched.Priority:
-		r.sch = sched.NewPriority(cfg.Workers, r.runWorker,
-			func(t *Task) int64 { return t.spec.Priority })
+	case sched.PoolLockedStealing:
+		r.sch = sched.NewLockedStealing(cfg.Workers, r.runWorker)
 	default:
-		r.sch = sched.New(cfg.Workers, cfg.Policy, r.runWorker)
+		panic(fmt.Sprintf("core: unknown ReadyPool %d", pool))
 	}
 	return r
 }

@@ -80,6 +80,69 @@ func TestStealingConfigRespectsDependencies(t *testing.T) {
 	}
 }
 
+// TestReadyPoolConfigMatrix runs a strict dependency chain and a
+// taskwait-heavy tree under every ready-pool selection, checking the
+// dependency order and completion are pool-independent.
+func TestReadyPoolConfigMatrix(t *testing.T) {
+	pools := []sched.PoolKind{
+		sched.PoolAuto, sched.PoolCentral, sched.PoolShardedCentral,
+		sched.PoolStealing, sched.PoolLockedStealing,
+	}
+	for _, pool := range pools {
+		t.Run(pool.String(), func(t *testing.T) {
+			rt := New(Config{Workers: 4, ReadyPool: pool, Debug: true})
+			d := rt.NewData("x", 1000, 8)
+			var stage atomic.Int64
+			var bad atomic.Int64
+			err := rt.RunChecked(func(tc *TaskContext) {
+				for i := 0; i < 20; i++ {
+					i := i
+					tc.Submit(TaskSpec{
+						Label: "chain",
+						Deps:  []Dep{{Data: d, Type: InOut, Ivs: []Interval{{Lo: 0, Hi: 1000}}}},
+						Body: func(*TaskContext) {
+							if !stage.CompareAndSwap(int64(i), int64(i+1)) {
+								bad.Add(1)
+							}
+						},
+					})
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad.Load() != 0 || stage.Load() != 20 {
+				t.Fatalf("chain order violated (bad=%d, stage=%d)", bad.Load(), stage.Load())
+			}
+
+			// Taskwait tree: exercises the Yield/Acquire token protocol
+			// (including waiter priority at release points) on this pool.
+			rt2 := New(Config{Workers: 4, ReadyPool: pool, Debug: true})
+			var sum atomic.Int64
+			err = rt2.RunChecked(func(tc *TaskContext) {
+				for i := 0; i < 4; i++ {
+					tc.Submit(TaskSpec{Label: "mid", Body: func(tc *TaskContext) {
+						for j := 0; j < 4; j++ {
+							tc.Submit(TaskSpec{Label: "leaf", Body: func(*TaskContext) { sum.Add(1) }})
+						}
+						tc.Taskwait()
+						if sum.Load() < 4 {
+							panic("taskwait resumed before children completed")
+						}
+						sum.Add(100)
+					}})
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sum.Load(); got != 4*4+4*100 {
+				t.Fatalf("sum = %d, want %d", got, 4*4+4*100)
+			}
+		})
+	}
+}
+
 func TestStealingConfigNestedWeak(t *testing.T) {
 	rt := New(Config{Workers: 8, Stealing: true, Debug: true})
 	d := rt.NewData("x", 800, 8)

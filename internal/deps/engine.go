@@ -85,11 +85,11 @@ type Engine interface {
 type EngineKind uint8
 
 const (
-	// EngineAuto lets the caller pick a default. deps.NewEngine resolves it
-	// to EngineSharded; the core runtime resolves it to EngineSharded in
-	// real mode and EngineGlobal in virtual mode (the virtual driver is
-	// single-threaded, and the global engine's ready ordering keeps the
-	// golden makespans stable).
+	// EngineAuto lets the caller pick a default; it resolves to
+	// EngineSharded everywhere (deps.NewEngine and the core runtime, in
+	// both real and virtual mode — the sharded engine's ready ordering
+	// reproduces the recorded virtual golden makespans, see the golden
+	// tests in internal/workloads).
 	EngineAuto EngineKind = iota
 	// EngineGlobal is the single-mutex reference engine.
 	EngineGlobal
@@ -484,7 +484,7 @@ func (c *depCore) handleGrant(f *fragment, iv regions.Interval, dR, dW int32) {
 		}
 		if strong {
 			if (reader && rSatNow) || (!reader && wSatNow) {
-				c.nodeSatisfy(n, pIv.Len())
+				c.nodeSatisfy(n, pIv.Len(), f.data())
 			}
 		}
 		if rSatNow {
@@ -561,13 +561,17 @@ func (c *depCore) handleDrain(f *fragment, iv regions.Interval) {
 // different shards need no common lock; the registration hold (see
 // Register in either engine) guarantees the count cannot reach zero before
 // registration finished, and the notified CAS elects exactly one ready
-// transition.
-func (c *depCore) nodeSatisfy(n *Node, length int64) {
+// transition. data is the object whose grant is being credited; the
+// electing grant records it as the node's readiness-locality hint, which
+// the runtime threads through to the ready-pool shard choice (the worker
+// that delivered the final grant has the producing data warm).
+func (c *depCore) nodeSatisfy(n *Node, length int64, data DataID) {
 	rem := n.unsat.Add(-length)
 	if rem < 0 {
 		panic("deps: node unsatisfied-length underflow")
 	}
 	if rem == 0 && n.notified.CompareAndSwap(false, true) {
+		n.readyData = int64(data)
 		c.ready = append(c.ready, n)
 		if c.obs != nil {
 			c.obs.NodeReady(n)

@@ -39,7 +39,7 @@ func (e *GlobalEngine) NewNode(parent *Node, label string, user any) *Node {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.c.stats.Nodes++
-	n := &Node{parent: parent, label: label, User: user}
+	n := newNode(parent, label, user)
 	if e.c.obs != nil {
 		e.c.obs.NodeCreated(n, parent)
 	}

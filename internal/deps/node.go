@@ -143,9 +143,43 @@ type Node struct {
 	unsat atomic.Int64
 	// notified elects the single ready transition (CAS) once unsat drains.
 	notified atomic.Bool
+	// readyData is the DataID whose grant completed the node's readiness
+	// (-1 when the node was ready at registration). Written once by the
+	// goroutine that wins the notified election, before the node is handed
+	// out on a ready list, so readers downstream of that hand-off need no
+	// further synchronization.
+	readyData int64
 
 	registered bool
 	completed  bool
+}
+
+// newNode constructs a node with no readiness hint yet.
+func newNode(parent *Node, label string, user any) *Node {
+	return &Node{parent: parent, label: label, User: user, readyData: -1}
+}
+
+// ReadyData returns the data object whose satisfaction grant made this node
+// ready — the release-path locality hint: the worker whose completion
+// cascade delivered that grant has the producing data warm in cache.
+// ok=false when the node was ready at registration (no pending grant).
+func (n *Node) ReadyData() (DataID, bool) {
+	if n.readyData < 0 {
+		return 0, false
+	}
+	return DataID(n.readyData), true
+}
+
+// PrimaryData returns the first (lowest-id) data object of the node's
+// depend clause, ok=false for a node with no dependencies.
+func (n *Node) PrimaryData() (DataID, bool) {
+	if len(n.datas) > 0 {
+		return n.datas[0], true
+	}
+	if len(n.accesses) > 0 {
+		return n.accesses[0].spec.Data, true
+	}
+	return 0, false
 }
 
 // Label returns the diagnostic label given at creation.

@@ -128,7 +128,7 @@ func (e *ShardedEngine) LiveFragments() int64 {
 // involved: node identity is shard-free state.
 func (e *ShardedEngine) NewNode(parent *Node, label string, user any) *Node {
 	e.nodes.Add(1)
-	n := &Node{parent: parent, label: label, User: user}
+	n := newNode(parent, label, user)
 	if e.obs != nil {
 		e.obs.NodeCreated(n, parent)
 	}

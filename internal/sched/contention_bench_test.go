@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Scheduler admission contention: w chains run through one pool, each
+// chain's runner submitting its successor from its own worker and chaining
+// through Finish — the admission-path analogue of the dependency engine's
+// disjoint chain benchmark (every Submit and every Finish hits the
+// admission path; chains of different workers are independent). Under the
+// single-lock pools all of it serializes on one mutex; under the sharded
+// pools each chain stays on its worker's lock-free deque. GOMAXPROCS is
+// raised to the worker count so the contention is real even on small
+// hosts.
+
+// runChains drives w chains of ops/w submit+finish steps each through the
+// pool built by mk, and returns when all chains have completed.
+func runChains(mk func(workers int, spawn func(item, worker int)) Queue[int], w, ops int) {
+	perW := ops / w
+	if perW < 1 {
+		perW = 1
+	}
+	remaining := make([]atomic.Int64, w)
+	for i := range remaining {
+		remaining[i].Store(int64(perW))
+	}
+	var done sync.WaitGroup
+	done.Add(w)
+	var q Queue[int]
+	q = mk(w, func(chain, worker int) {
+		for {
+			if remaining[chain].Add(-1) > 0 {
+				q.Submit(chain, worker) // next link, on this worker's shard
+			} else {
+				done.Done()
+			}
+			next, ok := q.Finish(worker)
+			if !ok {
+				return
+			}
+			chain = next
+		}
+	})
+	for i := 0; i < w; i++ {
+		q.Submit(i, -1)
+	}
+	done.Wait()
+}
+
+var contentionPools = []struct {
+	name string
+	mk   func(workers int, spawn func(item, worker int)) Queue[int]
+}{
+	{"locked-stealing", func(w int, s func(int, int)) Queue[int] { return NewLockedStealing(w, s) }},
+	{"stealing", func(w int, s func(int, int)) Queue[int] { return NewStealing(w, s) }},
+	{"sharded-central", func(w int, s func(int, int)) Queue[int] { return NewShardedCentral(w, s) }},
+	{"central", func(w int, s func(int, int)) Queue[int] { return New(w, FIFO, s) }},
+}
+
+// BenchmarkSchedContentionMatrix is the admission-path contention table:
+// every pool at w = 1 (overhead parity), 4, and 8 (lock contention). The
+// CI smoke runs it at -benchtime 1x; the w=1 regression guard is
+// TestSchedW1Parity below.
+func BenchmarkSchedContentionMatrix(b *testing.B) {
+	for _, p := range contentionPools {
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w=%d", p.name, w), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(0)
+				if w > prev {
+					runtime.GOMAXPROCS(w)
+					defer runtime.GOMAXPROCS(prev)
+				}
+				b.ReportAllocs()
+				runChains(p.mk, w, b.N)
+			})
+		}
+	}
+}
+
+// TestSchedW1Parity is the regression guard on the single-worker case: the
+// sharded pools' lock-free admission path must not cost materially more
+// than the single-lock reference when there is no contention to win back.
+// The bound is deliberately loose (CI hosts are noisy); the precise parity
+// measurement is cmd/depbench's sched table.
+func TestSchedW1Parity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard; skipped in short mode")
+	}
+	const ops = 200_000
+	const trials = 5
+	// Interleave the pools' trials so a transient stall (noisy CI
+	// neighbour, GC) hits all pools alike, and take each pool's best
+	// trial, which filters such stalls out entirely.
+	best := make([]time.Duration, len(contentionPools))
+	for i := range best {
+		best[i] = time.Duration(1<<63 - 1)
+	}
+	for trial := 0; trial < trials; trial++ {
+		for i, p := range contentionPools {
+			start := time.Now()
+			runChains(p.mk, 1, ops)
+			if d := time.Since(start); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	ref := best[0] // locked-stealing
+	for i, p := range contentionPools[1:3] {
+		if f := float64(best[i+1]) / float64(ref); f > 1.5 {
+			t.Errorf("%s w=1: %.2fx slower than locked-stealing (%v vs %v); admission fast path regressed",
+				p.name, f, best[i+1], ref)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sched
+
+import "sync/atomic"
+
+// clDeque is a Chase-Lev work-stealing deque (Chase & Lev, SPAA'05, in the
+// sequentially-consistent formulation of Lê et al., PPoPP'13 — Go's
+// sync/atomic operations are seq-cst, so the simple version is correct).
+//
+// Ownership discipline: PushBottom and PopBottom may only be called by the
+// deque's owner — in this package, the goroutine currently holding the
+// owning worker's token — while Steal may be called by any goroutine at any
+// time. The owner's fast paths are lock-free (plain atomic loads/stores; a
+// single CAS only when racing a thief for the last element), and Steal is a
+// bounded-retry CAS on top.
+//
+// Items are boxed (*T) so that slots can be published atomically; the ring
+// grows geometrically and is swapped in with an atomic pointer store, so
+// thieves holding a stale ring still read valid items — staleness is caught
+// by their top CAS.
+type clDeque[T any] struct {
+	top    atomic.Int64 // next index to steal; advanced by CAS
+	bottom atomic.Int64 // next index to push; owner-written only
+	buf    atomic.Pointer[ringBuf[T]]
+
+	// arena bump-allocates the boxes in chunks; owner-only, like
+	// PushBottom. Each box is written exactly once before its pointer is
+	// published through a slot, so readers are synchronized by the slot's
+	// atomic load. This keeps the queue path at ~1/arenaChunk allocations
+	// per item instead of one.
+	arena     []T
+	arenaNext int
+}
+
+const arenaChunk = 64
+
+type ringBuf[T any] struct {
+	mask  int64 // len(slots) - 1; len is a power of two
+	slots []atomic.Pointer[T]
+}
+
+const initialDequeCap = 16
+
+func newRingBuf[T any](capacity int64) *ringBuf[T] {
+	return &ringBuf[T]{mask: capacity - 1, slots: make([]atomic.Pointer[T], capacity)}
+}
+
+func (d *clDeque[T]) init() {
+	d.buf.Store(newRingBuf[T](initialDequeCap))
+}
+
+// Size returns a racy snapshot of the number of queued items; exact only at
+// quiescence. Thieves use it to skip empty victims without touching their
+// cache lines further.
+func (d *clDeque[T]) Size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b <= t {
+		return 0
+	}
+	return b - t
+}
+
+// PushBottom appends an item at the bottom. Owner only.
+func (d *clDeque[T]) PushBottom(item T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.slots)) {
+		buf = d.grow(buf, t, b)
+	}
+	if d.arenaNext == len(d.arena) {
+		d.arena = make([]T, arenaChunk)
+		d.arenaNext = 0
+	}
+	p := &d.arena[d.arenaNext]
+	d.arenaNext++
+	*p = item
+	buf.slots[b&buf.mask].Store(p)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live range [t, b). Owner only. Thieves
+// concurrently reading the old ring see the same items (the live range is
+// never mutated in place), and any steal completed against the old ring
+// advances top, which the owner observes through the shared counter.
+func (d *clDeque[T]) grow(old *ringBuf[T], t, b int64) *ringBuf[T] {
+	nb := newRingBuf[T](int64(len(old.slots)) * 2)
+	for i := t; i < b; i++ {
+		nb.slots[i&nb.mask].Store(old.slots[i&old.mask].Load())
+	}
+	d.buf.Store(nb)
+	return nb
+}
+
+// PopBottom removes the most recently pushed item (LIFO). Owner only. The
+// only synchronization with thieves is the top CAS when exactly one item
+// remains.
+func (d *clDeque[T]) PopBottom() (item T, ok bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b) // reserve: thieves now refuse to go past b
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; undo the reservation.
+		d.bottom.Store(b + 1)
+		return item, false
+	}
+	buf := d.buf.Load()
+	slot := &buf.slots[b&buf.mask]
+	p := slot.Load()
+	if t == b {
+		// Last element: race thieves for it through top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			// A thief won; the deque is empty.
+			d.bottom.Store(b + 1)
+			return item, false
+		}
+		slot.Store(nil)
+		d.bottom.Store(b + 1)
+		return *p, true
+	}
+	slot.Store(nil)
+	return *p, true
+}
+
+// Clearing consumed slots: the owner's pop clears its slot so the box (and
+// whatever the item pins — for the runtime, a completed *Task tree) does
+// not stay reachable until the ring index wraps. This is safe: with t < b
+// no thief can reach index b (thieves stop at bottom), and in the t == b
+// case the slot is cleared only after winning the top CAS, after which
+// every thief's CAS on that index fails and its speculative slot read is
+// discarded. Steal must NOT clear: once top has passed the stolen index
+// the owner may already be wrapping a new push onto the same physical
+// slot, and a late nil-store from the thief would destroy that item.
+
+// Steal removes the oldest item (FIFO). Safe from any goroutine, including
+// the owner (the sharded central pool self-pulls through Steal to get FIFO
+// order on its own ingress queue). Retries only when it loses a CAS race
+// while items remain.
+func (d *clDeque[T]) Steal() (item T, ok bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return item, false
+		}
+		buf := d.buf.Load()
+		p := buf.slots[t&buf.mask].Load()
+		if d.top.CompareAndSwap(t, t+1) {
+			// The CAS proves no other thief took index t and the owner
+			// could not have wrapped over it (wrap requires top > t first),
+			// so p is the item that was at t when we loaded it.
+			return *p, true
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// TestPoolShardCacheAlignment pins poolShard to a whole number of cache
+// lines: in the pool's shard array, a misaligned size would put one
+// worker's hot tail fields on the same line as its neighbour's deque
+// indices — exactly the false sharing the padding exists to prevent.
+func TestPoolShardCacheAlignment(t *testing.T) {
+	if s := unsafe.Sizeof(poolShard[int]{}); s%64 != 0 {
+		t.Fatalf("poolShard size %d is not a multiple of 64; fix the pad", s)
+	}
+}
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d clDeque[int]
+	d.init()
+	for i := 0; i < 5; i++ {
+		d.PushBottom(i)
+	}
+	for want := 4; want >= 0; want-- {
+		it, ok := d.PopBottom()
+		if !ok || it != want {
+			t.Fatalf("PopBottom = %d,%v, want %d,true", it, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque returned ok")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	var d clDeque[int]
+	d.init()
+	for i := 0; i < 5; i++ {
+		d.PushBottom(i)
+	}
+	for want := 0; want < 5; want++ {
+		it, ok := d.Steal()
+		if !ok || it != want {
+			t.Fatalf("Steal = %d,%v, want %d,true", it, ok, want)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque returned ok")
+	}
+}
+
+// TestDequeGrowth pushes far past the initial capacity, interleaving pops
+// and steals, and checks nothing is lost or duplicated across the ring
+// swaps.
+func TestDequeGrowth(t *testing.T) {
+	var d clDeque[int]
+	d.init()
+	const n = 10 * initialDequeCap
+	seen := make([]bool, n)
+	take := func(it int, ok bool) {
+		if !ok {
+			t.Fatal("unexpected empty deque")
+		}
+		if seen[it] {
+			t.Fatalf("item %d taken twice", it)
+		}
+		seen[it] = true
+	}
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+		if i%7 == 3 {
+			take(d.PopBottom())
+		} else if i%11 == 5 {
+			take(d.Steal())
+		}
+	}
+	for d.Size() > 0 {
+		take(d.PopBottom())
+	}
+	for i := range seen {
+		if !seen[i] {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+}
+
+// TestDequeConcurrentOwnerAndThieves drives one owner (pushing and
+// LIFO-popping) against several thieves and checks every item is taken
+// exactly once — the linearizability property the pool's accounting relies
+// on. Run with -race to validate the memory-ordering claims.
+func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
+	n := 50000
+	if testing.Short() {
+		n = 10000
+	}
+	var d clDeque[int]
+	d.init()
+	counts := make([]atomic.Int32, n)
+	var taken atomic.Int64
+	take := func(it int) {
+		counts[it].Add(1)
+		taken.Add(1)
+	}
+	stop := make(chan struct{})
+	var tw sync.WaitGroup
+	for th := 0; th < 3; th++ {
+		tw.Add(1)
+		go func() {
+			defer tw.Done()
+			for {
+				if it, ok := d.Steal(); ok {
+					take(it)
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+		if i%3 == 0 {
+			if it, ok := d.PopBottom(); ok {
+				take(it)
+			}
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for taken.Load() < int64(n) {
+		if it, ok := d.PopBottom(); ok {
+			take(it)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d items taken", taken.Load(), n)
+		}
+	}
+	close(stop)
+	tw.Wait()
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("item %d taken %d times", i, c)
+		}
+	}
+	if d.Size() != 0 {
+		t.Fatalf("deque size %d after drain", d.Size())
+	}
+}
+
+// TestTokenListConservation hammers the free-list from many goroutines and
+// checks no token is ever held twice and all tokens return.
+func TestTokenListConservation(t *testing.T) {
+	const workers = 8
+	l := newTokenList(workers)
+	var holders [workers]atomic.Int32
+	var fail atomic.Bool
+	var wg sync.WaitGroup
+	iters := 20000
+	if testing.Short() {
+		iters = 5000
+	}
+	for g := 0; g < 2*workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				w, ok := l.tryPop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if holders[w].Add(1) != 1 {
+					fail.Store(true)
+				}
+				holders[w].Add(-1)
+				l.push(w)
+			}
+		}()
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.Fatal("a token was held by two goroutines at once")
+	}
+	if f := l.free(); f != workers {
+		t.Fatalf("free count = %d after quiescence, want %d", f, workers)
+	}
+	got := make(map[int]bool)
+	for i := 0; i < workers; i++ {
+		w, ok := l.tryPop()
+		if !ok || got[w] {
+			t.Fatalf("pop %d: token %d ok=%v (dup=%v)", i, w, ok, got[w])
+		}
+		got[w] = true
+	}
+	if _, ok := l.tryPop(); ok {
+		t.Fatal("free list held more than workers tokens")
+	}
+}

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LockedStealing is the single-lock reference implementation of the
+// work-stealing pool: one deque per worker (LIFO self-pop, FIFO stealing),
+// all guarded by one mutex together with the token pool. It dispatches in
+// the same discipline as Stealing but with every admission operation
+// serialized — with one lock there is no lost-wakeup window between an
+// empty-pool check and a token retirement, so the admission invariants hold
+// trivially. The differential tests in this package drive LockedStealing
+// and the sharded pools over identical schedules to prove the sharded idle
+// protocol preserves those invariants, and the contention benchmarks
+// measure the sharded pools against it.
+type LockedStealing[T any] struct {
+	mu      sync.Mutex
+	deques  [][]T
+	queued  int
+	free    []int
+	waiters []chan int
+	rr      atomic.Uint32
+	spawn   func(item T, worker int)
+	workers int
+	spawns  atomic.Int64
+	steals  atomic.Int64
+}
+
+var _ Queue[int] = (*LockedStealing[int])(nil)
+
+// NewLockedStealing creates a single-lock work-stealing pool with the given
+// number of worker tokens.
+func NewLockedStealing[T any](workers int, spawn func(item T, worker int)) *LockedStealing[T] {
+	if workers < 1 {
+		panic("sched: need at least one worker")
+	}
+	s := &LockedStealing[T]{
+		deques:  make([][]T, workers),
+		spawn:   spawn,
+		workers: workers,
+	}
+	for i := workers - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// Workers returns the number of worker tokens.
+func (s *LockedStealing[T]) Workers() int { return s.workers }
+
+// Stats returns the pool's diagnostic counters.
+func (s *LockedStealing[T]) Stats() PoolStats {
+	return PoolStats{Spawns: s.spawns.Load(), Steals: s.steals.Load()}
+}
+
+// dequeFor maps a submission to a deque: the submitting worker's own, or a
+// round-robin choice for external submissions (from out of range), so that
+// a stream of external work spreads across the deques instead of landing on
+// worker 0's.
+func (s *LockedStealing[T]) dequeFor(from int) int {
+	if from >= 0 && from < s.workers {
+		return from
+	}
+	return int(s.rr.Add(1)) % s.workers
+}
+
+func (s *LockedStealing[T]) spawnGo(item T, w int) {
+	s.spawns.Add(1)
+	go s.spawn(item, w)
+}
+
+// Submit makes an item runnable. With a free token it starts immediately;
+// otherwise it is pushed onto the submitting worker's deque.
+func (s *LockedStealing[T]) Submit(item T, from int) {
+	d := s.dequeFor(from)
+	s.mu.Lock()
+	if len(s.free) > 0 {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.mu.Unlock()
+		s.spawnGo(item, w)
+		return
+	}
+	s.deques[d] = append(s.deques[d], item)
+	s.queued++
+	s.mu.Unlock()
+}
+
+// SubmitBatch makes every item runnable under one lock acquisition: items
+// start on free tokens first, the rest land on the submitting worker's
+// deque in order (so the oldest is stolen first, as with repeated Submit).
+func (s *LockedStealing[T]) SubmitBatch(items []T, from int) {
+	if len(items) == 0 {
+		return
+	}
+	d := s.dequeFor(from)
+	s.mu.Lock()
+	i := 0
+	for ; i < len(items) && len(s.free) > 0; i++ {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.spawnGo(items[i], w)
+	}
+	if rest := items[i:]; len(rest) > 0 {
+		s.deques[d] = append(s.deques[d], rest...)
+		s.queued += len(rest)
+	}
+	s.mu.Unlock()
+}
+
+// popLocked removes the next item for worker w: own back, then victims'
+// fronts, scanning round-robin from w. Caller holds mu. Returns ok=false
+// when every deque is empty.
+func (s *LockedStealing[T]) popLocked(w int) (item T, ok bool) {
+	if d := s.deques[w]; len(d) > 0 {
+		item = d[len(d)-1]
+		s.deques[w] = d[:len(d)-1]
+		s.queued--
+		return item, true
+	}
+	for i := 1; i < s.workers; i++ {
+		v := (w + i) % s.workers
+		if d := s.deques[v]; len(d) > 0 {
+			item = d[0]
+			s.deques[v] = d[1:]
+			s.queued--
+			s.steals.Add(1)
+			return item, true
+		}
+	}
+	return item, false
+}
+
+// Finish is called by a runner that completed its item and still holds
+// worker w: a blocked Acquire (a resuming taskwait, which holds a live
+// stack) wins the token first, then the worker pops its own deque or
+// steals, and otherwise the token retires.
+func (s *LockedStealing[T]) Finish(worker int) (next T, ok bool) {
+	var zero T
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		ch <- worker
+		return zero, false
+	}
+	if item, ok := s.popLocked(worker); ok {
+		s.mu.Unlock()
+		return item, true
+	}
+	s.free = append(s.free, worker)
+	s.mu.Unlock()
+	return zero, false
+}
+
+// Yield releases worker w while its holder blocks: the token redeploys to a
+// blocked Acquire, to queued work, or to the free pool.
+func (s *LockedStealing[T]) Yield(worker int) {
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		ch <- worker
+		return
+	}
+	if item, ok := s.popLocked(worker); ok {
+		s.mu.Unlock()
+		s.spawnGo(item, worker)
+		return
+	}
+	s.free = append(s.free, worker)
+	s.mu.Unlock()
+}
+
+// Acquire blocks until a worker token is available and returns it.
+func (s *LockedStealing[T]) Acquire() int {
+	s.mu.Lock()
+	if len(s.free) > 0 {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.mu.Unlock()
+		return w
+	}
+	ch := make(chan int, 1)
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	return <-ch
+}
+
+// Idle reports whether no items are queued and all tokens are free.
+func (s *LockedStealing[T]) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued == 0 && len(s.free) == s.workers && len(s.waiters) == 0
+}
+
+// QueueLen returns the total number of queued items across all deques.
+func (s *LockedStealing[T]) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}

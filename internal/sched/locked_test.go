@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLockedStealingRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	var s *LockedStealing[int]
+	s = NewLockedStealing(4, func(item, worker int) {
+		for {
+			ran.Add(1)
+			wg.Done()
+			next, ok := s.Finish(worker)
+			if !ok {
+				return
+			}
+			item = next
+		}
+	})
+	const n = 1000
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.Submit(i, -1)
+	}
+	wg.Wait()
+	if ran.Load() != n {
+		t.Fatalf("ran %d items, want %d", ran.Load(), n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("locked stealing pool did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLockedStealingSelfLIFOStealFIFO pins the dispatch discipline of the
+// reference pool: own deque drained from the back, victims' from the front.
+func TestLockedStealingSelfLIFOStealFIFO(t *testing.T) {
+	var order []int
+	done := make(chan struct{})
+	var s *LockedStealing[int]
+	s = NewLockedStealing(2, func(item, worker int) {
+		for {
+			order = append(order, item)
+			next, ok := s.Finish(worker)
+			if !ok {
+				close(done)
+				return
+			}
+			item = next
+		}
+	})
+	w0 := s.Acquire()
+	w1 := s.Acquire()
+	if w0 > w1 {
+		w0, w1 = w1, w0
+	}
+	for i := 0; i < 3; i++ {
+		s.Submit(i, 0)
+	}
+	for i := 10; i < 12; i++ {
+		s.Submit(i, 1)
+	}
+	s.Yield(w0)
+	<-done
+	want := []int{2, 1, 0, 10, 11}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	s.Yield(w1)
+}
+
+// TestLockedStealingExternalRoundRobin: with all tokens held, external
+// submissions (out-of-range from) must spread round-robin across the
+// deques instead of piling onto worker 0's.
+func TestLockedStealingExternalRoundRobin(t *testing.T) {
+	const workers = 4
+	var s *LockedStealing[int]
+	s = NewLockedStealing(workers, func(item, worker int) {
+		for {
+			next, ok := s.Finish(worker)
+			if !ok {
+				return
+			}
+			item = next
+		}
+	})
+	held := make([]int, workers)
+	for i := range held {
+		held[i] = s.Acquire()
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Submit(i, -1)
+	}
+	s.mu.Lock()
+	for d, q := range s.deques {
+		if len(q) != n/workers {
+			s.mu.Unlock()
+			t.Fatalf("deque %d holds %d items, want %d (external submissions not spread)", d, len(q), n/workers)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range held {
+		s.Yield(w)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("pool did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStealingExternalSpread is the sharded-pool counterpart: external
+// submissions land round-robin on the shard inboxes.
+func TestStealingExternalSpread(t *testing.T) {
+	const workers = 4
+	var s *Stealing[int]
+	s = NewStealing(workers, func(item, worker int) {
+		for {
+			next, ok := s.Finish(worker)
+			if !ok {
+				return
+			}
+			item = next
+		}
+	})
+	held := make([]int, workers)
+	for i := range held {
+		held[i] = s.Acquire()
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Submit(i, -1)
+	}
+	for d := range s.shards {
+		if got := s.shards[d].ilen.Load(); got != n/workers {
+			t.Fatalf("shard %d inbox holds %d items, want %d", d, got, n/workers)
+		}
+	}
+	for _, w := range held {
+		s.Yield(w)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("pool did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedCentralFIFOPull pins the sharded central discipline: a worker
+// pulls its own ingress queue in arrival order.
+func TestShardedCentralFIFOPull(t *testing.T) {
+	var order []int
+	done := make(chan struct{})
+	var s *ShardedCentral[int]
+	s = NewShardedCentral(1, func(item, worker int) {
+		for {
+			order = append(order, item)
+			next, ok := s.Finish(worker)
+			if !ok {
+				close(done)
+				return
+			}
+			item = next
+		}
+	})
+	w := s.Acquire()
+	for i := 0; i < 5; i++ {
+		s.Submit(i, 0)
+	}
+	s.Yield(w)
+	<-done
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}

@@ -9,17 +9,73 @@
 // context alive, §IV, maps to the blocked goroutine plus the token
 // round-trip) and reacquires one to resume.
 //
-// Two ready-pool implementations share the Queue contract:
+// Four ready-pool implementations share the Queue contract:
 //
-//   - Scheduler: a central queue with FIFO, LIFO, or Priority discipline.
-//   - Stealing: per-worker deques with LIFO self-pop and FIFO stealing
-//     (the Cilk discipline), for the scheduler ablation benchmarks.
+//   - Scheduler: a central single-lock queue with FIFO, LIFO, or Priority
+//     discipline. LIFO and Priority are global orders over all ready items,
+//     which is inherently central; this is also the simplest reference.
+//   - ShardedCentral: the scalable central variant — one ingress queue per
+//     worker, FIFO work-pulling, no pool-wide lock.
+//   - Stealing: per-worker Chase-Lev deques with lock-free LIFO self-pop
+//     and CAS-based FIFO stealing (the Cilk discipline). The default ready
+//     pool of the runtime's real mode.
+//   - LockedStealing: the single-lock stealing reference the differential
+//     tests and contention benchmarks compare the sharded pools against.
+//
+// The sharded pools (Stealing, ShardedCentral) replace the pool-wide mutex
+// with per-worker shards, a lock-free token free-list, and a Dekker-style
+// idle protocol: a submitter publishes its item and then rechecks the token
+// list, a retiring worker publishes its token and then rechecks the queued
+// count and the waiter count. Under sequential consistency (Go's atomics)
+// at least one side of any race observes the other's publication, so a
+// queued item and a free token can never coexist at quiescence — the
+// lost-wakeup window that the single-lock pools close with their mutex. All
+// pools maintain the same admission invariants: token conservation, no lost
+// wakeups, waiter priority at release points, and Idle() exact at
+// quiescence; the differential tests in this package drive the locked and
+// sharded pools over identical schedules to keep them aligned.
 package sched
 
 import (
 	"container/heap"
 	"sync"
 )
+
+// PoolKind selects a ready-pool implementation (core.Config.ReadyPool).
+type PoolKind uint8
+
+const (
+	// PoolAuto lets the runtime pick: sharded stealing in real mode, except
+	// that an explicit LIFO or Priority policy selects the central queue
+	// (those disciplines are global orders). Virtual mode has its own
+	// deterministic event-driven list and ignores the ready pool.
+	PoolAuto PoolKind = iota
+	// PoolCentral is the single-lock central Scheduler (FIFO, LIFO, or
+	// Priority policy).
+	PoolCentral
+	// PoolShardedCentral is the sharded central queue: per-worker ingress
+	// queues with FIFO work-pulling.
+	PoolShardedCentral
+	// PoolStealing is the sharded work-stealing pool (per-worker Chase-Lev
+	// deques, self-LIFO, steal-FIFO).
+	PoolStealing
+	// PoolLockedStealing is the single-lock work-stealing reference.
+	PoolLockedStealing
+)
+
+func (k PoolKind) String() string {
+	switch k {
+	case PoolCentral:
+		return "central"
+	case PoolShardedCentral:
+		return "sharded-central"
+	case PoolStealing:
+		return "stealing"
+	case PoolLockedStealing:
+		return "locked-stealing"
+	}
+	return "auto"
+}
 
 // Policy selects the ready-queue discipline of the central Scheduler.
 type Policy uint8
@@ -47,8 +103,14 @@ func (p Policy) String() string {
 
 // Queue is the contract between the runtime and a ready-pool: admission of
 // ready items, token-aware completion chaining, and token yield/reacquire
-// for blocking constructs. from is the submitting worker (-1 when unknown);
-// implementations may use it for locality.
+// for blocking constructs.
+//
+// from is the submitting worker, and the caller of Submit/SubmitBatch with
+// an in-range from must be the goroutine currently holding that worker's
+// token (-1, or any out-of-range value, when the caller holds none). The
+// sharded pools rely on this ownership for their single-owner deque fast
+// paths; the runtime satisfies it by construction, since a task submits
+// children only while running on its worker.
 type Queue[T any] interface {
 	// Submit makes an item runnable. If a token is free the item starts
 	// immediately on a new goroutine; otherwise it queues.
@@ -225,47 +287,50 @@ func (s *Scheduler[T]) queuedLocked() int {
 }
 
 // Finish is called by a runner that completed its item and still holds
-// worker w. It returns the next item to run on this worker, if any.
-// Otherwise the token is handed to a blocked Acquire call (a resuming
-// taskwait, preferred because it holds a live stack) or returned to the
-// pool.
+// worker w. A blocked Acquire call (a resuming taskwait, preferred because
+// it holds a live stack mid-execution) wins the token over fresh queued
+// work; otherwise the next queued item is returned to run on this worker,
+// and failing that the token retires to the pool.
 func (s *Scheduler[T]) Finish(worker int) (next T, ok bool) {
+	var zero T
 	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		ch <- worker
+		return zero, false
+	}
 	if s.queuedLocked() > 0 {
 		item := s.pop()
 		s.mu.Unlock()
 		return item, true
 	}
-	s.releaseLocked(worker)
+	s.free = append(s.free, worker)
 	s.mu.Unlock()
-	var zero T
 	return zero, false
 }
 
 // Yield releases worker w while its holder blocks (taskwait). The token is
-// immediately redeployed: to a queued item, to a blocked Acquire, or to the
+// immediately redeployed: to a blocked Acquire, to a queued item, or to the
 // free pool.
 func (s *Scheduler[T]) Yield(worker int) {
 	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		ch <- worker
+		return
+	}
 	if s.queuedLocked() > 0 {
 		item := s.pop()
 		s.mu.Unlock()
 		go s.spawn(item, worker)
 		return
 	}
-	s.releaseLocked(worker)
-	s.mu.Unlock()
-}
-
-// releaseLocked hands the token to a waiter or the free pool. Caller holds mu.
-func (s *Scheduler[T]) releaseLocked(worker int) {
-	if len(s.waiters) > 0 {
-		ch := s.waiters[0]
-		s.waiters = s.waiters[1:]
-		ch <- worker
-		return
-	}
 	s.free = append(s.free, worker)
+	s.mu.Unlock()
 }
 
 // Acquire blocks until a worker token is available and returns it. Used by

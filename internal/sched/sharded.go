@@ -1,0 +1,473 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+// shardedPool is the sharded admission path shared by the Stealing and
+// ShardedCentral pools: one deque shard per worker, a lock-free token
+// free-list, and an idle protocol that replaces the single pool-wide mutex
+// of the reference implementations.
+//
+// Per-shard state:
+//
+//   - deque: a Chase-Lev deque owned by the worker. Pushes with an in-range
+//     from and self-pops are the owner's lock-free fast path; thieves take
+//     the oldest item with one CAS.
+//   - inbox: a small mutex-guarded FIFO for submissions from goroutines
+//     that hold no worker token (from out of range). External submissions
+//     are routed round-robin across inboxes so they cannot pile onto one
+//     shard.
+//
+// Admission invariants (shared with the single-lock pools, and checked by
+// the differential tests in this package):
+//
+//   - token conservation: every worker token is, at all times, held by
+//     exactly one runner, parked in the free list, or in flight to exactly
+//     one waiter;
+//   - no lost wakeups: a queued item and a free token cannot coexist at
+//     quiescence;
+//   - waiter priority: a release point (Finish, Yield, token retirement)
+//     hands the token to a blocked Acquire — a resuming taskwait, which
+//     holds a live stack — before spawning fresh queued work;
+//   - Idle() is exact at quiescence.
+//
+// The lost-wakeup window that the single-lock pools close with their mutex
+// — a submitter observes no free token and queues, while a retiring worker
+// concurrently observes no queued work and parks its token — is closed here
+// with a Dekker-style publish-then-recheck protocol over seq-cst atomics:
+// the submitter publishes the item (the shard deque's bottom index, or the
+// inbox count) and then re-checks the token list (kick); the retirer
+// publishes the token (free list) and then re-checks every shard and the
+// waiter count (releaseToken). In any sequentially consistent interleaving
+// at least one side observes the other's publication and performs (or
+// hands off responsibility for) the match; a reclaim that finds the
+// counterpart already consumed returns the token and re-checks, so
+// responsibility is never dropped.
+type shardedPool[T any] struct {
+	shards  []poolShard[T]
+	tokens  *tokenList
+	rr      atomic.Uint32
+	spawn   func(item T, worker int)
+	workers int
+	// selfLIFO selects the discipline of the owner's fast path: true pops
+	// the worker's own deque from the bottom (depth-first, cache-warm —
+	// work stealing), false from the top (arrival order — the sharded
+	// central queue).
+	selfLIFO bool
+
+	wmu      sync.Mutex // guards waiters
+	waiters  []chan int // blocked Acquire calls (taskwait resumes)
+	nwaiters atomic.Int64
+
+	spawns atomic.Int64
+
+	// soloQ replaces shard 0's deque when workers == 1: with no other
+	// shard to steal from it, the queue is only ever touched by the
+	// current holder of the single token (ownership transfers through the
+	// token list, which carries the happens-before edge), so plain slice
+	// operations suffice and only the length is published for the idle
+	// protocol's emptiness checks. This keeps the degenerate single-worker
+	// pool at parity with the single-lock implementations.
+	soloQ    []T
+	soloHead int // index of the oldest solo item (FIFO pop side)
+	soloLen  atomic.Int64
+}
+
+// poolShard pads to a whole number of cache lines so one worker's push/pop
+// traffic does not false-share with its neighbours' (the field sizes are
+// T-independent — slices are headers — so the pad is a constant; a test
+// asserts the 64-byte multiple).
+type poolShard[T any] struct {
+	deque  clDeque[T] // 56 bytes
+	imu    sync.Mutex // 8
+	inbox  []T        // 24
+	ilen   atomic.Int64
+	steals atomic.Int64 // items this worker took from other shards
+	_      [24]byte     // 104 -> 128
+}
+
+// PoolStats are diagnostic counters of a pool.
+type PoolStats struct {
+	// Spawns is the number of goroutines started (token matched to an item
+	// outside a Finish chain).
+	Spawns int64
+	// Steals counts items a worker took from another worker's shard.
+	Steals int64
+}
+
+func (p *shardedPool[T]) init(workers int, spawn func(item T, worker int), selfLIFO bool) {
+	if workers < 1 {
+		panic("sched: need at least one worker")
+	}
+	p.shards = make([]poolShard[T], workers)
+	for i := range p.shards {
+		p.shards[i].deque.init()
+	}
+	p.tokens = newTokenList(workers)
+	p.spawn = spawn
+	p.workers = workers
+	p.selfLIFO = selfLIFO
+}
+
+// Workers returns the number of worker tokens.
+func (p *shardedPool[T]) Workers() int { return p.workers }
+
+// Stats returns the pool's diagnostic counters.
+func (p *shardedPool[T]) Stats() PoolStats {
+	st := PoolStats{Spawns: p.spawns.Load()}
+	for i := range p.shards {
+		st.Steals += p.shards[i].steals.Load()
+	}
+	return st
+}
+
+func (p *shardedPool[T]) spawnGo(item T, w int) {
+	p.spawns.Add(1)
+	go p.spawn(item, w)
+}
+
+// pushItem queues an item. An in-range from pushes onto that worker's own
+// deque — the caller holds that worker's token, so this is the owner-side
+// lock-free path. Out-of-range submissions go to a round-robin shard's
+// inbox (they come from goroutines holding no token, which may race each
+// other and the shard owner).
+func (p *shardedPool[T]) pushItem(item T, from int) {
+	if from >= 0 && from < p.workers {
+		if p.workers == 1 {
+			p.soloQ = append(p.soloQ, item)
+			p.soloLen.Store(int64(len(p.soloQ) - p.soloHead))
+			return
+		}
+		p.shards[from].deque.PushBottom(item)
+		return
+	}
+	sh := &p.shards[int(p.rr.Add(1))%p.workers]
+	sh.imu.Lock()
+	sh.inbox = append(sh.inbox, item)
+	sh.ilen.Add(1)
+	sh.imu.Unlock()
+}
+
+// Submit makes an item runnable. With a free token it starts immediately on
+// a new goroutine; otherwise it queues on the submitting worker's shard.
+func (p *shardedPool[T]) Submit(item T, from int) {
+	if w, ok := p.tokens.tryPop(); ok {
+		p.spawnGo(item, w)
+		return
+	}
+	p.pushItem(item, from)
+	p.kick()
+}
+
+// SubmitBatch makes every item runnable in one admission: tokens are
+// matched first, the rest queue on the submitting worker's shard (or are
+// scattered round-robin across inboxes for external batches), and one kick
+// closes the lost-wakeup window for the whole batch.
+func (p *shardedPool[T]) SubmitBatch(items []T, from int) {
+	if len(items) == 0 {
+		return
+	}
+	i := 0
+	for ; i < len(items); i++ {
+		w, ok := p.tokens.tryPop()
+		if !ok {
+			break
+		}
+		p.spawnGo(items[i], w)
+	}
+	rest := items[i:]
+	if len(rest) == 0 {
+		return
+	}
+	for _, it := range rest {
+		p.pushItem(it, from)
+	}
+	p.kick()
+}
+
+// takeInbox pops the oldest inbox item of sh, if any.
+func (p *shardedPool[T]) takeInbox(sh *poolShard[T]) (item T, ok bool) {
+	if sh.ilen.Load() == 0 {
+		return item, false
+	}
+	sh.imu.Lock()
+	if len(sh.inbox) == 0 {
+		sh.imu.Unlock()
+		return item, false
+	}
+	item = sh.inbox[0]
+	var zero T
+	sh.inbox[0] = zero
+	sh.inbox = sh.inbox[1:]
+	sh.ilen.Add(-1)
+	sh.imu.Unlock()
+	return item, true
+}
+
+// popFor removes the next item for the holder of token w: own deque (bottom
+// under the stealing discipline, top under the central one), own inbox,
+// then the other shards — deque top, then inbox — scanning victims from a
+// random start so concurrent thieves spread instead of convoying.
+func (p *shardedPool[T]) popFor(w int) (item T, ok bool) {
+	sh := &p.shards[w]
+	if p.workers == 1 {
+		if n := len(p.soloQ) - p.soloHead; n > 0 {
+			var zero T
+			if p.selfLIFO {
+				last := len(p.soloQ) - 1
+				item, p.soloQ[last] = p.soloQ[last], zero
+				p.soloQ = p.soloQ[:last]
+			} else {
+				item, p.soloQ[p.soloHead] = p.soloQ[p.soloHead], zero
+				p.soloHead++
+			}
+			if len(p.soloQ) == p.soloHead {
+				p.soloQ = p.soloQ[:0]
+				p.soloHead = 0
+			}
+			p.soloLen.Store(int64(n - 1))
+			return item, true
+		}
+		return p.takeInbox(sh)
+	}
+	if p.selfLIFO {
+		item, ok = sh.deque.PopBottom()
+	} else {
+		item, ok = sh.deque.Steal()
+	}
+	if !ok {
+		item, ok = p.takeInbox(sh)
+	}
+	if ok {
+		return item, true
+	}
+	if p.workers > 1 {
+		start := rand.IntN(p.workers)
+		for i := 0; i < p.workers; i++ {
+			v := (start + i) % p.workers
+			if v == w {
+				continue
+			}
+			vs := &p.shards[v]
+			if vs.deque.Size() > 0 {
+				if item, ok = vs.deque.Steal(); ok {
+					sh.steals.Add(1)
+					return item, true
+				}
+			}
+			if item, ok = p.takeInbox(vs); ok {
+				sh.steals.Add(1)
+				return item, true
+			}
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// anyQueued reports whether any shard holds a queued item. Seq-cst loads of
+// every deque's indices and inbox count: a retirer calling this after
+// parking its token observes any item published before the submitter's
+// token-list recheck (the Dekker pairing in releaseToken).
+func (p *shardedPool[T]) anyQueued() bool {
+	if p.soloLen.Load() > 0 {
+		return true
+	}
+	for i := range p.shards {
+		if p.shards[i].deque.Size() > 0 || p.shards[i].ilen.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// handToWaiter gives token w to a blocked Acquire, if any. Release points
+// call this before looking at queued work: a resuming taskwait holds a live
+// task mid-execution, and finishing it beats starting fresh work.
+func (p *shardedPool[T]) handToWaiter(w int) bool {
+	if p.nwaiters.Load() == 0 {
+		return false
+	}
+	p.wmu.Lock()
+	if len(p.waiters) == 0 {
+		p.wmu.Unlock()
+		return false
+	}
+	ch := p.waiters[0]
+	p.waiters = p.waiters[1:]
+	p.nwaiters.Store(int64(len(p.waiters)))
+	p.wmu.Unlock()
+	ch <- w
+	return true
+}
+
+// releaseToken parks token w in the free list and then closes the two
+// lost-wakeup windows of the park: a waiter that registered after the
+// waiter check, and an item that was queued after the emptiness check. On
+// each recheck hit it reclaims a token and serves the counterpart; a
+// reclaim that finds the counterpart already consumed loops — the token
+// must be parked again, and the park must recheck again.
+func (p *shardedPool[T]) releaseToken(w int) {
+	for {
+		if p.handToWaiter(w) {
+			return
+		}
+		p.tokens.push(w)
+		// Dekker recheck: both publications (waiter registration, item
+		// queueing) are ordered before their own recheck of the free list,
+		// so if neither is visible here, whoever published after our push
+		// sees the token.
+		if p.nwaiters.Load() == 0 && !p.anyQueued() {
+			return
+		}
+		w2, ok := p.tokens.tryPop()
+		if !ok {
+			return // someone else reclaimed; responsibility moved
+		}
+		w = w2
+		if item, ok := p.popFor(w); ok {
+			p.spawnGo(item, w)
+			return
+		}
+	}
+}
+
+// kick closes the submitter-side lost-wakeup window: with the item already
+// published, match any free token to queued work. In the common case — all
+// tokens busy — this is a single load of the free-list head. Failing to
+// find an item after claiming a token means a racing worker took it; the
+// token goes back through the full release path (which rechecks both
+// sides).
+func (p *shardedPool[T]) kick() {
+	for {
+		w, ok := p.tokens.tryPop()
+		if !ok {
+			return
+		}
+		if item, ok := p.popFor(w); ok {
+			p.spawnGo(item, w)
+			continue
+		}
+		p.releaseToken(w)
+		return
+	}
+}
+
+// Finish is called by a runner that completed its item and still holds
+// worker w: a blocked Acquire wins the token first, then the worker's own
+// shard and steal targets, and otherwise the token retires.
+func (p *shardedPool[T]) Finish(worker int) (next T, ok bool) {
+	var zero T
+	if p.handToWaiter(worker) {
+		return zero, false
+	}
+	if item, ok := p.popFor(worker); ok {
+		return item, true
+	}
+	p.releaseToken(worker)
+	return zero, false
+}
+
+// Yield releases worker w while its holder blocks (taskwait, taskgroup,
+// throttle): the token redeploys to a blocked Acquire, to queued work on a
+// fresh goroutine, or to the free list.
+func (p *shardedPool[T]) Yield(worker int) {
+	if p.handToWaiter(worker) {
+		return
+	}
+	if item, ok := p.popFor(worker); ok {
+		p.spawnGo(item, worker)
+		return
+	}
+	p.releaseToken(worker)
+}
+
+// Acquire blocks until a worker token is available and returns it. The slow
+// path publishes the waiter first and then rechecks the free list, pairing
+// with releaseToken's publish-then-recheck from the other side.
+func (p *shardedPool[T]) Acquire() int {
+	if w, ok := p.tokens.tryPop(); ok {
+		return w
+	}
+	p.wmu.Lock()
+	ch := make(chan int, 1)
+	p.waiters = append(p.waiters, ch)
+	p.nwaiters.Store(int64(len(p.waiters)))
+	// Recheck after publishing: a token parked between our fast path and
+	// the registration would otherwise sleep forever opposite a free token.
+	if w, ok := p.tokens.tryPop(); ok {
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		p.nwaiters.Store(int64(len(p.waiters)))
+		p.wmu.Unlock()
+		return w
+	}
+	p.wmu.Unlock()
+	return <-ch
+}
+
+// Idle reports whether no items are queued and all tokens are free — i.e.
+// the pool is quiescent. Exact when no operation is in flight.
+func (p *shardedPool[T]) Idle() bool {
+	return !p.anyQueued() &&
+		p.tokens.free() == int64(p.workers) &&
+		p.nwaiters.Load() == 0
+}
+
+// QueueLen returns the number of queued (not running) items, summed over
+// the shards. The sum may be momentarily stale while operations are in
+// flight; it is exact at quiescence.
+func (p *shardedPool[T]) QueueLen() int {
+	n := p.soloLen.Load()
+	for i := range p.shards {
+		n += p.shards[i].deque.Size() + p.shards[i].ilen.Load()
+	}
+	return int(n)
+}
+
+// Stealing is the work-stealing ready pool: one deque per worker, LIFO
+// self-pop (depth-first, cache-warm), FIFO stealing of the oldest — the
+// Cilk discipline — over the sharded admission path above. It replaces the
+// single-lock implementation this package used to ship (preserved as
+// LockedStealing for differential testing and A/B benchmarks): submission
+// onto the own shard and self-pop are lock-free, stealing is one CAS on the
+// victim, and token accounting is the lock-free free list, so Submit,
+// SubmitBatch, Finish, and Yield of different workers no longer serialize
+// on any common lock.
+type Stealing[T any] struct {
+	shardedPool[T]
+}
+
+var _ Queue[int] = (*Stealing[int])(nil)
+
+// NewStealing creates a work-stealing pool with the given number of worker
+// tokens.
+func NewStealing[T any](workers int, spawn func(item T, worker int)) *Stealing[T] {
+	s := &Stealing[T]{}
+	s.init(workers, spawn, true)
+	return s
+}
+
+// ShardedCentral is the sharded variant of the central Scheduler: one
+// ingress queue per worker and FIFO work-pulling. A submission lands on the
+// submitting worker's ingress queue; a worker pulls its own queue in
+// arrival order and then the other queues, oldest first. Dispatch order is
+// per-queue FIFO (approximate global FIFO), and the admission path scales
+// like the stealing pool's — no pool-wide lock. Global LIFO and Priority
+// disciplines remain central-queue-only (Scheduler), since they order all
+// ready items against each other.
+type ShardedCentral[T any] struct {
+	shardedPool[T]
+}
+
+var _ Queue[int] = (*ShardedCentral[int])(nil)
+
+// NewShardedCentral creates a sharded central pool with the given number of
+// worker tokens.
+func NewShardedCentral[T any](workers int, spawn func(item T, worker int)) *ShardedCentral[T] {
+	s := &ShardedCentral[T]{}
+	s.init(workers, spawn, false)
+	return s
+}

@@ -95,7 +95,7 @@ func TestStealingRunsAll(t *testing.T) {
 	const n = 1000
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		s.Submit(i, i%4)
+		s.Submit(i, -1) // the test goroutine holds no worker token
 	}
 	wg.Wait()
 	if ran.Load() != n {
@@ -177,7 +177,7 @@ func TestStealingConcurrencyCap(t *testing.T) {
 	const n = 100
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		s.Submit(i, i%workers)
+		s.Submit(i, -1)
 	}
 	wg.Wait()
 	if peak.Load() > workers {
@@ -233,7 +233,10 @@ func TestQuickStealingAllItemsRunOnce(t *testing.T) {
 		})
 		wg.Add(n)
 		for i := 0; i < n; i++ {
-			s.Submit(i, rng.Intn(workers+2)-1)
+			// The test goroutine holds no token: any in-range from would
+			// violate the owner-push contract, so submit as external work
+			// (occasionally with a far out-of-range from).
+			s.Submit(i, -1-rng.Intn(2)*100)
 		}
 		wg.Wait()
 		for i := range counts {

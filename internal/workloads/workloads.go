@@ -29,14 +29,16 @@ type Mode struct {
 	// Virtual selects virtual-time execution (for core-count sweeps beyond
 	// the host machine, Figures 4 and 6).
 	Virtual bool
-	// Policy is the ready-queue discipline.
+	// Policy is the ready-queue discipline of the central pool.
 	Policy nanos.Policy
-	// Stealing replaces the central ready queue with per-worker deques and
-	// Cilk-style work stealing (scheduler ablation; real mode only).
+	// ReadyPool selects the ready-pool implementation (scheduler ablation;
+	// real mode only — PoolAuto picks sharded stealing).
+	ReadyPool nanos.PoolKind
+	// Stealing is the legacy selector for the work-stealing pool (same as
+	// ReadyPool = PoolStealing).
 	Stealing bool
 	// Engine selects the dependency-engine implementation (engine A/B
-	// comparisons; EngineAuto picks sharded in real mode, global in
-	// virtual mode).
+	// comparisons; EngineAuto picks sharded).
 	Engine nanos.EngineKind
 	// NoHandoff disables direct successor hand-off (locality ablation).
 	NoHandoff bool
@@ -71,6 +73,7 @@ func (m Mode) config() nanos.Config {
 		Workers:           w,
 		Virtual:           m.Virtual,
 		Policy:            m.Policy,
+		ReadyPool:         m.ReadyPool,
 		Stealing:          m.Stealing,
 		DepEngine:         m.Engine,
 		NoHandoff:         m.NoHandoff,

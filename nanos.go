@@ -30,9 +30,16 @@
 // DataID gets its own lock and cascade queue, so depend clauses over
 // disjoint data register and release with no common lock, and a task's
 // cross-object readiness countdown is a bare atomic. EngineAuto (default)
-// picks sharded in real mode and global in virtual mode. Differential
-// property tests drive both engines in lockstep over random task programs
-// to keep them observably equivalent.
+// picks sharded in both modes. Differential property tests drive both
+// engines in lockstep over random task programs to keep them observably
+// equivalent.
+//
+// The scheduler admission path is sharded the same way: real mode defaults
+// to a work-stealing ready pool with one lock-free deque per worker and
+// lock-free token accounting (Config.ReadyPool = PoolAuto), so submitting,
+// finishing, and yielding tasks on different workers never serialize on a
+// common lock. The single-lock central queue (FIFO/LIFO/Priority) and a
+// sharded central variant remain selectable for ablations.
 //
 // A minimal program:
 //
@@ -97,6 +104,8 @@ type (
 	// EngineKind selects the dependency-engine implementation
 	// (Config.DepEngine).
 	EngineKind = deps.EngineKind
+	// PoolKind selects the ready-pool implementation (Config.ReadyPool).
+	PoolKind = sched.PoolKind
 )
 
 // Access types for Dep.Type.
@@ -114,9 +123,9 @@ const (
 
 // Dependency-engine kinds for Config.DepEngine.
 const (
-	// EngineAuto picks the sharded engine in real mode and the global
-	// engine in virtual mode (whose ready ordering keeps the deterministic
-	// virtual makespans stable).
+	// EngineAuto picks the sharded engine in both real and virtual mode
+	// (its ready ordering reproduces the recorded virtual golden
+	// makespans).
 	EngineAuto = deps.EngineAuto
 	// EngineGlobal is the single-mutex reference engine.
 	EngineGlobal = deps.EngineGlobal
@@ -133,6 +142,26 @@ const (
 	// Priority dispatches the ready task with the highest TaskSpec.Priority
 	// first (FIFO among equals) — the OpenMP 4.5 priority clause.
 	Priority = sched.Priority
+)
+
+// Ready-pool kinds for Config.ReadyPool.
+const (
+	// PoolAuto picks the sharded work-stealing pool in real mode (the
+	// central queue when Policy is LIFO or Priority, which are global
+	// orders); virtual mode runs its own deterministic event list.
+	PoolAuto = sched.PoolAuto
+	// PoolCentral is the single-lock central queue (FIFO/LIFO/Priority).
+	PoolCentral = sched.PoolCentral
+	// PoolShardedCentral is the sharded central queue: per-worker ingress
+	// queues with FIFO work-pulling and no pool-wide lock.
+	PoolShardedCentral = sched.PoolShardedCentral
+	// PoolStealing is the sharded work-stealing pool: per-worker lock-free
+	// deques, LIFO self-pop, CAS-based FIFO stealing, lock-free token
+	// accounting.
+	PoolStealing = sched.PoolStealing
+	// PoolLockedStealing is the single-lock work-stealing reference
+	// implementation (differential testing and contention A/Bs).
+	PoolLockedStealing = sched.PoolLockedStealing
 )
 
 // Verification finding kinds.
