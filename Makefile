@@ -1,11 +1,26 @@
 # Build/test entry points; CI (.github/workflows/ci.yml) runs the same
 # targets, so a green `make ci` locally means a green pipeline.
+# `make help` lists the targets.
 
 GO ?= go
 
-.PHONY: all build vet test race bench-short sched-smoke depbench ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke depbench ci
 
 all: build
+
+help:
+	@echo "Targets:"
+	@echo "  build          go build ./..."
+	@echo "  vet            go vet ./..."
+	@echo "  test           full test suite"
+	@echo "  race           race detector pass (short mode)"
+	@echo "  bench-short    every benchmark once (benchmark-code smoke)"
+	@echo "  sched-smoke    ready-pool contention matrix (w=1/4/8) + w=1 parity guard"
+	@echo "  throttle-smoke throttle-window contention matrix (impl x window x w) + w=1 parity guard"
+	@echo "  depbench       contention tables: deps engines, sched pools, throttle windows"
+	@echo "                 (go run ./cmd/depbench; -mode deps|sched|throttle selects one table,"
+	@echo "                  -workers/-ops/-sched-ops/-throttle-ops/-window size the sweeps)"
+	@echo "  ci             build + vet + test + race + bench-short + sched-smoke + throttle-smoke"
 
 build:
 	$(GO) build ./...
@@ -32,9 +47,17 @@ bench-short:
 sched-smoke:
 	$(GO) test -run 'TestSchedW1Parity' -bench 'BenchmarkSchedContentionMatrix' -benchtime 1x ./internal/sched
 
+# Throttle admission-window contention smoke: the window matrix
+# (impl x window x w=1/4/8) plus the w=1 parity regression guard (the
+# sharded window's credit-cache fast path must stay at parity with the
+# mutex+cond reference when uncontended).
+throttle-smoke:
+	$(GO) test -run 'TestThrottleW1Parity' -bench 'BenchmarkThrottleContentionMatrix' -benchtime 1x ./internal/throttle
+
 # Contention tables (deps: global vs sharded engine; sched: single-lock vs
-# sharded ready pools).
+# sharded ready pools; throttle: mutex+cond vs sharded token-bucket
+# window). See `go doc ./cmd/depbench` for the flags and columns.
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short sched-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke

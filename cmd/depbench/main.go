@@ -1,5 +1,6 @@
-// Command depbench quantifies runtime lock contention on the two hot
-// paths the sharded subsystems remove locks from:
+// Command depbench quantifies runtime lock contention on the three hot
+// paths the sharded subsystems remove locks from, printing one table per
+// path:
 //
 //   - deps: the dependency engine. The same disjoint-data chain workload
 //     (w generator goroutines, each registering and completing a serial
@@ -9,6 +10,10 @@
 //     workload (w runner chains, each submitting its successor from its
 //     own worker and chaining through Finish) runs through the single-lock
 //     ready pools and the sharded (lock-free deque) pools.
+//   - throttle: the open-task admission window (bounded lookahead). The
+//     analogous cycle workload (w submitters sharing one contended window,
+//     each cycling reserve → enter → start) runs through the mutex+cond
+//     reference window and the sharded token-bucket window.
 //
 // Measurements per configuration:
 //
@@ -24,9 +29,21 @@
 //     sharding removes;
 //   - for the scheduler pools, the steal rate (items taken from another
 //     worker's shard per 1000 ops) — the redistribution cost of sharding
-//     the ready pool.
+//     the ready pool;
+//   - for the throttle windows, the parked-submitter count (reservers that
+//     exhausted every credit source and slept) — the slow-path traffic the
+//     token bucket keeps off the submission path.
 //
-// Usage: depbench [-mode all|deps|sched] [-ops N] [-workers 1,2,4,8]
+// Usage:
+//
+//	depbench [-mode all|deps|sched|throttle] [-workers 1,2,4,8]
+//	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
+//
+// -ops, -sched-ops, and -throttle-ops size the three workloads
+// independently (admission cycles are far cheaper than engine ops, so the
+// later tables need longer runs for contention to accumulate measurably).
+// -window sets the throttle bound; 0 (the default) uses the row's worker
+// count, the tightest window that still lets every submitter run.
 package main
 
 import (
@@ -45,6 +62,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/regions"
 	"repro/internal/sched"
+	"repro/internal/throttle"
 )
 
 func mutexWait() time.Duration {
@@ -70,10 +88,16 @@ func pkgLockCycles(pkg string) int64 {
 	}
 	var cycles int64
 	for _, r := range records[:n] {
-		for _, pc := range r.Stack() {
-			f := runtime.FuncForPC(pc)
-			if f != nil && strings.Contains(f.Name(), pkg) {
+		frames := runtime.CallersFrames(r.Stack())
+		for {
+			f, more := frames.Next()
+			// CallersFrames (unlike FuncForPC) expands inlined calls, so a
+			// lock helper inlined into its caller still attributes here.
+			if strings.Contains(f.Function, pkg) {
 				cycles += r.Cycles
+				break
+			}
+			if !more {
 				break
 			}
 		}
@@ -172,6 +196,39 @@ func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int
 	return perW * w, wall, wait, lockCycles, steals
 }
 
+// runThrottle drives ops reserve→enter→start cycles split over w
+// submitter goroutines sharing one admission window of the given bound —
+// the throttle analogue of the disjoint chains: the submitters share
+// nothing but the window itself, so the only serialization is the window's
+// own synchronization (the locked window broadcasts under a mutex on every
+// start; the sharded one works per-worker credit caches).
+func runThrottle(kind throttle.Kind, w, ops, window int) (ranOps int, wall, wait time.Duration, lockCycles, parks int64) {
+	win := throttle.New(kind, window, w)
+	perW := ops / w
+	var wg sync.WaitGroup
+	wait0 := mutexWait()
+	cyc0 := pkgLockCycles("repro/internal/throttle.")
+	start := time.Now()
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				_, prepaid := win.Reserve(g, nil)
+				if prepaid {
+					win.EnteredReserved()
+				} else {
+					win.Entered(1)
+				}
+				win.Started(g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return perW * w, time.Since(start), mutexWait() - wait0,
+		pkgLockCycles("repro/internal/throttle.") - cyc0, win.Stats().Parks
+}
+
 var schedPools = []struct {
 	name string
 	mk   func(workers int, spawn func(item, worker int)) sched.Queue[int]
@@ -183,12 +240,14 @@ var schedPools = []struct {
 }
 
 func main() {
-	modeFlag := flag.String("mode", "all", "which table to print: all, deps, or sched")
+	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, or throttle")
 	opsFlag := flag.Int("ops", 400_000, "chain steps per dependency-engine configuration")
 	// Scheduler admission ops are ~10x cheaper than engine ops, so the
 	// sched table needs a longer run for lock contention to accumulate
-	// measurably on small hosts.
+	// measurably on small hosts; throttle cycles are cheaper still.
 	schedOpsFlag := flag.Int("sched-ops", 2_000_000, "chain steps per scheduler-pool configuration")
+	throttleOpsFlag := flag.Int("throttle-ops", 4_000_000, "admission cycles per throttle-window configuration")
+	windowFlag := flag.Int("window", 0, "throttle window bound (0 = the row's worker count)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	flag.Parse()
 
@@ -201,8 +260,10 @@ func main() {
 		}
 		workers = append(workers, n)
 	}
-	if *modeFlag != "all" && *modeFlag != "deps" && *modeFlag != "sched" {
-		fmt.Fprintf(os.Stderr, "depbench: bad mode %q\n", *modeFlag)
+	switch *modeFlag {
+	case "all", "deps", "sched", "throttle":
+	default:
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, or throttle)\n", *modeFlag)
 		os.Exit(2)
 	}
 
@@ -256,6 +317,35 @@ func main() {
 					p.name, w, ranOps, wall.Round(time.Millisecond),
 					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
 					float64(cycles)/1e9, float64(steals)/float64(ranOps)*1000)
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+
+	if *modeFlag == "all" || *modeFlag == "throttle" {
+		if *modeFlag == "all" {
+			fmt.Println()
+		}
+		fmt.Printf("throttle admission window (shared contended window)\n")
+		fmt.Printf("%-8s %8s %8s %12s %12s %10s %14s %20s %10s\n",
+			"impl", "workers", "window", "ops", "wall", "Mops/s", "mutex-wait", "throttle-lock-Gcyc", "parks")
+		for _, w := range workers {
+			prev := runtime.GOMAXPROCS(0)
+			if w > prev {
+				runtime.GOMAXPROCS(w)
+			}
+			window := *windowFlag
+			if window <= 0 {
+				window = w
+			}
+			for _, kind := range []throttle.Kind{throttle.KindLocked, throttle.KindSharded} {
+				runThrottle(kind, w, *throttleOpsFlag/10, window)
+				runtime.GC()
+				ranOps, wall, wait, cycles, parks := runThrottle(kind, w, *throttleOpsFlag, window)
+				fmt.Printf("%-8s %8d %8d %12d %12s %10.2f %14s %20.3f %10d\n",
+					kind, w, window, ranOps, wall.Round(time.Millisecond),
+					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
+					float64(cycles)/1e9, parks)
 			}
 			runtime.GOMAXPROCS(prev)
 		}

@@ -25,6 +25,7 @@ type TaskError struct {
 	Stack []byte
 }
 
+// Error formats the failure with the task's label and the panic value.
 func (e *TaskError) Error() string {
 	return fmt.Sprintf("core: task %q panicked: %v", e.Label, e.Value)
 }

@@ -28,7 +28,7 @@ func (r *Runtime) dispatchAll(nodes []*deps.Node, from int) {
 	if len(nodes) == 0 {
 		return
 	}
-	r.open.Add(int64(len(nodes)))
+	r.windowEnter(int64(len(nodes)))
 	if r.v != nil {
 		for _, n := range nodes {
 			r.venqueue(n.User.(*Task))
@@ -77,7 +77,7 @@ func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, done *deps.Node
 		}
 	}
 	next := nodes[pick].User.(*Task)
-	r.open.Add(1)
+	r.windowEnter(1)
 	nodes[pick] = nodes[0] // displaced head joins the batch
 	r.dispatchAll(nodes[1:], w)
 	return next
@@ -107,7 +107,7 @@ func (r *Runtime) runWorker(t *Task, w int) {
 // executeTask runs one task body and its completion pipeline, returning the
 // hand-off successor if any and the worker the goroutine holds afterwards.
 func (r *Runtime) executeTask(t *Task, w int) (*Task, int) {
-	r.taskStarted(t)
+	r.taskStarted(t, w)
 	tc := &TaskContext{rt: r, task: t, worker: w}
 	if r.caches != nil {
 		r.feedCache(t, w)

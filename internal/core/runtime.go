@@ -24,6 +24,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/regions"
 	"repro/internal/sched"
+	"repro/internal/throttle"
 	"repro/internal/trace"
 )
 
@@ -51,12 +52,15 @@ const (
 
 // Dep is one depend-clause entry of a task.
 type Dep struct {
+	// Data is the accessed data object (from Runtime.NewData).
 	Data DataID
+	// Type is the access type (In, Out, InOut, or Red).
 	Type AccessType
 	// Weak marks the weakin/weakout/weakinout variants (§VI): the entry
 	// links nesting levels but never defers the task itself.
 	Weak bool
-	Ivs  []Interval
+	// Ivs are the accessed element intervals (disjoint).
+	Ivs []Interval
 }
 
 // Config configures a Runtime.
@@ -107,6 +111,17 @@ type Config struct {
 	// weak programs: a task can be dependency-blocked on fragments that
 	// release only when its blocked submitter's own body finishes.)
 	ThrottleOpenTasks int
+	// ThrottleImpl selects the throttle-window implementation.
+	// throttle.KindAuto (the zero value) picks the sharded token-bucket
+	// window in real mode — a global atomic credit balance with per-worker
+	// credit caches and per-shard wait lists, so throttled submitters and
+	// task starts on different workers do not serialize on a common lock.
+	// throttle.KindLocked is the single mutex+cond reference window. Both
+	// enforce the same bound (the differential tests in internal/throttle
+	// prove it); selecting one explicitly is for ablations and A/B
+	// comparisons. Ignored when ThrottleOpenTasks is 0 or in virtual mode
+	// (the sequential simulation never blocks submitters).
+	ThrottleImpl throttle.Kind
 	// Virtual selects the discrete-event virtual-time mode.
 	Virtual bool
 	// VirtualSubmitCost charges the creating task this many virtual cost
@@ -162,8 +177,7 @@ type Runtime struct {
 	taskCount atomic.Int64
 	flops     atomic.Int64
 
-	throttleMu   sync.Mutex
-	throttleCond *sync.Cond
+	thr throttle.Window // admission window (nil if unthrottled or virtual)
 
 	rootDone  chan struct{}
 	wallStart time.Time
@@ -192,7 +206,13 @@ func New(cfg Config) *Runtime {
 		kind = deps.EngineSharded
 	}
 	r.eng = deps.NewEngine(kind, cfg.Observer)
-	r.throttleCond = sync.NewCond(&r.throttleMu)
+	if cfg.ThrottleOpenTasks > 0 && !cfg.Virtual {
+		tk := cfg.ThrottleImpl
+		if tk == throttle.KindAuto {
+			tk = throttle.KindSharded
+		}
+		r.thr = throttle.New(tk, cfg.ThrottleOpenTasks, cfg.Workers)
+	}
 	if cfg.EnableTrace {
 		r.tracer = trace.New(cfg.Workers)
 	}
@@ -308,6 +328,15 @@ func (r *Runtime) EffectiveParallelism() float64 {
 // DepStats returns dependency-engine activity counters.
 func (r *Runtime) DepStats() deps.Stats { return r.eng.Stats() }
 
+// ThrottleStats returns the throttle window's diagnostic counters (zero
+// when the throttle is disabled or in virtual mode).
+func (r *Runtime) ThrottleStats() throttle.Stats {
+	if r.thr == nil {
+		return throttle.Stats{}
+	}
+	return r.thr.Stats()
+}
+
 // Run executes root as the implicit outermost task and returns when the
 // whole task tree has completed. It may be called once per Runtime. If a
 // task body panics, Run re-panics with the resulting *TaskError after the
@@ -394,6 +423,7 @@ func (r *Runtime) feedCache(t *Task, worker int) {
 	}
 }
 
+// String summarizes the runtime's configuration (diagnostics).
 func (r *Runtime) String() string {
 	return fmt.Sprintf("Runtime{workers=%d virtual=%v}", r.cfg.Workers, r.cfg.Virtual)
 }

@@ -122,8 +122,13 @@ func (tc *TaskContext) Submit(spec TaskSpec) {
 		r.runInline(tc, spec)
 		return
 	}
-	if lim := r.cfg.ThrottleOpenTasks; lim > 0 && r.open.Load() >= int64(lim) {
-		r.throttleWait(tc)
+	// Throttle gate (bounded lookahead window): the reservation may block,
+	// yielding this worker's token into other ready work and reacquiring one
+	// (possibly different) before returning. A prepaid reservation carries a
+	// window credit for the child's entry below.
+	prepaid := false
+	if r.thr != nil {
+		tc.worker, prepaid = r.thr.Reserve(tc.worker, r.sch)
 	}
 	t := r.newTask(tc.task, spec)
 	if r.v != nil && r.cfg.VirtualSubmitCost > 0 {
@@ -141,8 +146,16 @@ func (tc *TaskContext) Submit(spec TaskSpec) {
 	tc.task.mu.Unlock()
 	t.node = r.eng.NewNode(tc.task.node, spec.Label, t)
 	if r.eng.Register(t.node, convertDeps(spec.Deps)) {
-		r.open.Add(1)
+		if prepaid {
+			r.windowEnterReserved()
+		} else {
+			r.windowEnter(1)
+		}
 		r.enqueue(t, tc.worker)
+	} else if prepaid {
+		// The child deferred on its dependencies — it does not occupy the
+		// window; its eventual dependency-cascade entry is unreserved.
+		r.thr.Refund(tc.worker)
 	}
 }
 
@@ -182,34 +195,37 @@ func (tc *TaskContext) Release(ds ...Dep) {
 	tc.rt.dispatchAll(ready, tc.worker)
 }
 
-// throttleWait blocks the submitter until the live-task count drops below
-// the configured bound, yielding its worker token while blocked.
-func (r *Runtime) throttleWait(tc *TaskContext) {
-	if r.cfg.Virtual {
-		// Virtual mode is sequential; blocking the driver would deadlock.
-		// The throttle is a real-mode lookahead model only.
-		return
+// windowEnter records n tasks entering the throttle window without a
+// prepaid reservation (dependency-cascade admissions, which never block
+// and may overdraw the bound): the occupancy diagnostic and the window's
+// own accounting move together — every entry point must use this helper
+// (or windowEnterReserved) so the two counters cannot drift.
+func (r *Runtime) windowEnter(n int64) {
+	r.open.Add(n)
+	if r.thr != nil {
+		r.thr.Entered(n)
 	}
-	r.sch.Yield(tc.worker)
-	r.throttleMu.Lock()
-	for r.open.Load() >= int64(r.cfg.ThrottleOpenTasks) {
-		r.throttleCond.Wait()
+}
+
+// windowEnterReserved records one window entry paid for by a prepaid
+// Reserve in Submit.
+func (r *Runtime) windowEnterReserved() {
+	r.open.Add(1)
+	if r.thr != nil {
+		r.thr.EnteredReserved()
 	}
-	r.throttleMu.Unlock()
-	tc.worker = r.sch.Acquire()
 }
 
 // taskStarted retires the task from the throttle window (it is now
-// executing, no longer "instantiated ahead").
-func (r *Runtime) taskStarted(t *Task) {
+// executing, no longer "instantiated ahead"). worker is the starting
+// worker (-1 in virtual mode, whose window is inert).
+func (r *Runtime) taskStarted(t *Task, worker int) {
 	if t.parent == nil {
 		return
 	}
 	r.open.Add(-1)
-	if r.cfg.ThrottleOpenTasks > 0 {
-		r.throttleMu.Lock()
-		r.throttleCond.Broadcast()
-		r.throttleMu.Unlock()
+	if r.thr != nil {
+		r.thr.Started(worker)
 	}
 }
 

@@ -36,6 +36,7 @@ const (
 	VChildCoverage
 )
 
+// String names the violation kind.
 func (k ViolationKind) String() string {
 	if k == VChildCoverage {
 		return "child-coverage"
@@ -60,6 +61,7 @@ type Violation struct {
 	Missing []Interval
 }
 
+// String renders the finding as a one-line lint message.
 func (v Violation) String() string {
 	rw := "read"
 	if v.Write {

@@ -164,7 +164,7 @@ done:
 // the body runs now (creating children), and completion fires after the
 // task's cost plus its accumulated creation cost.
 func (r *Runtime) startVirtualTask(t *Task, w int) {
-	r.taskStarted(t)
+	r.taskStarted(t, -1)
 	v := r.v
 	if r.caches != nil {
 		r.feedCache(t, w)

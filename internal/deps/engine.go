@@ -12,8 +12,8 @@ import (
 // benchmarks that quantify dependency-tracking overhead (§VIII-A compares
 // flat-taskwait against flat-depend for exactly this).
 type Stats struct {
-	Nodes     int64
-	Fragments int64
+	Nodes     int64 // nodes created
+	Fragments int64 // access fragments created by interval splitting
 	Links     int64 // same-domain successor links
 	Inbounds  int64 // cross-domain (parent→child) waiter links
 	Grants    int64 // satisfaction grants delivered
@@ -97,6 +97,7 @@ const (
 	EngineSharded
 )
 
+// String returns the kind's depbench/table name.
 func (k EngineKind) String() string {
 	switch k {
 	case EngineGlobal:

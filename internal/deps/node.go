@@ -65,6 +65,7 @@ func (t AccessType) Reads() bool { return t == In || t == InOut || t == Red }
 // Writes reports whether the access type implies writing the data.
 func (t AccessType) Writes() bool { return t == Out || t == InOut || t == Red }
 
+// String returns the OpenMP depend-clause spelling of the access type.
 func (t AccessType) String() string {
 	switch t {
 	case In:
@@ -85,12 +86,17 @@ func (t AccessType) String() string {
 // itself; they only link the task's inner dependency domain to the outer
 // one so that subtasks can inherit and release the dependencies.
 type Spec struct {
+	// Data is the accessed data object.
 	Data DataID
+	// Type is the access type (In, Out, InOut, or Red).
 	Type AccessType
+	// Weak marks the weakin/weakout/weakinout variants (§VI).
 	Weak bool
-	Ivs  []regions.Interval
+	// Ivs are the accessed element intervals (disjoint).
+	Ivs []regions.Interval
 }
 
+// String renders the spec as a depend-clause-style entry (diagnostics).
 func (s Spec) String() string {
 	w := ""
 	if s.Weak {

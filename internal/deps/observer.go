@@ -26,8 +26,17 @@ type Observer interface {
 // when only some events are of interest.
 type NopObserver struct{}
 
-func (NopObserver) NodeCreated(_, _ *Node)                                {}
-func (NopObserver) NodeReady(*Node)                                       {}
+// NodeCreated ignores the event.
+func (NopObserver) NodeCreated(_, _ *Node) {}
+
+// NodeReady ignores the event.
+func (NopObserver) NodeReady(*Node) {}
+
+// Link ignores the event.
 func (NopObserver) Link(_, _ *Node, _ DataID, _ regions.Interval, _ bool) {}
-func (NopObserver) Handover(*Node, DataID, regions.Interval)              {}
-func (NopObserver) Released(*Node, DataID, regions.Interval)              {}
+
+// Handover ignores the event.
+func (NopObserver) Handover(*Node, DataID, regions.Interval) {}
+
+// Released ignores the event.
+func (NopObserver) Released(*Node, DataID, regions.Interval) {}

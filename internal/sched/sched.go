@@ -63,6 +63,7 @@ const (
 	PoolLockedStealing
 )
 
+// String returns the kind's depbench/table name.
 func (k PoolKind) String() string {
 	switch k {
 	case PoolCentral:
@@ -91,6 +92,7 @@ const (
 	Priority
 )
 
+// String returns the policy's flag/table name.
 func (p Policy) String() string {
 	switch p {
 	case LIFO:
@@ -113,28 +115,41 @@ func (p Policy) String() string {
 // children only while running on its worker.
 type Queue[T any] interface {
 	// Submit makes an item runnable. If a token is free the item starts
-	// immediately on a new goroutine; otherwise it queues.
+	// immediately on a new goroutine; otherwise it queues. Safe for
+	// concurrent use, subject to the from-token rule above: an in-range
+	// from asserts the caller holds that worker's token (the sharded pools
+	// push onto that worker's deque lock-free, which is only safe
+	// single-owner); callers holding no token must pass -1.
 	Submit(item T, from int)
 	// SubmitBatch makes several items runnable in one admission: tokens are
 	// matched and goroutines spawned for as many items as have free tokens,
 	// and the rest queue, all under a single lock acquisition. A dependency
 	// release that readies many successors hands them over in one call
-	// instead of one lock round-trip per edge.
+	// instead of one lock round-trip per edge. from follows the same
+	// ownership rule as Submit.
 	SubmitBatch(items []T, from int)
 	// Finish is called by a runner that completed its item and still holds
-	// worker. It returns the next item to run on this worker, if any;
-	// otherwise the token is retired.
+	// worker — and only by that runner; the call consumes the token unless
+	// ok is true. It returns the next item to run on this worker, if any;
+	// otherwise the token is retired (to a blocked Acquire first — waiter
+	// priority — then the free pool).
 	Finish(worker int) (next T, ok bool)
 	// Yield releases worker while its holder blocks (taskwait, taskgroup,
-	// throttle). The token is immediately redeployed.
+	// throttle); only the token's current holder may call it, and the
+	// holder must reacquire via Acquire before touching per-worker state
+	// again. The token is immediately redeployed.
 	Yield(worker int)
 	// Acquire blocks until a worker token is available and returns it.
+	// Safe for any goroutine; release points prefer blocked Acquires over
+	// fresh queued work.
 	Acquire() int
-	// Workers returns the number of worker tokens.
+	// Workers returns the number of worker tokens. Constant; safe always.
 	Workers() int
 	// Idle reports whether no items are queued and all tokens are free.
+	// Exact only at quiescence (no operation in flight).
 	Idle() bool
-	// QueueLen returns the number of queued (not running) items.
+	// QueueLen returns the number of queued (not running) items. May be
+	// momentarily stale in the sharded pools; exact at quiescence.
 	QueueLen() int
 }
 

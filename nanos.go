@@ -65,6 +65,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/regions"
 	"repro/internal/sched"
+	"repro/internal/throttle"
 )
 
 // Core vocabulary, re-exported so user code only imports this package.
@@ -106,6 +107,12 @@ type (
 	EngineKind = deps.EngineKind
 	// PoolKind selects the ready-pool implementation (Config.ReadyPool).
 	PoolKind = sched.PoolKind
+	// ThrottleKind selects the throttle-window implementation
+	// (Config.ThrottleImpl).
+	ThrottleKind = throttle.Kind
+	// ThrottleStats exposes throttle-window activity counters
+	// (Runtime.ThrottleStats).
+	ThrottleStats = throttle.Stats
 )
 
 // Access types for Dep.Type.
@@ -162,6 +169,19 @@ const (
 	// PoolLockedStealing is the single-lock work-stealing reference
 	// implementation (differential testing and contention A/Bs).
 	PoolLockedStealing = sched.PoolLockedStealing
+)
+
+// Throttle-window kinds for Config.ThrottleImpl (meaningful only with
+// Config.ThrottleOpenTasks > 0).
+const (
+	// ThrottleAuto picks the sharded token-bucket window in real mode
+	// (virtual mode never blocks submitters and builds no window).
+	ThrottleAuto = throttle.KindAuto
+	// ThrottleLocked is the single mutex+cond reference window.
+	ThrottleLocked = throttle.KindLocked
+	// ThrottleSharded is the sharded token-bucket window: a global atomic
+	// credit balance, per-worker credit caches, and per-shard wait lists.
+	ThrottleSharded = throttle.KindSharded
 )
 
 // Verification finding kinds.
