@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke depbench ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke depbench ci
 
 all: build
 
@@ -17,10 +17,13 @@ help:
 	@echo "  bench-short    every benchmark once (benchmark-code smoke)"
 	@echo "  sched-smoke    ready-pool contention matrix (w=1/4/8) + w=1 parity guard"
 	@echo "  throttle-smoke throttle-window contention matrix (impl x window x w) + w=1 parity guard"
-	@echo "  depbench       contention tables: deps engines, sched pools, throttle windows"
-	@echo "                 (go run ./cmd/depbench; -mode deps|sched|throttle selects one table,"
-	@echo "                  -workers/-ops/-sched-ops/-throttle-ops/-window size the sweeps)"
-	@echo "  ci             build + vet + test + race + bench-short + sched-smoke + throttle-smoke"
+	@echo "  mem-smoke      memory-pool gates: >=5x alloc cut, pooled-vs-reference differentials,"
+	@echo "                 leak accounting, w=1 parity guard, SubmitDisjoint bench smoke"
+	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
+	@echo "                 throttle windows (go run ./cmd/depbench; -mode deps|sched|throttle"
+	@echo "                  selects one table, -workers/-ops/-sched-ops/-throttle-ops/-window"
+	@echo "                  size the sweeps; allocs/kop + gc-pause columns expose GC traffic)"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem smokes"
 
 build:
 	$(GO) build ./...
@@ -54,10 +57,21 @@ sched-smoke:
 throttle-smoke:
 	$(GO) test -run 'TestThrottleW1Parity' -bench 'BenchmarkThrottleContentionMatrix' -benchtime 1x ./internal/throttle
 
-# Contention tables (deps: global vs sharded engine; sched: single-lock vs
+# Memory-pool smoke: the steady-state allocation gate (pooled must cut
+# allocs/op >=5x vs the allocate-always reference), the pooled-vs-reference
+# differentials and leak accounting at both the engine and runtime level,
+# the w=1 parity guard (pooled free-list hops must stay at parity with
+# plain allocation when uncontended), and one pass over the SubmitDisjoint
+# benchmark's memory-mode matrix.
+mem-smoke:
+	$(GO) test -run 'TestMemPool' -bench 'BenchmarkSubmitDisjoint' -benchtime 1x ./internal/deps
+	$(GO) test -run 'TestMemPool' ./internal/core
+
+# Contention tables (deps: global vs sharded engine, plus the pooled
+# memory mode; sched: single-lock vs
 # sharded ready pools; throttle: mutex+cond vs sharded token-bucket
 # window). See `go doc ./cmd/depbench` for the flags and columns.
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short sched-smoke throttle-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke

@@ -22,6 +22,7 @@ import (
 // BenchmarkTable1VariantMatrix regenerates Table I (it is a feature matrix,
 // not a measurement; the benchmark prints it once and measures nothing).
 func BenchmarkTable1VariantMatrix(b *testing.B) {
+	b.ReportAllocs()
 	if b.N == 1 {
 		harness.Table1(testWriter{b})
 	}
@@ -41,10 +42,12 @@ func (w testWriter) Write(p []byte) (int, error) {
 // mode, host cores). Figure 3 top; the bottom panel's miss ratio is
 // reported as a secondary metric from a cache-simulated run.
 func BenchmarkFig3AxpyTaskSize(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 20
 	for _, ts := range []int64{4 << 10, 16 << 10, 64 << 10} {
 		for _, v := range workloads.AxpyVariants {
 			b.Run(fmt.Sprintf("ts=%dKi/%s", ts>>10, v), func(b *testing.B) {
+				b.ReportAllocs()
 				p := workloads.AxpyParams{N: n, Calls: 8, TaskSize: ts, Alpha: 1, Compute: true}
 				var last workloads.Result
 				b.ResetTimer()
@@ -71,10 +74,12 @@ func BenchmarkFig3AxpyTaskSize(b *testing.B) {
 // BenchmarkFig4AxpyScaling: AXPY strong scaling on virtual cores (4–48),
 // leaf tasks of 14·2¹⁰ elements. Figure 4.
 func BenchmarkFig4AxpyScaling(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.AxpyParams{N: 4 << 20, Calls: 8, TaskSize: 14 << 10, Alpha: 1, Compute: false}
 	for _, cores := range []int{4, 16, 48} {
 		for _, v := range workloads.AxpyVariants {
 			b.Run(fmt.Sprintf("cores=%d/%s", cores, v), func(b *testing.B) {
+				b.ReportAllocs()
 				var last workloads.Result
 				for i := 0; i < b.N; i++ {
 					res, err := workloads.RunAxpy(workloads.Mode{Workers: cores, Virtual: true}, v, p)
@@ -95,9 +100,11 @@ func BenchmarkFig4AxpyScaling(b *testing.B) {
 // BenchmarkFig5GSTaskSize: Gauss-Seidel GFlop/s per variant and tile size
 // (real mode). Figure 5.
 func BenchmarkFig5GSTaskSize(b *testing.B) {
+	b.ReportAllocs()
 	for _, ts := range []int64{32, 64, 128} {
 		for _, v := range workloads.GSVariants {
 			b.Run(fmt.Sprintf("ts=%d/%s", ts, v), func(b *testing.B) {
+				b.ReportAllocs()
 				p := workloads.GSParams{N: 512, TS: ts, Iters: 6, Compute: true}
 				var last workloads.Result
 				for i := 0; i < b.N; i++ {
@@ -116,10 +123,12 @@ func BenchmarkFig5GSTaskSize(b *testing.B) {
 // BenchmarkFig6GSScaling: Gauss-Seidel effective parallelism on virtual
 // cores for 64×64 and 128×128 tiles. Figure 6.
 func BenchmarkFig6GSScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, ts := range []int64{64, 128} {
 		for _, cores := range []int{8, 24, 48} {
 			for _, v := range workloads.GSVariants {
 				b.Run(fmt.Sprintf("ts=%d/cores=%d/%s", ts, cores, v), func(b *testing.B) {
+					b.ReportAllocs()
 					p := workloads.GSParams{N: 1024, TS: ts, Iters: 6, Compute: false}
 					var last workloads.Result
 					for i := 0; i < b.N; i++ {
@@ -139,9 +148,11 @@ func BenchmarkFig6GSScaling(b *testing.B) {
 // BenchmarkFig7SortPrefix: quicksort + prefix sum, reporting the fraction
 // of time the two phases overlap (weak ≫ 0, regular = 0). Figure 7.
 func BenchmarkFig7SortPrefix(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.SortParams{N: 1 << 16, TS: 1 << 9, Seed: 3}
 	for _, v := range workloads.SortVariants {
 		b.Run(string(v), func(b *testing.B) {
+			b.ReportAllocs()
 			var frac float64
 			for i := 0; i < b.N; i++ {
 				res, err := workloads.RunSortSum(
@@ -169,10 +180,12 @@ func BenchmarkFig7SortPrefix(b *testing.B) {
 // BenchmarkAblationHandoff isolates the direct successor hand-off policy
 // (the locality mechanism behind Figure 3's miss ratios).
 func BenchmarkAblationHandoff(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.AxpyParams{N: 1 << 20, Calls: 8, TaskSize: 16 << 10, Alpha: 1, Compute: false}
 	cache := nanos.DefaultL2Cache()
 	for _, handoff := range []bool{true, false} {
 		b.Run(fmt.Sprintf("handoff=%v", handoff), func(b *testing.B) {
+			b.ReportAllocs()
 			var miss float64
 			for i := 0; i < b.N; i++ {
 				res, err := workloads.RunAxpy(workloads.Mode{
@@ -196,9 +209,11 @@ func BenchmarkAblationHandoff(b *testing.B) {
 // workload (the isolated-component measurement is cmd/depbench's throttle
 // table and internal/throttle's contention matrix).
 func BenchmarkAblationThrottle(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.AxpyParams{N: 1 << 19, Calls: 8, TaskSize: 4 << 10, Alpha: 1, Compute: true}
 	for _, window := range []int{0, 64, 512} {
 		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := workloads.RunAxpy(workloads.Mode{Workers: 0, Throttle: window},
 					workloads.AxpyFlatDepend, p); err != nil {
@@ -218,6 +233,7 @@ func BenchmarkAblationThrottle(b *testing.B) {
 		for _, window := range []int{16, 256} {
 			for _, workers := range []int{1, 4, 8} {
 				b.Run(fmt.Sprintf("impl=%s/window=%d/w=%d", impl.name, window, workers), func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						if _, err := workloads.RunAxpy(workloads.Mode{
 							Workers: workers, Throttle: window, ThrottleImpl: impl.kind,
@@ -234,6 +250,7 @@ func BenchmarkAblationThrottle(b *testing.B) {
 // BenchmarkAblationReleaseGranularity compares the Gauss-Seidel release
 // granularities the paper discusses in §VIII-B: none, per-block, per-panel.
 func BenchmarkAblationReleaseGranularity(b *testing.B) {
+	b.ReportAllocs()
 	base := workloads.GSParams{N: 512, TS: 64, Iters: 6, Compute: true}
 	cases := []struct {
 		name    string
@@ -246,6 +263,7 @@ func BenchmarkAblationReleaseGranularity(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := base
 			p.ReleaseByPanel = c.panel
 			var last workloads.Result
@@ -266,6 +284,7 @@ func BenchmarkAblationReleaseGranularity(b *testing.B) {
 // stealing, each with and against the direct successor hand-off that the
 // paper's locality results rely on.
 func BenchmarkAblationScheduler(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.AxpyParams{N: 1 << 19, Calls: 8, TaskSize: 8 << 10, Alpha: 1, Compute: true}
 	cases := []struct {
 		name string
@@ -279,6 +298,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := workloads.RunAxpy(c.mode, workloads.AxpyFlatDepend, p); err != nil {
 					b.Fatal(err)
@@ -292,9 +312,11 @@ func BenchmarkAblationScheduler(b *testing.B) {
 // exactly as the paper does (§VIII-A): flat-taskwait (no dependencies)
 // versus flat-depend (same schedule constraints expressed as dependencies).
 func BenchmarkAblationDependencyOverhead(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.AxpyParams{N: 1 << 19, Calls: 8, TaskSize: 4 << 10, Alpha: 1, Compute: true}
 	for _, v := range []workloads.AxpyVariant{workloads.AxpyFlatTaskwait, workloads.AxpyFlatDepend} {
 		b.Run(string(v), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := workloads.RunAxpy(workloads.Mode{Workers: 0}, v, p); err != nil {
 					b.Fatal(err)
@@ -310,6 +332,7 @@ func BenchmarkAblationDependencyOverhead(b *testing.B) {
 // variants must hold under both; the shared model additionally captures
 // constructive sharing between workers.
 func BenchmarkAblationCacheModel(b *testing.B) {
+	b.ReportAllocs()
 	// 2 vectors × 2²² × 8 B = 64 MiB working set: larger than the 16 MiB
 	// shared L2, so locality still decides the miss ratio under both models.
 	p := workloads.AxpyParams{N: 1 << 22, Calls: 8, TaskSize: 16 << 10, Alpha: 1, Compute: false}
@@ -317,6 +340,7 @@ func BenchmarkAblationCacheModel(b *testing.B) {
 	shared := nanos.DefaultSharedL2Cache()
 	for _, v := range []workloads.AxpyVariant{workloads.AxpyNestWeak, workloads.AxpyNestDepend} {
 		b.Run("private/"+string(v), func(b *testing.B) {
+			b.ReportAllocs()
 			var miss float64
 			for i := 0; i < b.N; i++ {
 				res, err := workloads.RunAxpy(workloads.Mode{Workers: 8, Virtual: true, Cache: &private}, v, p)
@@ -328,6 +352,7 @@ func BenchmarkAblationCacheModel(b *testing.B) {
 			b.ReportMetric(miss, "miss-ratio")
 		})
 		b.Run("shared/"+string(v), func(b *testing.B) {
+			b.ReportAllocs()
 			var miss float64
 			for i := 0; i < b.N; i++ {
 				res, err := workloads.RunAxpy(workloads.Mode{
@@ -347,9 +372,11 @@ func BenchmarkAblationCacheModel(b *testing.B) {
 // the three nesting formulations. Real-mode GFlop/s plus the virtual-mode
 // effective parallelism at 16 cores.
 func BenchmarkCholeskyVariants(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.CholParams{N: 512, TS: 64, Seed: 9, Compute: true}
 	for _, v := range workloads.CholVariants {
 		b.Run(string(v), func(b *testing.B) {
+			b.ReportAllocs()
 			var last workloads.Result
 			for i := 0; i < b.N; i++ {
 				res, err := workloads.RunCholesky(workloads.Mode{Workers: 0}, v, p)
@@ -374,9 +401,11 @@ func BenchmarkCholeskyVariants(b *testing.B) {
 // workload) in the three nesting formulations; the task set is
 // data-dependent on the sparsity pattern.
 func BenchmarkSparseLUVariants(b *testing.B) {
+	b.ReportAllocs()
 	p := workloads.SparseLUParams{B: 16, TS: 32, Density: 0.35, Seed: 4, Compute: true}
 	for _, v := range workloads.SparseLUVariants {
 		b.Run(string(v), func(b *testing.B) {
+			b.ReportAllocs()
 			var last workloads.Result
 			var fills int64
 			for i := 0; i < b.N; i++ {
@@ -396,9 +425,11 @@ func BenchmarkSparseLUVariants(b *testing.B) {
 // cluster substrate: bytes moved by eager whole-dataset copies (strong
 // outer deps) versus lazy per-subtask copies (weak deps).
 func BenchmarkClusterLazyVsEager(b *testing.B) {
+	b.ReportAllocs()
 	sc := cluster.Scenario{N: 1 << 20, Calls: 8, TaskSize: 1 << 14}
 	cfg := cluster.Config{Nodes: 8, ElemSize: 8, NodeMemory: 1 << 19}
 	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
 		var res cluster.Result
 		for i := 0; i < b.N; i++ {
 			res = sc.RunEager(cfg)
@@ -408,6 +439,7 @@ func BenchmarkClusterLazyVsEager(b *testing.B) {
 		b.ReportMetric(float64(res.Makespan), "makespan")
 	})
 	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
 		var res cluster.Result
 		for i := 0; i < b.N; i++ {
 			res = sc.RunLazy(cfg)
@@ -424,10 +456,12 @@ func BenchmarkClusterLazyVsEager(b *testing.B) {
 // between "none" and the cutoffs is the per-task runtime overhead that
 // granularity control exists to avoid.
 func BenchmarkMicroFibCutoff(b *testing.B) {
+	b.ReportAllocs()
 	for _, m := range []workloads.FibCutoffMode{
 		workloads.FibCutoffNone, workloads.FibCutoffSequential, workloads.FibCutoffFinal,
 	} {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var tasks int64
 			for i := 0; i < b.N; i++ {
 				res, _, err := workloads.RunFib(workloads.Mode{Workers: 0},
@@ -444,8 +478,10 @@ func BenchmarkMicroFibCutoff(b *testing.B) {
 
 // BenchmarkMicroNQueens: pure-nesting task search waited with a taskgroup.
 func BenchmarkMicroNQueens(b *testing.B) {
+	b.ReportAllocs()
 	for _, depth := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, got, err := workloads.RunNQueens(workloads.Mode{Workers: 0},
 					workloads.NQueensParams{N: 10, Depth: depth})
@@ -463,6 +499,7 @@ func BenchmarkMicroNQueens(b *testing.B) {
 // BenchmarkEngineRegister: micro-benchmark of dependency registration and
 // release for a chain of tasks over one region (runtime-overhead floor).
 func BenchmarkEngineRegister(b *testing.B) {
+	b.ReportAllocs()
 	rt := nanos.New(nanos.Config{Workers: 1})
 	d := rt.NewData("x", 1, 8)
 	b.ResetTimer()
@@ -479,6 +516,7 @@ func BenchmarkEngineRegister(b *testing.B) {
 // BenchmarkTaskSpawn: micro-benchmark of bare task creation + execution
 // without dependencies.
 func BenchmarkTaskSpawn(b *testing.B) {
+	b.ReportAllocs()
 	rt := nanos.New(nanos.Config{Workers: 4})
 	b.ResetTimer()
 	rt.Run(func(tc *nanos.TaskContext) {
@@ -495,10 +533,12 @@ func BenchmarkTaskSpawn(b *testing.B) {
 // goroutines: the global engine serializes every one of them behind its
 // single mutex, the sharded engine gives each generator a private shard.
 func BenchmarkEngineContentionMatrix(b *testing.B) {
+	b.ReportAllocs()
 	const chain = 64
 	for _, eng := range []nanos.EngineKind{nanos.EngineGlobal, nanos.EngineSharded} {
 		for _, w := range []int{1, 4, 8} {
 			b.Run(fmt.Sprintf("%s/w=%d", eng, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					rt := nanos.New(nanos.Config{Workers: w, DepEngine: eng})
 					datas := make([]nanos.DataID, w)

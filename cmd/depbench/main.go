@@ -27,9 +27,15 @@
 //   - package-attributed mutex contention cycles (runtime.MutexProfile
 //     filtered to the package under test), isolating exactly the locks the
 //     sharding removes;
+//   - allocations per 1000 ops and total GC pause accumulated during the
+//     run (runtime.MemStats deltas), which quantify the allocator and
+//     collector traffic the pooled memory mode (core.Config.MemPool,
+//     internal/mempool) removes from the task lifecycle — compare the
+//     sharded engine row against sharded-pool;
 //   - for the scheduler pools, the steal rate (items taken from another
 //     worker's shard per 1000 ops) — the redistribution cost of sharding
-//     the ready pool;
+//     the ready pool (with steal-half, one miss migrates up to half the
+//     victim's items to the thief);
 //   - for the throttle windows, the parked-submitter count (reservers that
 //     exhausted every credit source and slept) — the slow-path traffic the
 //     token bucket keeps off the submission path.
@@ -60,10 +66,19 @@ import (
 	"time"
 
 	"repro/internal/deps"
+	"repro/internal/mempool"
 	"repro/internal/regions"
 	"repro/internal/sched"
 	"repro/internal/throttle"
 )
+
+// memCounters samples the allocator/collector counters the alloc columns
+// are computed from.
+func memCounters() (mallocs uint64, gcPause time.Duration) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, time.Duration(ms.PauseTotalNs)
+}
 
 func mutexWait() time.Duration {
 	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
@@ -109,8 +124,8 @@ func pkgLockCycles(pkg string) int64 {
 // (rounded down to a multiple of w; the actual count is returned), each
 // goroutine on its own data object, and returns the wall time and the
 // process-wide mutex wait accumulated during the run.
-func runDeps(kind deps.EngineKind, w, ops int) (ranOps int, wall, wait time.Duration, lockCycles int64) {
-	e := deps.NewEngine(kind, nil)
+func runDeps(kind deps.EngineKind, mem mempool.Kind, w, ops int) (ranOps int, wall, wait time.Duration, lockCycles int64, allocs uint64, gcPause time.Duration) {
+	e := deps.NewEngineMem(kind, nil, mem)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	parents := make([]*deps.Node, w)
@@ -122,29 +137,33 @@ func runDeps(kind deps.EngineKind, w, ops int) (ranOps int, wall, wait time.Dura
 	var wg sync.WaitGroup
 	wait0 := mutexWait()
 	cyc0 := pkgLockCycles("repro/internal/deps.")
+	m0, p0 := memCounters()
 	start := time.Now()
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			data := deps.DataID(i)
-			ivs := []regions.Interval{regions.Iv(0, 64)}
+			spec := []deps.Spec{{Data: data, Type: deps.InOut, Ivs: []regions.Interval{regions.Iv(0, 64)}}}
+			buf := make([]*deps.Node, 0, 4)
 			var prev *deps.Node
 			for n := 0; n < perW; n++ {
 				nd := e.NewNode(parents[i], "t", nil)
-				e.Register(nd, []deps.Spec{{Data: data, Type: deps.InOut, Ivs: ivs}})
+				e.Register(nd, spec)
 				if prev != nil {
-					e.Complete(prev)
+					e.CompleteInto(prev, buf[:0])
 				}
 				prev = nd
 			}
 			if prev != nil {
-				e.Complete(prev)
+				e.CompleteInto(prev, buf[:0])
 			}
 		}(i)
 	}
 	wg.Wait()
-	return perW * w, time.Since(start), mutexWait() - wait0, pkgLockCycles("repro/internal/deps.") - cyc0
+	wall = time.Since(start)
+	m1, p1 := memCounters()
+	return perW * w, wall, mutexWait() - wait0, pkgLockCycles("repro/internal/deps.") - cyc0, m1 - m0, p1 - p0
 }
 
 // statser is implemented by the ready pools that report steal counters.
@@ -157,7 +176,7 @@ type statser interface {
 // scheduler-admission analogue of the disjoint dependency chains: all
 // chains are independent, so the only serialization is the ready pool's
 // own locking.
-func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int], w, ops int) (ranOps int, wall, wait time.Duration, lockCycles, steals int64) {
+func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int], w, ops int) (ranOps int, wall, wait time.Duration, lockCycles, steals int64, allocs uint64, gcPause time.Duration) {
 	perW := ops / w
 	remaining := make([]atomic.Int64, w)
 	for i := range remaining {
@@ -182,6 +201,7 @@ func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int
 	})
 	wait0 := mutexWait()
 	cyc0 := pkgLockCycles("repro/internal/sched.")
+	m0, p0 := memCounters()
 	start := time.Now()
 	for i := 0; i < w; i++ {
 		q.Submit(i, -1)
@@ -190,10 +210,11 @@ func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int
 	wall = time.Since(start)
 	wait = mutexWait() - wait0
 	lockCycles = pkgLockCycles("repro/internal/sched.") - cyc0
+	m1, p1 := memCounters()
 	if st, ok := q.(statser); ok {
 		steals = st.Stats().Steals
 	}
-	return perW * w, wall, wait, lockCycles, steals
+	return perW * w, wall, wait, lockCycles, steals, m1 - m0, p1 - p0
 }
 
 // runThrottle drives ops reserve→enter→start cycles split over w
@@ -202,12 +223,13 @@ func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int
 // nothing but the window itself, so the only serialization is the window's
 // own synchronization (the locked window broadcasts under a mutex on every
 // start; the sharded one works per-worker credit caches).
-func runThrottle(kind throttle.Kind, w, ops, window int) (ranOps int, wall, wait time.Duration, lockCycles, parks int64) {
+func runThrottle(kind throttle.Kind, w, ops, window int) (ranOps int, wall, wait time.Duration, lockCycles, parks int64, allocs uint64, gcPause time.Duration) {
 	win := throttle.New(kind, window, w)
 	perW := ops / w
 	var wg sync.WaitGroup
 	wait0 := mutexWait()
 	cyc0 := pkgLockCycles("repro/internal/throttle.")
+	m0, p0 := memCounters()
 	start := time.Now()
 	for g := 0; g < w; g++ {
 		wg.Add(1)
@@ -225,8 +247,10 @@ func runThrottle(kind throttle.Kind, w, ops, window int) (ranOps int, wall, wait
 		}(g)
 	}
 	wg.Wait()
-	return perW * w, time.Since(start), mutexWait() - wait0,
-		pkgLockCycles("repro/internal/throttle.") - cyc0, win.Stats().Parks
+	wall = time.Since(start)
+	m1, p1 := memCounters()
+	return perW * w, wall, mutexWait() - wait0,
+		pkgLockCycles("repro/internal/throttle.") - cyc0, win.Stats().Parks, m1 - m0, p1 - p0
 }
 
 var schedPools = []struct {
@@ -275,23 +299,33 @@ func main() {
 
 	if *modeFlag == "all" || *modeFlag == "deps" {
 		fmt.Printf("dependency engine (disjoint-data chains)\n")
-		fmt.Printf("%-8s %8s %12s %12s %10s %14s %18s\n",
-			"engine", "workers", "ops", "wall", "Mops/s", "mutex-wait", "engine-lock-Gcyc")
+		fmt.Printf("%-14s %8s %12s %12s %10s %14s %18s %11s %10s\n",
+			"engine", "workers", "ops", "wall", "Mops/s", "mutex-wait", "engine-lock-Gcyc", "allocs/kop", "gc-pause")
+		rows := []struct {
+			name string
+			kind deps.EngineKind
+			mem  mempool.Kind
+		}{
+			{"global", deps.EngineGlobal, mempool.KindReference},
+			{"sharded", deps.EngineSharded, mempool.KindReference},
+			{"sharded-pool", deps.EngineSharded, mempool.KindPooled},
+		}
 		for _, w := range workers {
 			prev := runtime.GOMAXPROCS(0)
 			if w > prev {
 				runtime.GOMAXPROCS(w)
 			}
-			for _, kind := range []deps.EngineKind{deps.EngineGlobal, deps.EngineSharded} {
+			for _, row := range rows {
 				// Warm-up pass absorbs one-time costs (shard tables, size
-				// classes), then the measured pass.
-				runDeps(kind, w, *opsFlag/10)
+				// classes, pool fills), then the measured pass.
+				runDeps(row.kind, row.mem, w, *opsFlag/10)
 				runtime.GC()
-				ranOps, wall, wait, cycles := runDeps(kind, w, *opsFlag)
-				fmt.Printf("%-8s %8d %12d %12s %10.2f %14s %18.3f\n",
-					kind, w, ranOps, wall.Round(time.Millisecond),
+				ranOps, wall, wait, cycles, allocs, gcPause := runDeps(row.kind, row.mem, w, *opsFlag)
+				fmt.Printf("%-14s %8d %12d %12s %10.2f %14s %18.3f %11.1f %10s\n",
+					row.name, w, ranOps, wall.Round(time.Millisecond),
 					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-					float64(cycles)/1e9)
+					float64(cycles)/1e9, float64(allocs)/float64(ranOps)*1000,
+					gcPause.Round(10*time.Microsecond))
 			}
 			runtime.GOMAXPROCS(prev)
 		}
@@ -302,8 +336,8 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("scheduler admission path (disjoint submit/finish chains)\n")
-		fmt.Printf("%-16s %8s %12s %12s %10s %14s %17s %12s\n",
-			"pool", "workers", "ops", "wall", "Mops/s", "mutex-wait", "sched-lock-Gcyc", "steals/kop")
+		fmt.Printf("%-16s %8s %12s %12s %10s %14s %17s %12s %11s %10s\n",
+			"pool", "workers", "ops", "wall", "Mops/s", "mutex-wait", "sched-lock-Gcyc", "steals/kop", "allocs/kop", "gc-pause")
 		for _, w := range workers {
 			prev := runtime.GOMAXPROCS(0)
 			if w > prev {
@@ -312,11 +346,12 @@ func main() {
 			for _, p := range schedPools {
 				runSched(p.mk, w, *schedOpsFlag/10)
 				runtime.GC()
-				ranOps, wall, wait, cycles, steals := runSched(p.mk, w, *schedOpsFlag)
-				fmt.Printf("%-16s %8d %12d %12s %10.2f %14s %17.3f %12.2f\n",
+				ranOps, wall, wait, cycles, steals, allocs, gcPause := runSched(p.mk, w, *schedOpsFlag)
+				fmt.Printf("%-16s %8d %12d %12s %10.2f %14s %17.3f %12.2f %11.1f %10s\n",
 					p.name, w, ranOps, wall.Round(time.Millisecond),
 					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-					float64(cycles)/1e9, float64(steals)/float64(ranOps)*1000)
+					float64(cycles)/1e9, float64(steals)/float64(ranOps)*1000,
+					float64(allocs)/float64(ranOps)*1000, gcPause.Round(10*time.Microsecond))
 			}
 			runtime.GOMAXPROCS(prev)
 		}
@@ -327,8 +362,8 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("throttle admission window (shared contended window)\n")
-		fmt.Printf("%-8s %8s %8s %12s %12s %10s %14s %20s %10s\n",
-			"impl", "workers", "window", "ops", "wall", "Mops/s", "mutex-wait", "throttle-lock-Gcyc", "parks")
+		fmt.Printf("%-8s %8s %8s %12s %12s %10s %14s %20s %10s %11s %10s\n",
+			"impl", "workers", "window", "ops", "wall", "Mops/s", "mutex-wait", "throttle-lock-Gcyc", "parks", "allocs/kop", "gc-pause")
 		for _, w := range workers {
 			prev := runtime.GOMAXPROCS(0)
 			if w > prev {
@@ -341,11 +376,12 @@ func main() {
 			for _, kind := range []throttle.Kind{throttle.KindLocked, throttle.KindSharded} {
 				runThrottle(kind, w, *throttleOpsFlag/10, window)
 				runtime.GC()
-				ranOps, wall, wait, cycles, parks := runThrottle(kind, w, *throttleOpsFlag, window)
-				fmt.Printf("%-8s %8d %8d %12d %12s %10.2f %14s %20.3f %10d\n",
+				ranOps, wall, wait, cycles, parks, allocs, gcPause := runThrottle(kind, w, *throttleOpsFlag, window)
+				fmt.Printf("%-8s %8d %8d %12d %12s %10.2f %14s %20.3f %10d %11.1f %10s\n",
 					kind, w, window, ranOps, wall.Round(time.Millisecond),
 					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-					float64(cycles)/1e9, parks)
+					float64(cycles)/1e9, parks, float64(allocs)/float64(ranOps)*1000,
+					gcPause.Round(10*time.Microsecond))
 			}
 			runtime.GOMAXPROCS(prev)
 		}

@@ -74,6 +74,16 @@ func (r *Runtime) runErr() error {
 		if n := r.live.Load(); n != 0 {
 			return fmt.Errorf("core: debug check failed: %d tasks still live at end of run", n)
 		}
+		if st, pooled := r.eng.MemStats(); pooled {
+			// Every node, access, fragment, and interval map handed out by
+			// the pools must be back: a positive count means a dependency
+			// object escaped its recycle point (a leak the pin protocol
+			// should make impossible). Exact here because every engine
+			// Complete happens-before the root's completion.
+			if n := st.Outstanding(); n != 0 {
+				return fmt.Errorf("core: debug check failed: %d pooled dependency objects not recycled at end of run", n)
+			}
+		}
 	}
 	return nil
 }
@@ -145,7 +155,7 @@ func (tc *TaskContext) Taskgroup(body func()) {
 // entries are accepted and ignored.
 func (r *Runtime) runInline(tc *TaskContext, spec TaskSpec) {
 	r.taskCount.Add(1)
-	t := r.newTask(tc.task, spec)
+	t := r.newTask(tc.task, spec, tc.worker)
 	child := &TaskContext{rt: r, task: t, worker: tc.worker}
 	if r.caches != nil {
 		r.feedCache(t, tc.worker)
@@ -175,4 +185,7 @@ func (r *Runtime) runInline(tc *TaskContext, spec TaskSpec) {
 	if spec.Flops > 0 {
 		r.flops.Add(spec.Flops)
 	}
+	// An included task registers no node and tracks no children: it is
+	// fully finished when its body returns, so it recycles immediately.
+	r.recycleTask(t, child.worker)
 }

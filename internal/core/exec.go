@@ -39,11 +39,23 @@ func (r *Runtime) dispatchAll(nodes []*deps.Node, from int) {
 		r.sch.Submit(nodes[0].User.(*Task), from)
 		return
 	}
-	tasks := make([]*Task, len(nodes))
-	for i, n := range nodes {
-		tasks[i] = n.User.(*Task)
+	var tasks []*Task
+	ws := r.scratchFor(from)
+	if ws != nil {
+		tasks = ws.batch[:0]
+	} else {
+		tasks = make([]*Task, 0, len(nodes))
 	}
+	for _, n := range nodes {
+		tasks = append(tasks, n.User.(*Task))
+	}
+	// The pools copy every item out of the slice before SubmitBatch
+	// returns, so the scratch is immediately reusable.
 	r.sch.SubmitBatch(tasks, from)
+	if ws != nil {
+		clear(tasks)
+		ws.batch = tasks[:0]
+	}
 }
 
 // dispatchPreferFirst enqueues all but one ready task and returns that one
@@ -53,8 +65,10 @@ func (r *Runtime) dispatchAll(nodes []*deps.Node, from int) {
 // data as each node's locality hint): that successor consumes what this
 // worker just produced, so running it here keeps the data warm, and the
 // rest of the batch lands on this worker's shard for the other workers to
-// steal.
-func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, done *deps.Node) *Task {
+// steal. donePD is the finished task's primary data, captured by the caller
+// before the completion pipeline ran (the finished node may already be
+// recycled by now in the pooled memory mode).
+func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, donePD deps.DataID, doneOK bool) *Task {
 	if len(nodes) == 0 {
 		return nil
 	}
@@ -63,16 +77,14 @@ func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, done *deps.Node
 		return nil
 	}
 	pick := 0
-	if len(nodes) > 1 && done != nil {
-		if pd, ok := done.PrimaryData(); ok {
-			for i, n := range nodes {
-				if i > 3 { // bounded scan: the hint is a heuristic
-					break
-				}
-				if rd, ok := n.ReadyData(); ok && rd == pd {
-					pick = i
-					break
-				}
+	if len(nodes) > 1 && doneOK {
+		for i, n := range nodes {
+			if i > 3 { // bounded scan: the hint is a heuristic
+				break
+			}
+			if rd, ok := n.ReadyData(); ok && rd == donePD {
+				pick = i
+				break
 			}
 		}
 	}
@@ -127,6 +139,15 @@ func (r *Runtime) executeTask(t *Task, w int) (*Task, int) {
 	if t.spec.Flops > 0 {
 		r.flops.Add(t.spec.Flops)
 	}
-	ready := r.finishBody(t)
-	return r.dispatchPreferFirst(ready, tc.worker, t.node), tc.worker
+	// The hand-off locality hint must be read before the completion
+	// pipeline: completing the node may recycle it (pooled memory mode).
+	donePD, doneOK := t.node.PrimaryData()
+	ready, completed := r.finishBody(t, tc.worker)
+	worker := tc.worker
+	if completed {
+		// Completed here, in this goroutine: nothing references t anymore
+		// (cascade-completed ancestors are recycled inside completeTask).
+		r.recycleTask(t, worker)
+	}
+	return r.dispatchPreferFirst(ready, worker, donePD, doneOK), worker
 }

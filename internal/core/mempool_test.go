@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mempool"
+	"repro/internal/regions"
+)
+
+// Runtime-level memory-pool tests: the pooled mode (the real-mode default)
+// must produce exactly the same program results as the allocate-always
+// reference, leak nothing once the run drains, and keep diagnostics that
+// outlive tasks — verification Violations — intact after the tasks and
+// nodes they describe have been recycled.
+
+// memDiffProgram runs a randomized nested dependency program and returns a
+// deterministic digest of its observable results: the final data array,
+// the task count, and the engine's activity counters.
+func memDiffProgram(t *testing.T, mem mempool.Kind, workers int, seed int64) string {
+	rt := New(Config{Workers: workers, MemPool: mem, ThrottleOpenTasks: 8, Debug: true})
+	const elems = 256
+	data := rt.NewData("a", elems, 8)
+	arr := make([]int64, elems)
+	rng := rand.New(rand.NewSource(seed))
+	type blk struct{ lo, hi int64 }
+	var blocks []blk
+	for lo := int64(0); lo < elems; {
+		ln := int64(16 + rng.Intn(48))
+		hi := lo + ln
+		if hi > elems {
+			hi = elems
+		}
+		blocks = append(blocks, blk{lo, hi})
+		lo = hi
+	}
+	rounds := 6 + rng.Intn(6)
+	err := rt.RunChecked(func(tc *TaskContext) {
+		for r := 0; r < rounds; r++ {
+			for bi, b := range blocks {
+				b := b
+				step := int64(r*1000 + bi)
+				weak := rng.Intn(2) == 0
+				tc.Submit(TaskSpec{
+					Label:    fmt.Sprintf("outer%d.%d", r, bi),
+					WeakWait: weak,
+					Deps:     []Dep{{Data: data, Type: InOut, Weak: true, Ivs: []Interval{regions.Iv(b.lo, b.hi)}}},
+					Body: func(tc *TaskContext) {
+						mid := (b.lo + b.hi) / 2
+						tc.Submit(TaskSpec{
+							Label: fmt.Sprintf("lo%d", step),
+							Deps:  []Dep{{Data: data, Type: InOut, Ivs: []Interval{regions.Iv(b.lo, mid)}}},
+							Body: func(tc *TaskContext) {
+								for p := b.lo; p < mid; p++ {
+									arr[p] += step
+								}
+							},
+						})
+						tc.Submit(TaskSpec{
+							Label: fmt.Sprintf("hi%d", step),
+							Deps:  []Dep{{Data: data, Type: InOut, Ivs: []Interval{regions.Iv(mid, b.hi)}}},
+							Body: func(tc *TaskContext) {
+								for p := mid; p < b.hi; p++ {
+									arr[p] += 3 * step
+								}
+							},
+						})
+					},
+				})
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("mem=%v: %v", mem, err)
+	}
+	st := rt.DepStats()
+	// Only scheduling-independent observables: link/grant counts legally
+	// vary with interleaving (a predecessor that already released needs no
+	// link), but the data outcome, the task count, and the registered
+	// fragment count must not.
+	return fmt.Sprintf("arr=%v tasks=%d frags=%d", arr, rt.TaskCount(), st.Fragments)
+}
+
+// TestMemPoolCoreDifferential drives identical nested weak-dependency
+// programs through the pooled and reference runtimes and requires
+// identical observable results. Multi-worker rounds exercise concurrent
+// recycling; the Debug config adds the end-of-run leak check to every run.
+func TestMemPoolCoreDifferential(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for seed := int64(1); seed <= 6; seed++ {
+			ref := memDiffProgram(t, mempool.KindReference, workers, seed)
+			pooled := memDiffProgram(t, mempool.KindPooled, workers, seed)
+			if ref != pooled {
+				t.Fatalf("w=%d seed=%d diverged:\n  reference: %s\n  pooled:    %s", workers, seed, ref, pooled)
+			}
+		}
+	}
+}
+
+// TestMemPoolAutoResolution pins the auto resolution: pooled in real mode,
+// reference in virtual mode.
+func TestMemPoolAutoResolution(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	rt.Run(func(tc *TaskContext) {})
+	if _, pooled := rt.MemStats(); !pooled {
+		t.Error("real-mode auto did not resolve to the pooled engine")
+	}
+	vrt := New(Config{Workers: 2, Virtual: true})
+	vrt.Run(func(tc *TaskContext) {})
+	if _, pooled := vrt.MemStats(); pooled {
+		t.Error("virtual-mode auto resolved to the pooled engine")
+	}
+}
+
+// TestMemPoolTaskRecycling pins that Task objects actually recycle: with a
+// bounded lookahead window (so submission cannot run arbitrarily ahead of
+// completion — the steady-state regime the pools target) a run with many
+// more tasks than workers must allocate far fewer Tasks than it executes,
+// and drain back to zero outstanding once the workers retire.
+func TestMemPoolTaskRecycling(t *testing.T) {
+	rt := New(Config{Workers: 2, MemPool: mempool.KindPooled, ThrottleOpenTasks: 8})
+	data := rt.NewData("a", 64, 8)
+	const total = 1200
+	rt.Run(func(tc *TaskContext) {
+		for s := 0; s < total; s++ {
+			// Independent ready tasks: each submission reserves a window
+			// slot, so instantiation stays within 8 tasks of execution and
+			// completed Task objects flow back to the submitter.
+			tc.Submit(TaskSpec{
+				Label: "t",
+				Deps:  []Dep{{Data: data, Type: In, Ivs: []Interval{regions.Iv(0, 16)}}},
+			})
+		}
+	})
+	st := rt.TaskPoolStats()
+	if st.Gets < total {
+		t.Fatalf("task gets %d < %d submitted", st.Gets, total)
+	}
+	if st.News > total/4 {
+		t.Errorf("%d fresh Task allocations over %d tasks; recycling is not engaging (%+v)",
+			st.News, total, st)
+	}
+	// Worker goroutines recycle their final task asynchronously after the
+	// run; poll briefly for full drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st = rt.TaskPoolStats(); st.Outstanding() == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := st.Outstanding(); n != 0 {
+		t.Errorf("%d tasks outstanding after drain: %+v", n, st)
+	}
+}
+
+// TestMemPoolViolationsSurviveRecycling: verification findings reference
+// tasks only through copied labels, so Violations() stays intact after the
+// offending tasks and their dependency nodes have been recycled.
+func TestMemPoolViolationsSurviveRecycling(t *testing.T) {
+	rt := New(Config{Workers: 2, MemPool: mempool.KindPooled, Verify: true})
+	data := rt.NewData("a", 128, 8)
+	rt.Run(func(tc *TaskContext) {
+		tc.Submit(TaskSpec{
+			Label: "outer",
+			Deps:  []Dep{{Data: data, Type: InOut, Weak: true, Ivs: []Interval{regions.Iv(0, 32)}}},
+			Body: func(tc *TaskContext) {
+				// Child escapes the parent's cover: a child-coverage
+				// violation referencing both labels.
+				tc.Submit(TaskSpec{
+					Label: "escapee",
+					Deps:  []Dep{{Data: data, Type: Out, Ivs: []Interval{regions.Iv(0, 64)}}},
+				})
+				// Touch outside the strong entries: a touch violation.
+				tc.Touch(data, true, regions.Iv(0, 8))
+			},
+		})
+		// Churn enough tasks to force the pools to reuse the violators'
+		// memory before the assertions below run.
+		for i := 0; i < 200; i++ {
+			tc.Submit(TaskSpec{Label: fmt.Sprintf("churn%d", i)})
+		}
+	})
+	vios := rt.Violations()
+	if len(vios) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vios), vios)
+	}
+	var sawChild, sawTouch bool
+	for _, v := range vios {
+		switch v.Kind {
+		case VChildCoverage:
+			sawChild = true
+			if v.Task != "escapee" || v.Parent != "outer" {
+				t.Errorf("child-coverage violation lost its labels after recycling: %+v", v)
+			}
+		case VTouch:
+			sawTouch = true
+			if v.Task != "outer" {
+				t.Errorf("touch violation lost its label after recycling: %+v", v)
+			}
+		}
+	}
+	if !sawChild || !sawTouch {
+		t.Errorf("missing violation kinds: %v", vios)
+	}
+}
+
+// TestMemPoolStressRace combines the pooled memory mode with every sharded
+// subsystem — sharded engine, stealing pool, sharded throttle — under
+// churn with nested weakwait tasks and taskwait blockers; run with -race
+// this is the concurrency-safety net for recycling across all layers.
+func TestMemPoolStressRace(t *testing.T) {
+	iters := 3
+	if testing.Short() {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		rt := New(Config{
+			Workers:           4,
+			MemPool:           mempool.KindPooled,
+			ThrottleOpenTasks: 6,
+			Debug:             true,
+		})
+		data := rt.NewData("a", 512, 8)
+		var sum atomic.Int64
+		err := rt.RunChecked(func(tc *TaskContext) {
+			for b := 0; b < 8; b++ {
+				lo, hi := int64(b*64), int64(b*64+64)
+				tc.Submit(TaskSpec{
+					Label:    fmt.Sprintf("outer%d", b),
+					WeakWait: b%2 == 0,
+					Deps:     []Dep{{Data: data, Type: InOut, Weak: true, Ivs: []Interval{regions.Iv(lo, hi)}}},
+					Body: func(tc *TaskContext) {
+						for s := 0; s < 30; s++ {
+							tc.Submit(TaskSpec{
+								Label: "step",
+								Deps:  []Dep{{Data: data, Type: InOut, Ivs: []Interval{regions.Iv(lo, hi)}}},
+								Body:  func(tc *TaskContext) { sum.Add(1) },
+							})
+						}
+						if lo%128 == 0 {
+							tc.Taskwait()
+						}
+					},
+				})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sum.Load(); got != 8*30 {
+			t.Fatalf("ran %d step bodies, want %d", got, 8*30)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/deps"
+	"repro/internal/mempool"
 	"repro/internal/regions"
 	"repro/internal/sched"
 	"repro/internal/throttle"
@@ -111,6 +112,19 @@ type Config struct {
 	// weak programs: a task can be dependency-blocked on fragments that
 	// release only when its blocked submitter's own body finishes.)
 	ThrottleOpenTasks int
+	// MemPool selects the task-lifecycle memory management.
+	// mempool.KindAuto (the zero value) picks the pooled mode in real mode:
+	// Tasks, dependency nodes, access fragments, and interval-map cells are
+	// recycled through typed free lists (internal/mempool) instead of being
+	// reallocated every submit→complete cycle, removing the allocator and
+	// GC traffic that dominates fine-grained-task overhead once the locks
+	// are sharded away. mempool.KindReference is the allocate-always
+	// baseline, kept as the differential reference (the pooled and
+	// reference modes are proven observably equivalent by the differential
+	// tests in internal/deps and this package). Virtual mode resolves auto
+	// to the reference mode; selecting pooled explicitly there pools the
+	// dependency engine only.
+	MemPool mempool.Kind
 	// ThrottleImpl selects the throttle-window implementation.
 	// throttle.KindAuto (the zero value) picks the sharded token-bucket
 	// window in real mode — a global atomic credit balance with per-worker
@@ -177,6 +191,14 @@ type Runtime struct {
 	taskCount atomic.Int64
 	flops     atomic.Int64
 
+	// Pooled memory mode (Config.MemPool; real mode only). tasksG is the
+	// shared free-list shard for Task objects; ws holds one per-worker
+	// scratch set — a task lane plus reusable spec/ready/batch slices —
+	// entered only while holding that worker's token, so the steady-state
+	// submit→complete cycle allocates nothing.
+	tasksG *mempool.Global[Task]
+	ws     []workerScratch
+
 	thr throttle.Window // admission window (nil if unthrottled or virtual)
 
 	rootDone  chan struct{}
@@ -195,6 +217,26 @@ type Runtime struct {
 	vioCount   int64
 }
 
+// workerScratch is one worker's recycling state, padded so two workers'
+// scratch never share a cache line. All fields are entered only while
+// holding the worker's token (at most one goroutine at a time).
+type workerScratch struct {
+	tasks mempool.Lane[Task] // 48 bytes
+	specs []deps.Spec        // 24
+	ready []*deps.Node       // 24
+	batch []*Task            // 24
+	_     [8]byte            // 120 -> 128
+}
+
+// scratchFor returns worker w's scratch set, or nil when w is out of range
+// or the runtime runs in the reference memory mode.
+func (r *Runtime) scratchFor(w int) *workerScratch {
+	if r.ws == nil || w < 0 || w >= len(r.ws) {
+		return nil
+	}
+	return &r.ws[w]
+}
+
 // New creates a runtime.
 func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
@@ -205,7 +247,22 @@ func New(cfg Config) *Runtime {
 	if kind == deps.EngineAuto {
 		kind = deps.EngineSharded
 	}
-	r.eng = deps.NewEngine(kind, cfg.Observer)
+	mem := cfg.MemPool
+	if mem == mempool.KindAuto {
+		if cfg.Virtual {
+			mem = mempool.KindReference
+		} else {
+			mem = mempool.KindPooled
+		}
+	}
+	r.eng = deps.NewEngineMem(kind, cfg.Observer, mem)
+	if mem == mempool.KindPooled && !cfg.Virtual {
+		r.tasksG = mempool.NewGlobal(func() *Task { return &Task{} })
+		r.ws = make([]workerScratch, cfg.Workers)
+		for i := range r.ws {
+			r.ws[i].tasks.Init(r.tasksG)
+		}
+	}
 	if cfg.ThrottleOpenTasks > 0 && !cfg.Virtual {
 		tk := cfg.ThrottleImpl
 		if tk == throttle.KindAuto {
@@ -328,6 +385,22 @@ func (r *Runtime) EffectiveParallelism() float64 {
 // DepStats returns dependency-engine activity counters.
 func (r *Runtime) DepStats() deps.Stats { return r.eng.Stats() }
 
+// MemStats returns the dependency engine's memory-pool counters;
+// pooled=false (and zero counters) in the reference memory mode. The
+// Outstanding leak accounting is exact once the run has drained.
+func (r *Runtime) MemStats() (deps.MemStats, bool) { return r.eng.MemStats() }
+
+// TaskPoolStats returns the Task free-list counters (zero in the
+// reference memory mode or virtual mode). Worker goroutines recycle their
+// final task shortly after the run ends, so Outstanding may be briefly
+// positive right after Run returns.
+func (r *Runtime) TaskPoolStats() mempool.Stats {
+	if r.tasksG == nil {
+		return mempool.Stats{}
+	}
+	return r.tasksG.Stats()
+}
+
 // ThrottleStats returns the throttle window's diagnostic counters (zero
 // when the throttle is disabled or in virtual mode).
 func (r *Runtime) ThrottleStats() throttle.Stats {
@@ -362,7 +435,7 @@ func (r *Runtime) RunChecked(root func(tc *TaskContext)) error {
 	}
 	w := r.sch.Acquire()
 	r.wallStart = time.Now()
-	rootTask := r.newTask(nil, TaskSpec{Label: "main", Body: root})
+	rootTask := r.newTask(nil, TaskSpec{Label: "main", Body: root}, -1)
 	rootTask.node = r.eng.NewNode(nil, "main", rootTask)
 	r.eng.Register(rootTask.node, nil)
 	tc := &TaskContext{rt: r, task: rootTask, worker: w}
@@ -370,7 +443,7 @@ func (r *Runtime) RunChecked(root func(tc *TaskContext)) error {
 	// Implicit wait at the end of the program (like the end of an OpenMP
 	// parallel region): wait for the children, then complete the root.
 	tc.Taskwait()
-	ready := r.finishBody(rootTask)
+	ready, _ := r.finishBody(rootTask, tc.worker)
 	r.dispatchAll(ready, tc.worker)
 	r.sch.Yield(tc.worker)
 	<-r.rootDone
@@ -382,14 +455,27 @@ func (r *Runtime) now() int64 {
 	return int64(time.Since(r.wallStart))
 }
 
-// convertDeps translates the public Dep slice into engine specs.
-func convertDeps(ds []Dep) []deps.Spec {
+// convertDeps translates the public Dep slice into engine specs. In the
+// pooled memory mode the specs land in worker's reusable scratch slice:
+// the engine copies each Spec value during Register (only the Ivs slices,
+// which belong to the caller, are retained), so the scratch is free for
+// the worker's next submit as soon as the Register call returns.
+func (r *Runtime) convertDeps(ds []Dep, worker int) []deps.Spec {
 	if len(ds) == 0 {
 		return nil
 	}
-	specs := make([]deps.Spec, 0, len(ds))
+	var specs []deps.Spec
+	ws := r.scratchFor(worker)
+	if ws != nil {
+		specs = ws.specs[:0]
+	} else {
+		specs = make([]deps.Spec, 0, len(ds))
+	}
 	for _, d := range ds {
 		specs = append(specs, deps.Spec{Data: d.Data, Type: d.Type, Weak: d.Weak, Ivs: d.Ivs})
+	}
+	if ws != nil {
+		ws.specs = specs
 	}
 	return specs
 }

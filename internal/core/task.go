@@ -74,8 +74,16 @@ type Task struct {
 	vArrival int64 // virtual mode: earliest start (creation-time modeling)
 }
 
-func (r *Runtime) newTask(parent *Task, spec TaskSpec) *Task {
-	t := &Task{rt: r, spec: spec, parent: parent}
+// newTask builds a task, recycling a pooled one when the submitting worker
+// has a scratch lane (pooled memory mode, real mode, in-range worker).
+func (r *Runtime) newTask(parent *Task, spec TaskSpec, worker int) *Task {
+	var t *Task
+	if ws := r.scratchFor(worker); ws != nil && parent != nil {
+		t = ws.tasks.Get()
+		t.rt, t.spec, t.parent = r, spec, parent
+	} else {
+		t = &Task{rt: r, spec: spec, parent: parent}
+	}
 	if parent != nil {
 		t.depth = parent.depth + 1
 		t.final = spec.Final || parent.final
@@ -90,6 +98,28 @@ func (r *Runtime) newTask(parent *Task, spec TaskSpec) *Task {
 		t.kind = r.tracer.KindID(kind)
 	}
 	return t
+}
+
+// recycleTask returns a finished task to worker's free-list lane. Callers
+// must hold worker's token and guarantee nothing references t anymore: the
+// task has completed (or ran inline), its completion bookkeeping — parent
+// counters, taskgroup, waiters, trace span — is done, and its dependency
+// node (recycled separately by the engine) is never read through the task
+// again. The root task and virtual-mode tasks are never pooled.
+func (r *Runtime) recycleTask(t *Task, worker int) {
+	ws := r.scratchFor(worker)
+	if ws == nil || t.parent == nil {
+		return
+	}
+	t.rt, t.spec, t.node = nil, TaskSpec{}, nil
+	t.parent = nil
+	t.depth, t.kind, t.final = 0, 0, false
+	t.group, t.curGroup = nil, nil
+	t.children = 0
+	t.bodyDone, t.completed = false, false
+	t.waitCh = nil
+	t.vEnd, t.vCreate, t.vArrival = 0, 0, 0
+	ws.tasks.Put(t)
 }
 
 // TaskContext is passed to every task body: it submits subtasks, waits, and
@@ -130,7 +160,7 @@ func (tc *TaskContext) Submit(spec TaskSpec) {
 	if r.thr != nil {
 		tc.worker, prepaid = r.thr.Reserve(tc.worker, r.sch)
 	}
-	t := r.newTask(tc.task, spec)
+	t := r.newTask(tc.task, spec, tc.worker)
 	if r.v != nil && r.cfg.VirtualSubmitCost > 0 {
 		tc.task.vCreate += r.cfg.VirtualSubmitCost
 		t.vArrival = r.v.now + tc.task.vCreate
@@ -145,7 +175,7 @@ func (tc *TaskContext) Submit(spec TaskSpec) {
 	tc.task.children++
 	tc.task.mu.Unlock()
 	t.node = r.eng.NewNode(tc.task.node, spec.Label, t)
-	if r.eng.Register(t.node, convertDeps(spec.Deps)) {
+	if r.eng.Register(t.node, r.convertDeps(spec.Deps, tc.worker)) {
 		if prepaid {
 			r.windowEnterReserved()
 		} else {
@@ -191,8 +221,17 @@ func (tc *TaskContext) Release(ds ...Dep) {
 	if tc.task.node == nil {
 		return
 	}
-	ready := tc.rt.eng.ReleaseRegions(tc.task.node, convertDeps(ds))
-	tc.rt.dispatchAll(ready, tc.worker)
+	r := tc.rt
+	var buf []*deps.Node
+	ws := r.scratchFor(tc.worker)
+	if ws != nil {
+		buf = ws.ready[:0]
+	}
+	ready := r.eng.ReleaseRegionsInto(tc.task.node, r.convertDeps(ds, tc.worker), buf)
+	if ws != nil {
+		ws.ready = ready[:0]
+	}
+	r.dispatchAll(ready, tc.worker)
 }
 
 // windowEnter records n tasks entering the throttle window without a
@@ -231,11 +270,19 @@ func (r *Runtime) taskStarted(t *Task, worker int) {
 
 // finishBody runs the post-body completion pipeline shared by both modes:
 // weakwait hand-over, then (if no children remain) full completion,
-// cascading to ancestors. Returns the dependency-ready nodes uncovered.
-func (r *Runtime) finishBody(t *Task) []*deps.Node {
-	var ready []*deps.Node
+// cascading to ancestors. Returns the dependency-ready nodes uncovered
+// (in the pooled memory mode these land in worker's ready scratch, valid
+// until the worker's next completion point) and whether t completed — the
+// caller's signal that, once it stops touching t, the task can recycle.
+// worker is the caller's held token (-1 in virtual mode).
+func (r *Runtime) finishBody(t *Task, worker int) (ready []*deps.Node, completed bool) {
+	var buf []*deps.Node
+	ws := r.scratchFor(worker)
+	if ws != nil {
+		buf = ws.ready[:0]
+	}
 	if t.spec.WeakWait {
-		ready = r.eng.BodyDone(t.node)
+		buf = r.eng.BodyDoneInto(t.node, buf)
 	}
 	t.mu.Lock()
 	t.bodyDone = true
@@ -245,20 +292,27 @@ func (r *Runtime) finishBody(t *Task) []*deps.Node {
 	}
 	t.mu.Unlock()
 	if complete {
-		ready = append(ready, r.completeTask(t)...)
+		buf = r.completeTask(t, worker, buf)
 	}
-	return ready
+	if ws != nil {
+		ws.ready = buf // keep the grown capacity for the next completion
+	}
+	return buf, complete
 }
 
 // completeTask finalizes a fully-finished task (body + all descendants):
-// the engine releases its remaining dependencies, the live-task accounting
+// the engine releases its remaining dependencies (possibly recycling the
+// node — t.node must not be touched afterwards), the live-task accounting
 // is updated, and completion cascades to the parent when this was its last
-// outstanding child.
-func (r *Runtime) completeTask(t *Task) []*deps.Node {
-	ready := r.eng.Complete(t.node)
+// outstanding child. Ancestors completed by the cascade are recycled here:
+// their own worker goroutines are long gone (a cascade parent's body
+// finished without a taskwait), so this goroutine is the last to see them.
+// Ready nodes are appended to buf.
+func (r *Runtime) completeTask(t *Task, worker int, buf []*deps.Node) []*deps.Node {
+	buf = r.eng.CompleteInto(t.node, buf)
 	if t.parent == nil {
 		close(r.rootDone)
-		return ready
+		return buf
 	}
 	r.live.Add(-1)
 	if g := t.group; g != nil {
@@ -277,7 +331,8 @@ func (r *Runtime) completeTask(t *Task) []*deps.Node {
 	}
 	p.mu.Unlock()
 	if cascade {
-		ready = append(ready, r.completeTask(p)...)
+		buf = r.completeTask(p, worker, buf)
+		r.recycleTask(p, worker)
 	}
-	return ready
+	return buf
 }

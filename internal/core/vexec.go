@@ -105,13 +105,14 @@ func (r *Runtime) venqueue(t *Task) {
 
 func (r *Runtime) runVirtual(root func(tc *TaskContext)) {
 	v := r.v
-	rootTask := r.newTask(nil, TaskSpec{Label: "main"})
+	rootTask := r.newTask(nil, TaskSpec{Label: "main"}, -1)
 	rootTask.node = r.eng.NewNode(nil, "main", rootTask)
 	r.eng.Register(rootTask.node, nil)
 	tc := &TaskContext{rt: r, task: rootTask, worker: -1}
 	rootTask.spec.Body = root
 	r.invokeBody(rootTask, tc)
-	r.dispatchAll(r.finishBody(rootTask), -1)
+	rootReady, _ := r.finishBody(rootTask, -1)
+	r.dispatchAll(rootReady, -1)
 
 	for {
 		for len(v.idle) > 0 && len(v.ready) > 0 {
@@ -131,7 +132,7 @@ func (r *Runtime) runVirtual(root func(tc *TaskContext)) {
 		case haveC:
 			it := heap.Pop(&v.heap).(vitem)
 			v.now = it.end
-			ready := r.finishBody(it.task)
+			ready, _ := r.finishBody(it.task, -1)
 			// Direct successor hand-off, as in real mode: the freed core
 			// immediately runs one startable task this completion readied.
 			next := (*Task)(nil)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/mempool"
 	"repro/internal/regions"
 )
 
@@ -24,8 +25,12 @@ import (
 // convoying on one mutex is exactly the production pathology).
 
 // benchChains runs b.N register+complete chain steps split over w
-// goroutines; dataFor assigns each worker its data object.
-func benchChains(b *testing.B, kind EngineKind, w int, dataFor func(worker int) DataID) {
+// goroutines; dataFor assigns each worker its data object. Completion goes
+// through CompleteInto with a per-goroutine scratch buffer — the runtime's
+// steady-state calling convention — so the allocs/op column isolates the
+// engine's own allocation behavior (the memory modes differ by >10x here;
+// TestMemPoolAllocGate enforces the ≥5x floor).
+func benchChains(b *testing.B, kind EngineKind, mem mempool.Kind, w int, dataFor func(worker int) DataID) {
 	prev := runtime.GOMAXPROCS(0)
 	if w > prev {
 		runtime.GOMAXPROCS(w)
@@ -36,7 +41,7 @@ func benchChains(b *testing.B, kind EngineKind, w int, dataFor func(worker int) 
 	// drown the engine locks this benchmark is about.
 	defer debug.SetGCPercent(debug.SetGCPercent(1000))
 	b.ReportAllocs()
-	e := NewEngine(kind, nil)
+	e := NewEngineMem(kind, nil, mem)
 	root := e.NewNode(nil, "root", nil)
 	e.Register(root, nil)
 	// One generator parent per worker: chains of different workers are
@@ -55,32 +60,51 @@ func benchChains(b *testing.B, kind EngineKind, w int, dataFor func(worker int) 
 			defer wg.Done()
 			data := dataFor(i)
 			ivs := []regions.Interval{regions.Iv(int64(i)*64, int64(i)*64+64)}
+			spec := []Spec{{Data: data, Type: InOut, Ivs: ivs}}
+			buf := make([]*Node, 0, 4)
 			var prev *Node
 			for n := 0; n < perW; n++ {
 				nd := e.NewNode(parents[i], "t", nil)
-				e.Register(nd, []Spec{{Data: data, Type: InOut, Ivs: ivs}})
+				e.Register(nd, spec)
 				if prev != nil {
-					e.Complete(prev) // releases, granting readiness to nd
+					e.CompleteInto(prev, buf[:0]) // releases, granting readiness to nd
 				}
 				prev = nd
 			}
 			if prev != nil {
-				e.Complete(prev)
+				e.CompleteInto(prev, buf[:0])
 			}
 		}(i)
 	}
 	wg.Wait()
 }
 
+// benchMems is the memory-mode dimension of the contention benchmarks:
+// the allocate-always reference and the pooled free lists.
+var benchMems = []struct {
+	name string
+	mem  mempool.Kind
+}{
+	{"", mempool.KindReference}, // bare name: comparable with historical runs
+	{"pool", mempool.KindPooled},
+}
+
 // BenchmarkSubmitDisjoint: every worker registers and releases over its
 // own data object — the embarrassingly-shardable case the sharded engine
-// is built for.
+// is built for. The */pool variants recycle through the mempool free
+// lists; compare the allocs/op column against the bare variants.
 func BenchmarkSubmitDisjoint(b *testing.B) {
 	for _, kind := range []EngineKind{EngineGlobal, EngineSharded} {
-		for _, w := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("%s/w=%d", kind, w), func(b *testing.B) {
-				benchChains(b, kind, w, func(worker int) DataID { return DataID(worker) })
-			})
+		for _, m := range benchMems {
+			name := kind.String() + m.name
+			if m.name != "" {
+				name = kind.String() + "-" + m.name
+			}
+			for _, w := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/w=%d", name, w), func(b *testing.B) {
+					benchChains(b, kind, m.mem, w, func(worker int) DataID { return DataID(worker) })
+				})
+			}
 		}
 	}
 }
@@ -93,7 +117,7 @@ func BenchmarkSubmitShared(b *testing.B) {
 	for _, kind := range []EngineKind{EngineGlobal, EngineSharded} {
 		for _, w := range []int{1, 4} {
 			b.Run(fmt.Sprintf("%s/w=%d", kind, w), func(b *testing.B) {
-				benchChains(b, kind, w, func(int) DataID { return 0 })
+				benchChains(b, kind, mempool.KindReference, w, func(int) DataID { return 0 })
 			})
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/mempool"
 	"repro/internal/regions"
 )
 
@@ -78,7 +79,27 @@ type Engine interface {
 	// it is satisfied. For NoWait/Wait tasks this is the single bulk release
 	// the paper attributes to taskwait-terminated tasks; for WeakWait tasks
 	// it only sweeps pieces that were never handed over.
+	//
+	// Under a pooled engine (NewEngineMem with mempool.KindPooled) the
+	// node — and, transitively, drained ancestors — may be recycled before
+	// Complete returns: the caller must not touch n afterwards except
+	// through a NodeHandle captured earlier. The returned ready nodes are
+	// always live (a ready node is not yet complete).
 	Complete(n *Node) []*Node
+
+	// BodyDoneInto, ReleaseRegionsInto, and CompleteInto are the
+	// allocation-free variants of the three release points: ready nodes
+	// are appended to out (which may be nil) and the extended slice is
+	// returned, so a caller cycling a scratch buffer pays no allocation
+	// per completion in steady state.
+	BodyDoneInto(n *Node, out []*Node) []*Node
+	ReleaseRegionsInto(n *Node, specs []Spec, out []*Node) []*Node
+	CompleteInto(n *Node, out []*Node) []*Node
+
+	// MemStats returns the engine's memory-pool counters; pooled reports
+	// whether the engine recycles at all (false for reference engines,
+	// whose MemStats is zero).
+	MemStats() (stats MemStats, pooled bool)
 }
 
 // EngineKind selects an Engine implementation.
@@ -108,13 +129,26 @@ func (k EngineKind) String() string {
 	return "auto"
 }
 
-// NewEngine returns an engine of the given kind. obs may be nil.
-// EngineAuto resolves to the sharded engine.
+// NewEngine returns an engine of the given kind with the reference
+// (allocate-always) memory mode. obs may be nil. EngineAuto resolves to
+// the sharded engine.
 func NewEngine(kind EngineKind, obs Observer) Engine {
+	return NewEngineMem(kind, obs, mempool.KindReference)
+}
+
+// NewEngineMem returns an engine of the given kind and memory mode.
+// mempool.KindPooled recycles every dependency-lifecycle object (nodes,
+// accesses, fragments, interval maps) through typed free lists; any other
+// mode is the allocate-always reference. EngineAuto resolves to the
+// sharded engine; mempool.KindAuto resolves to the reference mode (the
+// runtime, not the engine, decides what auto means — see
+// core.Config.MemPool).
+func NewEngineMem(kind EngineKind, obs Observer, mem mempool.Kind) Engine {
+	pooled := mem == mempool.KindPooled
 	if kind == EngineGlobal {
-		return NewGlobalEngine(obs)
+		return newGlobalEngine(obs, pooled)
 	}
-	return NewShardedEngine(obs)
+	return newShardedEngine(obs, pooled)
 }
 
 type evKind uint8
@@ -126,11 +160,14 @@ const (
 )
 
 type event struct {
-	kind   evKind
+	kind evKind
+	// frag is the grant/drain target, or — for evDomainDec — the released
+	// fragment whose registration drains from the owner's domain (the
+	// handler scrubs it from the visited cells' history).
 	frag   *fragment
 	iv     regions.Interval
 	dR, dW int32
-	owner  *Node // evDomainDec: domain owner
+	owner  *Node // evDomainDec: domain owner (pinned while the event is queued)
 	data   DataID
 }
 
@@ -155,6 +192,10 @@ type depCore struct {
 	stats     Stats
 	liveFrags int64
 	obs       Observer
+	// mem is this core's view of the engine's free lists (nil in the
+	// reference memory mode): lifecycle objects are allocated from and
+	// recycled to it, entered only under the owning lock.
+	mem *depMem
 }
 
 // registerSpec links one depend entry of n. The caller holds the lock
@@ -162,9 +203,15 @@ type depCore struct {
 // checks. Registration only creates fragments and charges pending grants —
 // it never releases anything, so no event can be queued here.
 func (c *depCore) registerSpec(n *Node, spec Spec) {
-	acc := &access{node: n, spec: spec}
+	var acc *access
+	if c.mem != nil {
+		acc = c.mem.accs.Get()
+		acc.node, acc.spec = n, spec
+	} else {
+		acc = &access{node: n, spec: spec}
+	}
 	n.accesses = append(n.accesses, acc)
-	am := n.accessMapEnsure(spec.Data)
+	am := n.accessMapEnsure(spec.Data, c.mem)
 	for _, iv := range spec.Ivs {
 		if iv.Empty() {
 			continue
@@ -174,7 +221,14 @@ func (c *depCore) registerSpec(n *Node, spec Spec) {
 		if overlap {
 			panic(fmt.Sprintf("deps: task %q declares overlapping depend entries over data %d %v", n.label, spec.Data, iv))
 		}
-		f := newFragment(acc, iv)
+		var f *fragment
+		if c.mem != nil {
+			f = c.mem.frags.Get()
+			f.init(acc, iv)
+			n.pins.Add(1) // released when the fragment fully releases
+		} else {
+			f = newFragment(acc, iv)
+		}
 		acc.frags = append(acc.frags, f)
 		c.stats.Fragments++
 		c.liveFrags++
@@ -185,7 +239,7 @@ func (c *depCore) registerSpec(n *Node, spec Spec) {
 
 // linkFragment fragments f against the parent domain and links each cell.
 func (c *depCore) linkFragment(n *Node, f *fragment) {
-	dm := n.parent.domainEnsure(f.data())
+	dm := n.parent.domainEnsure(f.data(), c.mem)
 	dm.Materialize(f.iv,
 		func(regions.Interval) cellState { return cellState{} },
 		func(cIv regions.Interval, cs *cellState) {
@@ -425,7 +479,8 @@ func (c *depCore) tryRelease(f *fragment, pIv regions.Interval, ps *pieceState) 
 	ps.pendR, ps.pendW = 0, 0
 	c.stats.Releases++
 	f.relLen += pIv.Len()
-	if f.relLen == f.iv.Len() {
+	full := f.relLen == f.iv.Len()
+	if full {
 		c.liveFrags--
 	}
 	if c.obs != nil {
@@ -437,8 +492,20 @@ func (c *depCore) tryRelease(f *fragment, pIv regions.Interval, ps *pieceState) 
 			c.queue = append(c.queue, event{kind: evGrant, frag: l.target, iv: ov, dR: l.dR, dW: l.dW})
 		}
 	}
-	if f.node().parent != nil {
-		c.queue = append(c.queue, event{kind: evDomainDec, owner: f.node().parent, data: f.data(), iv: pIv})
+	if parent := f.node().parent; parent != nil {
+		if c.mem != nil {
+			// The queued event will touch parent's domain map: pin the
+			// parent so a concurrent drain cascade cannot recycle it (and
+			// the map) before the event is processed.
+			parent.pins.Add(1)
+		}
+		c.queue = append(c.queue, event{kind: evDomainDec, frag: f, owner: parent, data: f.data(), iv: pIv})
+	}
+	if full && c.mem != nil {
+		// The fragment's last piece released: drop its pin on the owning
+		// node (queued above first, so the parent pin is already in place
+		// if this drains the node and cascades upward).
+		c.mem.ep.unpin(f.node(), c.mem)
 	}
 }
 
@@ -451,7 +518,7 @@ func (c *depCore) drainQueue() {
 		case evGrant:
 			c.handleGrant(ev.frag, ev.iv, ev.dR, ev.dW)
 		case evDomainDec:
-			c.handleDomainDec(ev.owner, ev.data, ev.iv)
+			c.handleDomainDec(ev.owner, ev.data, ev.iv, ev.frag)
 		case evDrain:
 			c.handleDrain(ev.frag, ev.iv)
 		}
@@ -509,8 +576,10 @@ func (c *depCore) queueWaiterGrants(waiters []link, pIv regions.Interval) {
 }
 
 // handleDomainDec decrements the live-registration count of the owner's
-// domain cells over iv; cells that drain fire their pending hand-over.
-func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval) {
+// domain cells over iv, scrubbing the released fragment f from the cells'
+// access history (see cellState.scrub); cells that drain fire their
+// pending hand-over.
+func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval, f *fragment) {
 	dm := owner.domainFor(data)
 	if dm == nil {
 		panic("deps: domain-dec on missing domain")
@@ -520,6 +589,7 @@ func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval)
 			panic("deps: domain live-count underflow")
 		}
 		cs.liveCount--
+		cs.scrub(f)
 		if cs.liveCount == 0 && cs.handover != nil {
 			h := cs.handover
 			cs.handover = nil
@@ -527,6 +597,10 @@ func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval)
 		}
 	})
 	dm.MergeRange(iv, drainedCellsEqual)
+	if c.mem != nil {
+		// The event's hold on the owner (placed when it was queued) ends.
+		c.mem.ep.unpin(owner, c.mem)
+	}
 }
 
 // drainedCellsEqual merges adjacent drained domain cells. Cells split at

@@ -13,15 +13,27 @@ type access struct {
 	frags []*fragment
 }
 
+// resetForPool clears the access for reuse, keeping the frags slice's
+// capacity. The fragments themselves are recycled separately.
+func (a *access) resetForPool() {
+	a.node = nil
+	a.spec = Spec{} // drops the Ivs reference to the caller's slice
+	clear(a.frags)
+	a.frags = a.frags[:0]
+}
+
 // fragment is the unit of dependency tracking: one contiguous interval of
 // one access. Per-subinterval state lives in a fragmenting map of pieceState
 // values, so partially overlapping later accesses, partial releases
 // (weakwait hand-over, release directive) and partial satisfaction all
 // fragment the state in place with no structural fix-ups.
 type fragment struct {
-	acc   *access
-	iv    regions.Interval
-	state *regions.Map[pieceState]
+	acc *access
+	iv  regions.Interval
+	// state is held by value: the per-piece interval map lives inline in
+	// the fragment, so creating a fragment costs one allocation (or none,
+	// pooled) and resetting it keeps the entries slice's capacity.
+	state regions.Map[pieceState]
 
 	// relLen is the total released element length; the fragment is fully
 	// released (and leaves the engine's live count) when it reaches
@@ -86,9 +98,37 @@ type link struct {
 }
 
 func newFragment(acc *access, iv regions.Interval) *fragment {
-	f := &fragment{acc: acc, iv: iv, state: regions.NewMap[pieceState](nil)}
-	f.state.Set(iv, pieceState{})
+	f := &fragment{}
+	f.init(acc, iv)
 	return f
+}
+
+// init prepares a fresh or pool-recycled fragment for a new access piece.
+// All other fields are empty: either the struct is new, or resetForPool
+// restored them (keeping slice and map capacities).
+func (f *fragment) init(acc *access, iv regions.Interval) {
+	f.acc, f.iv = acc, iv
+	f.state.Set(iv, pieceState{})
+}
+
+// resetForPool clears the fragment for reuse. Stale outgoing links are
+// dropped here; stale *incoming* links (this fragment as a target in some
+// predecessor's succs/waiter list) are safe to leave behind because a
+// fully released fragment has, by the pending-grant invariant, already
+// received every grant any link will ever deliver — the intersection test
+// in the link-firing loops can never select it again (see the memory
+// lifecycle section of docs/ARCHITECTURE.md).
+func (f *fragment) resetForPool() {
+	f.acc = nil
+	f.iv = regions.Interval{}
+	f.state.Reset()
+	f.relLen = 0
+	clear(f.succs)
+	f.succs = f.succs[:0]
+	clear(f.rWaiters)
+	f.rWaiters = f.rWaiters[:0]
+	clear(f.wWaiters)
+	f.wWaiters = f.wWaiters[:0]
 }
 
 func (f *fragment) data() DataID    { return f.acc.spec.Data }
@@ -126,4 +166,35 @@ func cloneCell(c cellState) cellState {
 	c.readers = slices.Clone(c.readers)
 	c.reds = slices.Clone(c.reds)
 	return c
+}
+
+// scrub removes the released fragment f from the cell's access history.
+// Observably equivalent to keeping it — linkAfter over a fully released
+// fragment creates no links and charges nothing, and the written flag
+// (not the lastWriter pointer) is what suppresses inbound linking — but it
+// unpins the fragment's memory from the domain: without the scrub a
+// released fragment would stay reachable as history for as long as the
+// cell lives, which both leaks it (reference mode) and forbids recycling
+// it (pooled mode). Scrubbed cells also merge better: drained neighbors
+// compare equal once their dead writers are gone.
+func (cs *cellState) scrub(f *fragment) {
+	if cs.lastWriter == f {
+		cs.lastWriter = nil // written stays true: the history is still "dirty"
+	}
+	cs.readers = removeFrag(cs.readers, f)
+	cs.reds = removeFrag(cs.reds, f)
+}
+
+// removeFrag deletes f from s in place (a fragment registers at most once
+// per cell, so at most one occurrence exists).
+func removeFrag(s []*fragment, f *fragment) []*fragment {
+	for i, x := range s {
+		if x == f {
+			last := len(s) - 1
+			s[i] = s[last]
+			s[last] = nil
+			return s[:last]
+		}
+	}
+	return s
 }

@@ -9,14 +9,24 @@ import "sync"
 type GlobalEngine struct {
 	mu sync.Mutex
 	c  depCore
+	ep *enginePools // nil in the reference memory mode
 }
 
 var _ Engine = (*GlobalEngine)(nil)
 
-// NewGlobalEngine returns a single-lock engine. obs may be nil.
+// NewGlobalEngine returns a single-lock engine with the reference
+// (allocate-always) memory mode. obs may be nil.
 func NewGlobalEngine(obs Observer) *GlobalEngine {
+	return newGlobalEngine(obs, false)
+}
+
+func newGlobalEngine(obs Observer, pooled bool) *GlobalEngine {
 	e := &GlobalEngine{}
 	e.c.obs = obs
+	if pooled {
+		e.ep = newEnginePools()
+		e.c.mem = newDepMem(e.ep, 0)
+	}
 	return e
 }
 
@@ -34,12 +44,29 @@ func (e *GlobalEngine) LiveFragments() int64 {
 	return e.c.liveFrags
 }
 
+// MemStats returns the engine's memory-pool counters; pooled=false (and
+// zero counters) in the reference memory mode.
+func (e *GlobalEngine) MemStats() (MemStats, bool) {
+	if e.ep == nil {
+		return MemStats{}, false
+	}
+	return e.ep.memStats(), true
+}
+
 // NewNode creates a node under parent (nil for the root node).
 func (e *GlobalEngine) NewNode(parent *Node, label string, user any) *Node {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.c.stats.Nodes++
-	n := newNode(parent, label, user)
+	var n *Node
+	if e.ep != nil {
+		n = e.ep.newPooledNode(0, parent, label, user)
+		if parent != nil {
+			parent.pins.Add(1) // released when the child node is recycled
+		}
+	} else {
+		n = newNode(parent, label, user)
+	}
 	if e.c.obs != nil {
 		e.c.obs.NodeCreated(n, parent)
 	}
@@ -61,6 +88,12 @@ func (e *GlobalEngine) Register(n *Node, specs []Spec) bool {
 // BodyDone implements the weakwait clause (§V). Returns nodes that became
 // ready.
 func (e *GlobalEngine) BodyDone(n *Node) []*Node {
+	return e.BodyDoneInto(n, nil)
+}
+
+// BodyDoneInto implements the weakwait clause (§V), appending the nodes
+// that became ready to out.
+func (e *GlobalEngine) BodyDoneInto(n *Node, out []*Node) []*Node {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, acc := range n.accesses {
@@ -69,23 +102,36 @@ func (e *GlobalEngine) BodyDone(n *Node) []*Node {
 		}
 	}
 	e.c.drainQueue()
-	return e.c.takeReady()
+	return e.c.appendReady(out)
 }
 
 // ReleaseRegions implements the release directive (§V).
 func (e *GlobalEngine) ReleaseRegions(n *Node, specs []Spec) []*Node {
+	return e.ReleaseRegionsInto(n, specs, nil)
+}
+
+// ReleaseRegionsInto implements the release directive (§V), appending the
+// nodes that became ready to out.
+func (e *GlobalEngine) ReleaseRegionsInto(n *Node, specs []Spec, out []*Node) []*Node {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, spec := range specs {
 		e.c.releaseSpec(n, spec)
 	}
 	e.c.drainQueue()
-	return e.c.takeReady()
+	return e.c.appendReady(out)
 }
 
 // Complete finalizes the node once its code and all descendants have
-// finished.
+// finished. Under the pooled memory mode the node may be recycled before
+// Complete returns; see the Engine contract.
 func (e *GlobalEngine) Complete(n *Node) []*Node {
+	return e.CompleteInto(n, nil)
+}
+
+// CompleteInto finalizes the node, appending the nodes that became ready
+// to out.
+func (e *GlobalEngine) CompleteInto(n *Node, out []*Node) []*Node {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	n.completed = true
@@ -95,5 +141,12 @@ func (e *GlobalEngine) Complete(n *Node) []*Node {
 		}
 	}
 	e.c.drainQueue()
-	return e.c.takeReady()
+	out = e.c.appendReady(out)
+	if e.ep != nil {
+		// Release the completion hold; if the node's fragments and
+		// descendants have already drained, this recycles it (and may
+		// cascade to drained ancestors).
+		e.ep.unpin(n, e.c.mem)
+	}
+	return out
 }

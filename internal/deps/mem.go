@@ -1,0 +1,193 @@
+package deps
+
+import (
+	"unsafe"
+
+	"repro/internal/mempool"
+	"repro/internal/regions"
+)
+
+// This file implements the pooled memory mode of the dependency engines:
+// every object of the task-dependency lifecycle — Node, access, fragment,
+// and the per-data interval maps — is recycled through internal/mempool
+// free lists instead of being left to the garbage collector.
+//
+// Ownership rules (who may free what, and when):
+//
+//   - A fragment, its access, and the node's interval maps are owned by
+//     the node and recycled together with it.
+//   - A node is recycled exactly when its pin count reaches zero: after
+//     Complete released the completion hold, every own fragment fully
+//     released, every child node recycled, and no evDomainDec cascade
+//     event still targets its domain (each queued event holds a pin).
+//     The atomic pin countdown elects exactly one recycler and carries
+//     the happens-before edges from every prior mutation site.
+//   - A recycled node bumps its generation counter first, so NodeHandles
+//     captured by observers or diagnostics detect stale access instead of
+//     reading the next task's state. Double-free is structurally
+//     impossible: only the single pins-to-zero transition recycles.
+//
+// Why a fully released fragment is unreachable (the invariant that makes
+// recycling sound): every dependency link charges pending grants to its
+// target over the link's whole interval at link time, and a piece releases
+// only when its pending counters are zero and its completion point has
+// passed. A fragment can therefore only release fully after every incoming
+// link has delivered every grant it ever will, and the interval
+// intersection guarding each link-firing loop can never select it again.
+// References from domain-cell history (lastWriter/readers/reds) are
+// scrubbed piece-wise by the evDomainDec handler as the fragment releases.
+
+// enginePools is the set of free lists shared by all shards of one engine.
+// Nodes use a locked Pool because NewNode runs under no shard lock; the
+// other types are allocated and freed under shard locks (or at node-drain
+// points covered by the pin protocol) through per-shard owner lanes.
+type enginePools struct {
+	nodes *mempool.Pool[Node]
+	frags *mempool.Global[fragment]
+	accs  *mempool.Global[access]
+	amaps *mempool.Global[regions.Map[*fragment]]
+	dmaps *mempool.Global[regions.Map[cellState]]
+}
+
+// nodePoolLanes spreads concurrent NewNode callers over the node pool's
+// mutexes.
+const nodePoolLanes = 16
+
+// laneHint derives a stable node-pool lane from the parent pointer, so
+// each submitting chain keeps hitting its own (uncontended) lane mutex.
+func laneHint(parent *Node) int {
+	return int(uintptr(unsafe.Pointer(parent)) >> 6)
+}
+
+func newEnginePools() *enginePools {
+	return &enginePools{
+		nodes: mempool.NewPool(nodePoolLanes, func() *Node { return &Node{} }),
+		frags: mempool.NewGlobal(func() *fragment { return &fragment{} }),
+		accs:  mempool.NewGlobal(func() *access { return &access{} }),
+		amaps: mempool.NewGlobal(func() *regions.Map[*fragment] { return regions.NewMap[*fragment](nil) }),
+		dmaps: mempool.NewGlobal(func() *regions.Map[cellState] { return regions.NewMap[cellState](cloneCell) }),
+	}
+}
+
+// depMem is one shard's view of the engine pools: owner lanes entered only
+// while holding that shard's lock, plus the node-pool lane hint used when
+// this shard recycles nodes.
+type depMem struct {
+	ep    *enginePools
+	lane  int
+	frags mempool.Lane[fragment]
+	accs  mempool.Lane[access]
+	amaps mempool.Lane[regions.Map[*fragment]]
+	dmaps mempool.Lane[regions.Map[cellState]]
+}
+
+func newDepMem(ep *enginePools, lane int) *depMem {
+	m := &depMem{ep: ep, lane: lane}
+	m.frags.Init(ep.frags)
+	m.accs.Init(ep.accs)
+	m.amaps.Init(ep.amaps)
+	m.dmaps.Init(ep.dmaps)
+	return m
+}
+
+// MemStats aggregates the pool counters of one engine's free lists; the
+// Outstanding fields are the leak accounting a drained runtime checks
+// against zero.
+type MemStats struct {
+	Nodes, Fragments, Accesses, AccessMaps, DomainMaps mempool.Stats
+}
+
+// Outstanding returns the total objects currently held out of the pools.
+func (s MemStats) Outstanding() int64 {
+	return s.Nodes.Outstanding() + s.Fragments.Outstanding() + s.Accesses.Outstanding() +
+		s.AccessMaps.Outstanding() + s.DomainMaps.Outstanding()
+}
+
+func (ep *enginePools) memStats() MemStats {
+	return MemStats{
+		Nodes:      ep.nodes.Stats(),
+		Fragments:  ep.frags.Stats(),
+		Accesses:   ep.accs.Stats(),
+		AccessMaps: ep.amaps.Stats(),
+		DomainMaps: ep.dmaps.Stats(),
+	}
+}
+
+// newPooledNode takes a node from the pool and initializes it; hint
+// spreads callers over the pool's lanes.
+func (ep *enginePools) newPooledNode(hint int, parent *Node, label string, user any) *Node {
+	n := ep.nodes.Get(hint)
+	n.init(parent, label, user)
+	return n
+}
+
+// unpin releases one pin on n and recycles it — cascading to ancestors —
+// when the count reaches zero. m is the caller's shard lanes (nil when the
+// caller holds no shard lock; sub-objects then go to the shared globals,
+// which are safe from any goroutine).
+func (ep *enginePools) unpin(n *Node, m *depMem) {
+	for n != nil {
+		if n.pins.Add(-1) != 0 {
+			return
+		}
+		parent := n.parent
+		ep.recycleNode(n, m)
+		// The recycled node stops pinning its parent; the decrement may
+		// cascade the drain upward.
+		n = parent
+	}
+}
+
+// putBack recycles one object through the caller's owner lane when it has
+// one (recycling under a shard lock) or the shared global otherwise
+// (node drains outside any shard lock, e.g. the completion-hold release).
+func putBack[T any](lane *mempool.Lane[T], g *mempool.Global[T], p *T) {
+	if lane != nil {
+		lane.Put(p)
+	} else {
+		g.Put(p)
+	}
+}
+
+// recycleNode returns a drained node and everything it owns to the pools.
+// Only the goroutine that decremented pins to zero may call this; at that
+// point no other goroutine can reach the node (see the file comment).
+func (ep *enginePools) recycleNode(n *Node, m *depMem) {
+	var (
+		frags *mempool.Lane[fragment]
+		accs  *mempool.Lane[access]
+		amaps *mempool.Lane[regions.Map[*fragment]]
+		dmaps *mempool.Lane[regions.Map[cellState]]
+	)
+	lane := 0
+	if m != nil {
+		frags, accs, amaps, dmaps = &m.frags, &m.accs, &m.amaps, &m.dmaps
+		lane = m.lane
+	}
+	for _, acc := range n.accesses {
+		for _, f := range acc.frags {
+			f.resetForPool()
+			putBack(frags, ep.frags, f)
+		}
+		acc.resetForPool()
+		putBack(accs, ep.accs, acc)
+	}
+	// The node's Go maps are kept (cleared) for its next life; only the
+	// interval maps inside them are pooled.
+	if n.accessMap != nil {
+		for _, am := range n.accessMap {
+			am.Reset()
+			putBack(amaps, ep.amaps, am)
+		}
+		clear(n.accessMap)
+	}
+	if n.domain != nil {
+		for _, dm := range n.domain {
+			dm.Reset()
+			putBack(dmaps, ep.dmaps, dm)
+		}
+		clear(n.domain)
+	}
+	n.resetForPool()
+	ep.nodes.Put(lane, n)
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mempool"
 	"repro/internal/regions"
 )
 
@@ -158,12 +159,93 @@ type Node struct {
 
 	registered bool
 	completed  bool
+
+	// gen is the node's generation counter (pooled engines only): bumped
+	// when the node is retired to the pool, so NodeHandles captured during
+	// this life detect stale access after recycling. Always zero under the
+	// reference (allocate-always) memory mode.
+	gen mempool.Gen
+
+	// pins counts the reasons the node must stay alive (pooled engines
+	// only; see the ownership rules in docs/ARCHITECTURE.md):
+	//
+	//   +1 completion hold — placed at creation, released at the end of
+	//      Complete;
+	//   +1 per fragment not yet fully released;
+	//   +1 per child node not yet recycled;
+	//   +1 per queued evDomainDec event targeting this node's domain.
+	//
+	// The transition to zero — necessarily after completion, with every
+	// own access released, every child drained, and no cascade event in
+	// flight — is the single point at which the engine may recycle the
+	// node; the atomic decrement elects exactly one recycler and carries
+	// the happens-before edge from every prior mutation site (each of
+	// which released a pin after its writes).
+	pins atomic.Int64
 }
 
 // newNode constructs a node with no readiness hint yet.
 func newNode(parent *Node, label string, user any) *Node {
-	return &Node{parent: parent, label: label, User: user, readyData: -1}
+	n := &Node{}
+	n.init(parent, label, user)
+	return n
 }
+
+// init prepares a fresh or pool-recycled node for a new life. All other
+// fields are zero: either the struct is new, or resetForPool restored them.
+func (n *Node) init(parent *Node, label string, user any) {
+	n.parent, n.label, n.User = parent, label, user
+	n.readyData = -1
+	n.pins.Store(1) // completion hold
+}
+
+// resetForPool retires the node's identity before it returns to the pool.
+// The interval maps and slice backing arrays are kept (emptied) so the next
+// life allocates nothing; the generation bump invalidates every NodeHandle
+// captured during this life. Only the engine's recycler (the goroutine that
+// decremented pins to zero) may call this.
+func (n *Node) resetForPool() {
+	n.gen.Retire()
+	n.parent, n.label, n.User = nil, "", nil
+	clear(n.accesses)
+	n.accesses = n.accesses[:0]
+	n.datas = nil // may alias data0; multi-object slices are dropped
+	n.unsat.Store(0)
+	n.notified.Store(false)
+	n.readyData = 0
+	n.registered, n.completed = false, false
+}
+
+// NodeHandle is a generation-checked reference to a Node for holders that
+// outlive the engine's ownership of it — observers, verification tooling,
+// diagnostics. Under a pooled engine the node is recycled once it drains,
+// and a handle captured earlier then reports Valid() == false instead of
+// silently reading the next task's state; the label is captured at handle
+// time so diagnostics survive recycling. Under a reference engine handles
+// stay valid forever (nodes are never retired).
+type NodeHandle struct {
+	h     mempool.Handle[Node]
+	label string
+}
+
+// Handle captures a generation-checked reference to the node.
+func (n *Node) Handle() NodeHandle {
+	return NodeHandle{h: mempool.MakeHandle(n, nodeGen), label: n.label}
+}
+
+func nodeGen(n *Node) *mempool.Gen { return &n.gen }
+
+// Valid reports whether the node has not been recycled since capture.
+func (h NodeHandle) Valid() bool { return h.h.Valid() }
+
+// Node returns the node, or ok=false if it has been recycled since the
+// handle was captured (use-after-recycle and ABA reuse both fail the
+// generation check).
+func (h NodeHandle) Node() (*Node, bool) { return h.h.Get() }
+
+// Label returns the label captured at handle time; unlike Node(), it stays
+// readable after recycling.
+func (h NodeHandle) Label() string { return h.label }
 
 // ReadyData returns the data object whose satisfaction grant made this node
 // ready — the release-path locality hint: the worker whose completion
@@ -194,7 +276,7 @@ func (n *Node) Label() string { return n.label }
 // Parent returns the parent node (nil for the root).
 func (n *Node) Parent() *Node { return n.parent }
 
-func (n *Node) domainEnsure(data DataID) *regions.Map[cellState] {
+func (n *Node) domainEnsure(data DataID, mem *depMem) *regions.Map[cellState] {
 	n.mapsMu.Lock()
 	defer n.mapsMu.Unlock()
 	if n.domain == nil {
@@ -202,7 +284,11 @@ func (n *Node) domainEnsure(data DataID) *regions.Map[cellState] {
 	}
 	dm := n.domain[data]
 	if dm == nil {
-		dm = regions.NewMap[cellState](cloneCell)
+		if mem != nil {
+			dm = mem.dmaps.Get()
+		} else {
+			dm = regions.NewMap[cellState](cloneCell)
+		}
 		n.domain[data] = dm
 	}
 	return dm
@@ -216,7 +302,7 @@ func (n *Node) domainFor(data DataID) *regions.Map[cellState] {
 	return n.domain[data]
 }
 
-func (n *Node) accessMapEnsure(data DataID) *regions.Map[*fragment] {
+func (n *Node) accessMapEnsure(data DataID, mem *depMem) *regions.Map[*fragment] {
 	n.mapsMu.Lock()
 	defer n.mapsMu.Unlock()
 	if n.accessMap == nil {
@@ -224,7 +310,11 @@ func (n *Node) accessMapEnsure(data DataID) *regions.Map[*fragment] {
 	}
 	am := n.accessMap[data]
 	if am == nil {
-		am = regions.NewMap[*fragment](nil)
+		if mem != nil {
+			am = mem.amaps.Get()
+		} else {
+			am = regions.NewMap[*fragment](nil)
+		}
 		n.accessMap[data] = am
 	}
 	return am

@@ -1,0 +1,9 @@
+//go:build race
+
+package deps
+
+// raceEnabled flags race-instrumented test builds; timing-sensitive
+// guards (TestMemPoolW1Parity) skip under it, since the instrumentation
+// taxes the pooled path's atomics far more than the reference path's
+// allocations and would fail the parity bound spuriously.
+func init() { raceEnabled = true }

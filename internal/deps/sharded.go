@@ -28,7 +28,10 @@ import (
 // moment the last shard delivers its last grant — with no lock common to
 // the shards involved. A registration hold (+1 on the countdown for the
 // duration of Register) keeps the node from becoming ready while later
-// entries of a multi-object clause are still linking.
+// entries of a multi-object clause are still linking. In the pooled memory
+// mode the node's pin countdown is a third cross-shard atomic: fragments
+// releasing under different shard locks all unpin the same node, and the
+// transition to zero elects the one recycler.
 //
 // Multi-object operations (Register, BodyDone, ReleaseRegions, Complete)
 // visit the shards of their specs in canonical ascending-DataID order, one
@@ -37,6 +40,7 @@ import (
 type ShardedEngine struct {
 	obs   Observer // wrapped: callbacks serialized across shards
 	nodes atomic.Int64
+	ep    *enginePools // nil in the reference memory mode
 
 	// shards is a copy-on-write table indexed by DataID (data ids are
 	// allocated densely from zero): the hot-path lookup is one atomic load
@@ -53,11 +57,18 @@ type shard struct {
 
 var _ Engine = (*ShardedEngine)(nil)
 
-// NewShardedEngine returns a per-data-object sharded engine. obs may be
-// nil; callbacks are serialized, so observers written for the global
-// engine work unchanged.
+// NewShardedEngine returns a per-data-object sharded engine with the
+// reference (allocate-always) memory mode. obs may be nil; callbacks are
+// serialized, so observers written for the global engine work unchanged.
 func NewShardedEngine(obs Observer) *ShardedEngine {
+	return newShardedEngine(obs, false)
+}
+
+func newShardedEngine(obs Observer, pooled bool) *ShardedEngine {
 	e := &ShardedEngine{obs: wrapObserver(obs)}
+	if pooled {
+		e.ep = newEnginePools()
+	}
 	e.shards.Store(new([]*shard))
 	return e
 }
@@ -83,6 +94,9 @@ func (e *ShardedEngine) shardFor(data DataID) *shard {
 	if sh == nil {
 		sh = &shard{}
 		sh.c.obs = e.obs
+		if e.ep != nil {
+			sh.c.mem = newDepMem(e.ep, int(data))
+		}
 		t[data] = sh
 	}
 	e.shards.Store(&t)
@@ -124,11 +138,31 @@ func (e *ShardedEngine) LiveFragments() int64 {
 	return live
 }
 
+// MemStats returns the engine's memory-pool counters; pooled=false (and
+// zero counters) in the reference memory mode.
+func (e *ShardedEngine) MemStats() (MemStats, bool) {
+	if e.ep == nil {
+		return MemStats{}, false
+	}
+	return e.ep.memStats(), true
+}
+
 // NewNode creates a node under parent (nil for the root node). No shard is
-// involved: node identity is shard-free state.
+// involved: node identity is shard-free state. Pooled nodes come from a
+// striped free list; the parent pointer is the lane hint — submitters
+// under different parents (the parallel-instantiation case) then populate
+// different lanes and their creation paths stay mutex-uncontended.
 func (e *ShardedEngine) NewNode(parent *Node, label string, user any) *Node {
 	e.nodes.Add(1)
-	n := newNode(parent, label, user)
+	var n *Node
+	if e.ep != nil {
+		n = e.ep.newPooledNode(laneHint(parent), parent, label, user)
+		if parent != nil {
+			parent.pins.Add(1) // released when the child node is recycled
+		}
+	} else {
+		n = newNode(parent, label, user)
+	}
 	if e.obs != nil {
 		e.obs.NodeCreated(n, parent)
 	}
@@ -176,7 +210,12 @@ func (sh *shard) locked(f func(c *depCore)) {
 // quiescence under that shard's lock before the next shard is visited; the
 // ready nodes collected across shards are returned together.
 func (e *ShardedEngine) BodyDone(n *Node) []*Node {
-	var out []*Node
+	return e.BodyDoneInto(n, nil)
+}
+
+// BodyDoneInto implements the weakwait clause (§V), appending the nodes
+// that became ready to out.
+func (e *ShardedEngine) BodyDoneInto(n *Node, out []*Node) []*Node {
 	for _, data := range n.datas {
 		e.shardFor(data).locked(func(c *depCore) {
 			for _, acc := range n.accesses {
@@ -197,7 +236,12 @@ func (e *ShardedEngine) BodyDone(n *Node) []*Node {
 // ReleaseRegions implements the release directive (§V), shard by shard in
 // canonical DataID order.
 func (e *ShardedEngine) ReleaseRegions(n *Node, specs []Spec) []*Node {
-	var out []*Node
+	return e.ReleaseRegionsInto(n, specs, nil)
+}
+
+// ReleaseRegionsInto implements the release directive (§V), appending the
+// nodes that became ready to out.
+func (e *ShardedEngine) ReleaseRegionsInto(n *Node, specs []Spec, out []*Node) []*Node {
 	for _, data := range specDatas(specs) {
 		e.shardFor(data).locked(func(c *depCore) {
 			for i := range specs {
@@ -213,11 +257,18 @@ func (e *ShardedEngine) ReleaseRegions(n *Node, specs []Spec) []*Node {
 }
 
 // Complete finalizes the node once its code and all descendants have
-// finished, shard by shard.
+// finished, shard by shard. Under the pooled memory mode the node may be
+// recycled before Complete returns; see the Engine contract.
 func (e *ShardedEngine) Complete(n *Node) []*Node {
+	return e.CompleteInto(n, nil)
+}
+
+// CompleteInto finalizes the node, appending the nodes that became ready
+// to out.
+func (e *ShardedEngine) CompleteInto(n *Node, out []*Node) []*Node {
 	n.completed = true
-	var out []*Node
-	for _, data := range n.datas {
+	datas := n.datas
+	for _, data := range datas {
 		e.shardFor(data).locked(func(c *depCore) {
 			for _, acc := range n.accesses {
 				if acc.spec.Data != data {
@@ -230,6 +281,12 @@ func (e *ShardedEngine) Complete(n *Node) []*Node {
 			c.drainQueue()
 			out = c.appendReady(out)
 		})
+	}
+	if e.ep != nil {
+		// Release the completion hold (outside any shard lock: the pools
+		// are their own synchronization domain). If every fragment has
+		// released and every child drained, this recycles the node.
+		e.ep.unpin(n, nil)
 	}
 	return out
 }

@@ -42,6 +42,15 @@ func (m *Map[V]) dup(v V) V {
 	return m.clone(v)
 }
 
+// Reset empties the map while keeping the entries slice's capacity, so a
+// pooled map's next life pays no allocation until it outgrows its previous
+// one. Entries are zeroed first: pooled values may hold pointers (fragment
+// boxes, reader lists) that must not stay reachable from the free list.
+func (m *Map[V]) Reset() {
+	clear(m.entries)
+	m.entries = m.entries[:0]
+}
+
 // Count returns the number of entries.
 func (m *Map[V]) Count() int { return len(m.entries) }
 

@@ -13,25 +13,19 @@ import "sync/atomic"
 // single CAS only when racing a thief for the last element), and Steal is a
 // bounded-retry CAS on top.
 //
-// Items are boxed (*T) so that slots can be published atomically; the ring
-// grows geometrically and is swapped in with an atomic pointer store, so
-// thieves holding a stale ring still read valid items — staleness is caught
-// by their top CAS.
+// Items are boxed (*T) so that slots can be published atomically. The deque
+// itself neither allocates nor frees boxes: the caller passes a box to
+// PushBottom and receives one back from PopBottom/Steal, so boxes travel
+// with items (a stolen item's box crosses to the thief) and the pool layer
+// recycles them through internal/mempool — a consumed box goes back to the
+// consumer's free-list lane, and the steady-state queue path allocates
+// nothing. Recycling a consumed box is safe: losing thieves discard their
+// speculative slot read when the top CAS fails, and never dereference it.
 type clDeque[T any] struct {
 	top    atomic.Int64 // next index to steal; advanced by CAS
 	bottom atomic.Int64 // next index to push; owner-written only
 	buf    atomic.Pointer[ringBuf[T]]
-
-	// arena bump-allocates the boxes in chunks; owner-only, like
-	// PushBottom. Each box is written exactly once before its pointer is
-	// published through a slot, so readers are synchronized by the slot's
-	// atomic load. This keeps the queue path at ~1/arenaChunk allocations
-	// per item instead of one.
-	arena     []T
-	arenaNext int
 }
-
-const arenaChunk = 64
 
 type ringBuf[T any] struct {
 	mask  int64 // len(slots) - 1; len is a power of two
@@ -60,21 +54,16 @@ func (d *clDeque[T]) Size() int64 {
 	return b - t
 }
 
-// PushBottom appends an item at the bottom. Owner only.
-func (d *clDeque[T]) PushBottom(item T) {
+// PushBottom appends a boxed item at the bottom. Owner only. The box must
+// be fully written before the call; publication through the slot's atomic
+// store synchronizes it with thieves.
+func (d *clDeque[T]) PushBottom(p *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	buf := d.buf.Load()
 	if b-t >= int64(len(buf.slots)) {
 		buf = d.grow(buf, t, b)
 	}
-	if d.arenaNext == len(d.arena) {
-		d.arena = make([]T, arenaChunk)
-		d.arenaNext = 0
-	}
-	p := &d.arena[d.arenaNext]
-	d.arenaNext++
-	*p = item
 	buf.slots[b&buf.mask].Store(p)
 	d.bottom.Store(b + 1)
 }
@@ -92,34 +81,34 @@ func (d *clDeque[T]) grow(old *ringBuf[T], t, b int64) *ringBuf[T] {
 	return nb
 }
 
-// PopBottom removes the most recently pushed item (LIFO). Owner only. The
-// only synchronization with thieves is the top CAS when exactly one item
-// remains.
-func (d *clDeque[T]) PopBottom() (item T, ok bool) {
+// PopBottom removes the most recently pushed item (LIFO), transferring
+// box ownership to the caller. Owner only. The only synchronization with
+// thieves is the top CAS when exactly one item remains.
+func (d *clDeque[T]) PopBottom() (p *T, ok bool) {
 	b := d.bottom.Load() - 1
 	d.bottom.Store(b) // reserve: thieves now refuse to go past b
 	t := d.top.Load()
 	if t > b {
 		// Deque was empty; undo the reservation.
 		d.bottom.Store(b + 1)
-		return item, false
+		return nil, false
 	}
 	buf := d.buf.Load()
 	slot := &buf.slots[b&buf.mask]
-	p := slot.Load()
+	p = slot.Load()
 	if t == b {
 		// Last element: race thieves for it through top.
 		if !d.top.CompareAndSwap(t, t+1) {
 			// A thief won; the deque is empty.
 			d.bottom.Store(b + 1)
-			return item, false
+			return nil, false
 		}
 		slot.Store(nil)
 		d.bottom.Store(b + 1)
-		return *p, true
+		return p, true
 	}
 	slot.Store(nil)
-	return *p, true
+	return p, true
 }
 
 // Clearing consumed slots: the owner's pop clears its slot so the box (and
@@ -131,25 +120,33 @@ func (d *clDeque[T]) PopBottom() (item T, ok bool) {
 // discarded. Steal must NOT clear: once top has passed the stolen index
 // the owner may already be wrapping a new push onto the same physical
 // slot, and a late nil-store from the thief would destroy that item.
+//
+// Box recycling rests on the same argument: the winner of an index — the
+// owner via PopBottom, or the thief whose top CAS succeeded — is the only
+// party that ever dereferences the box afterwards, so it may reuse it
+// immediately. A loser's speculatively loaded pointer is discarded without
+// a dereference, and a slow thief that reads a recycled (rewritten) box
+// pointer through a wrapped slot fails its CAS on the stale top value.
 
-// Steal removes the oldest item (FIFO). Safe from any goroutine, including
-// the owner (the sharded central pool self-pulls through Steal to get FIFO
-// order on its own ingress queue). Retries only when it loses a CAS race
-// while items remain.
-func (d *clDeque[T]) Steal() (item T, ok bool) {
+// Steal removes the oldest item (FIFO), transferring box ownership to the
+// caller. Safe from any goroutine, including the owner (the sharded
+// central pool self-pulls through Steal to get FIFO order on its own
+// ingress queue). Retries only when it loses a CAS race while items
+// remain.
+func (d *clDeque[T]) Steal() (p *T, ok bool) {
 	for {
 		t := d.top.Load()
 		b := d.bottom.Load()
 		if t >= b {
-			return item, false
+			return nil, false
 		}
 		buf := d.buf.Load()
-		p := buf.slots[t&buf.mask].Load()
+		p = buf.slots[t&buf.mask].Load()
 		if d.top.CompareAndSwap(t, t+1) {
 			// The CAS proves no other thief took index t and the owner
 			// could not have wrapped over it (wrap requires top > t first),
 			// so p is the item that was at t when we loaded it.
-			return *p, true
+			return p, true
 		}
 	}
 }

@@ -19,19 +19,44 @@ func TestPoolShardCacheAlignment(t *testing.T) {
 	}
 }
 
+// Test helpers over the boxed deque API: each push allocates a fresh box
+// (the pool layer, not the deque, is responsible for recycling), and the
+// consumers unwrap.
+func pushInt(d *clDeque[int], v int) {
+	p := new(int)
+	*p = v
+	d.PushBottom(p)
+}
+
+func popInt(d *clDeque[int]) (int, bool) {
+	p, ok := d.PopBottom()
+	if !ok {
+		return 0, false
+	}
+	return *p, true
+}
+
+func stealInt(d *clDeque[int]) (int, bool) {
+	p, ok := d.Steal()
+	if !ok {
+		return 0, false
+	}
+	return *p, true
+}
+
 func TestDequeOwnerLIFO(t *testing.T) {
 	var d clDeque[int]
 	d.init()
 	for i := 0; i < 5; i++ {
-		d.PushBottom(i)
+		pushInt(&d, i)
 	}
 	for want := 4; want >= 0; want-- {
-		it, ok := d.PopBottom()
+		it, ok := popInt(&d)
 		if !ok || it != want {
 			t.Fatalf("PopBottom = %d,%v, want %d,true", it, ok, want)
 		}
 	}
-	if _, ok := d.PopBottom(); ok {
+	if _, ok := popInt(&d); ok {
 		t.Fatal("PopBottom on empty deque returned ok")
 	}
 }
@@ -40,15 +65,15 @@ func TestDequeStealFIFO(t *testing.T) {
 	var d clDeque[int]
 	d.init()
 	for i := 0; i < 5; i++ {
-		d.PushBottom(i)
+		pushInt(&d, i)
 	}
 	for want := 0; want < 5; want++ {
-		it, ok := d.Steal()
+		it, ok := stealInt(&d)
 		if !ok || it != want {
 			t.Fatalf("Steal = %d,%v, want %d,true", it, ok, want)
 		}
 	}
-	if _, ok := d.Steal(); ok {
+	if _, ok := stealInt(&d); ok {
 		t.Fatal("Steal on empty deque returned ok")
 	}
 }
@@ -71,15 +96,15 @@ func TestDequeGrowth(t *testing.T) {
 		seen[it] = true
 	}
 	for i := 0; i < n; i++ {
-		d.PushBottom(i)
+		pushInt(&d, i)
 		if i%7 == 3 {
-			take(d.PopBottom())
+			take(popInt(&d))
 		} else if i%11 == 5 {
-			take(d.Steal())
+			take(stealInt(&d))
 		}
 	}
 	for d.Size() > 0 {
-		take(d.PopBottom())
+		take(popInt(&d))
 	}
 	for i := range seen {
 		if !seen[i] {
@@ -112,7 +137,7 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 		go func() {
 			defer tw.Done()
 			for {
-				if it, ok := d.Steal(); ok {
+				if it, ok := stealInt(&d); ok {
 					take(it)
 					continue
 				}
@@ -126,16 +151,16 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 		}()
 	}
 	for i := 0; i < n; i++ {
-		d.PushBottom(i)
+		pushInt(&d, i)
 		if i%3 == 0 {
-			if it, ok := d.PopBottom(); ok {
+			if it, ok := popInt(&d); ok {
 				take(it)
 			}
 		}
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for taken.Load() < int64(n) {
-		if it, ok := d.PopBottom(); ok {
+		if it, ok := popInt(&d); ok {
 			take(it)
 		}
 		if time.Now().After(deadline) {
@@ -151,6 +176,28 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 	}
 	if d.Size() != 0 {
 		t.Fatalf("deque size %d after drain", d.Size())
+	}
+}
+
+// TestDequeBoxReuse pins the recycling contract: the consumer of an index
+// owns its box and may rewrite it for an immediate re-push, and the values
+// still come out exactly once. (The pool layer does exactly this through
+// its mempool lanes.)
+func TestDequeBoxReuse(t *testing.T) {
+	var d clDeque[int]
+	d.init()
+	box := new(int)
+	for i := 0; i < 3*initialDequeCap; i++ {
+		*box = i
+		d.PushBottom(box)
+		p, ok := d.PopBottom()
+		if !ok || *p != i {
+			t.Fatalf("round %d: PopBottom = %v,%v", i, p, ok)
+		}
+		box = p // consumer owns the box again
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("deque not empty after matched push/pop rounds")
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/mempool"
 )
 
 // shardedPool is the sharded admission path shared by the Stealing and
@@ -52,6 +54,11 @@ type shardedPool[T any] struct {
 	rr      atomic.Uint32
 	spawn   func(item T, worker int)
 	workers int
+	// boxes is the shared free-list shard for deque boxes: each worker's
+	// poolShard holds an owner lane over it, a pushed box travels with its
+	// item (a steal carries it to the thief), and the consumer recycles it
+	// into its own lane — the deque path allocates nothing in steady state.
+	boxes *mempool.Global[T]
 	// selfLIFO selects the discipline of the owner's fast path: true pops
 	// the worker's own deque from the bottom (depth-first, cache-warm —
 	// work stealing), false from the top (arrival order — the sharded
@@ -81,12 +88,13 @@ type shardedPool[T any] struct {
 // T-independent — slices are headers — so the pad is a constant; a test
 // asserts the 64-byte multiple).
 type poolShard[T any] struct {
-	deque  clDeque[T] // 56 bytes
-	imu    sync.Mutex // 8
-	inbox  []T        // 24
-	ilen   atomic.Int64
-	steals atomic.Int64 // items this worker took from other shards
-	_      [24]byte     // 104 -> 128
+	deque   clDeque[T]      // 24 bytes
+	imu     sync.Mutex      // 8
+	inbox   []T             // 24
+	ilen    atomic.Int64    // 8
+	steals  atomic.Int64    // 8; items this worker took from other shards
+	boxLane mempool.Lane[T] // 48; owner-only box free list
+	_       [8]byte         // 120 -> 128
 }
 
 // PoolStats are diagnostic counters of a pool.
@@ -102,9 +110,11 @@ func (p *shardedPool[T]) init(workers int, spawn func(item T, worker int), selfL
 	if workers < 1 {
 		panic("sched: need at least one worker")
 	}
+	p.boxes = mempool.NewGlobal(func() *T { return new(T) })
 	p.shards = make([]poolShard[T], workers)
 	for i := range p.shards {
 		p.shards[i].deque.init()
+		p.shards[i].boxLane.Init(p.boxes)
 	}
 	p.tokens = newTokenList(workers)
 	p.spawn = spawn
@@ -141,7 +151,10 @@ func (p *shardedPool[T]) pushItem(item T, from int) {
 			p.soloLen.Store(int64(len(p.soloQ) - p.soloHead))
 			return
 		}
-		p.shards[from].deque.PushBottom(item)
+		sh := &p.shards[from]
+		box := sh.boxLane.Get() // owner-only: the caller holds from's token
+		*box = item
+		sh.deque.PushBottom(box)
 		return
 	}
 	sh := &p.shards[int(p.rr.Add(1))%p.workers]
@@ -207,10 +220,35 @@ func (p *shardedPool[T]) takeInbox(sh *poolShard[T]) (item T, ok bool) {
 	return item, true
 }
 
+// stealBatchMax bounds the steal-half multi-pop: one miss-driven visit to
+// a victim takes at most this many items (the first for the thief, the
+// rest onto its own deque).
+const stealBatchMax = 8
+
+// consumeBox copies the boxed item out and recycles the box into worker
+// w's lane (the caller holds w's token, making it the lane's owner — this
+// is how boxes that crossed shards via steals find their way back into
+// circulation).
+func (p *shardedPool[T]) consumeBox(w int, box *T) T {
+	item := *box
+	var zero T
+	*box = zero
+	p.shards[w].boxLane.Put(box)
+	return item
+}
+
 // popFor removes the next item for the holder of token w: own deque (bottom
 // under the stealing discipline, top under the central one), own inbox,
 // then the other shards — deque top, then inbox — scanning victims from a
 // random start so concurrent thieves spread instead of convoying.
+//
+// A hit on a victim's deque steals half its items (bounded by
+// stealBatchMax): the first is returned, the rest move — boxes and all —
+// onto the thief's own deque, so one miss amortizes the whole
+// redistribution instead of paying a full O(workers) scan per item
+// (ROADMAP's steal-half item; the depbench steals/kop column observes it).
+// Only the stealing discipline batches: the sharded central pool preserves
+// per-queue arrival order, which moving items between queues would skew.
 func (p *shardedPool[T]) popFor(w int) (item T, ok bool) {
 	sh := &p.shards[w]
 	if p.workers == 1 {
@@ -233,35 +271,51 @@ func (p *shardedPool[T]) popFor(w int) (item T, ok bool) {
 		}
 		return p.takeInbox(sh)
 	}
+	var box *T
 	if p.selfLIFO {
-		item, ok = sh.deque.PopBottom()
+		box, ok = sh.deque.PopBottom()
 	} else {
-		item, ok = sh.deque.Steal()
-	}
-	if !ok {
-		item, ok = p.takeInbox(sh)
+		box, ok = sh.deque.Steal()
 	}
 	if ok {
+		return p.consumeBox(w, box), true
+	}
+	if item, ok = p.takeInbox(sh); ok {
 		return item, true
 	}
-	if p.workers > 1 {
-		start := rand.IntN(p.workers)
-		for i := 0; i < p.workers; i++ {
-			v := (start + i) % p.workers
-			if v == w {
-				continue
-			}
-			vs := &p.shards[v]
-			if vs.deque.Size() > 0 {
-				if item, ok = vs.deque.Steal(); ok {
-					sh.steals.Add(1)
-					return item, true
+	start := rand.IntN(p.workers)
+	for i := 0; i < p.workers; i++ {
+		v := (start + i) % p.workers
+		if v == w {
+			continue
+		}
+		vs := &p.shards[v]
+		if vs.deque.Size() > 0 {
+			if box, ok = vs.deque.Steal(); ok {
+				stolen := int64(1)
+				if p.selfLIFO {
+					// Steal half (bounded): keep the extras on our own
+					// deque; their boxes migrate with them.
+					n := vs.deque.Size() / 2
+					if n > stealBatchMax-1 {
+						n = stealBatchMax - 1
+					}
+					for ; n > 0; n-- {
+						q, qok := vs.deque.Steal()
+						if !qok {
+							break
+						}
+						sh.deque.PushBottom(q)
+						stolen++
+					}
 				}
+				sh.steals.Add(stolen)
+				return p.consumeBox(w, box), true
 			}
-			if item, ok = p.takeInbox(vs); ok {
-				sh.steals.Add(1)
-				return item, true
-			}
+		}
+		if item, ok = p.takeInbox(vs); ok {
+			sh.steals.Add(1)
+			return item, true
 		}
 	}
 	var zero T

@@ -150,6 +150,55 @@ func TestStealingSelfLIFOStealFIFO(t *testing.T) {
 	s.Yield(w1)
 }
 
+// TestStealingStealHalf pins the bounded multi-pop: a steal miss that hits
+// a loaded victim takes the oldest item for the thief AND moves half the
+// victim's remaining items (bounded by stealBatchMax) onto the thief's own
+// deque, so the next misses hit locally instead of rescanning victims.
+func TestStealingStealHalf(t *testing.T) {
+	s := NewStealing(2, func(int, int) {})
+	w0 := s.Acquire()
+	w1 := s.Acquire()
+	if w0 > w1 {
+		w0, w1 = w1, w0
+	}
+	// Both tokens held, so submissions queue on the submitter's deque.
+	const n = 8
+	for i := 0; i < n; i++ {
+		s.Submit(i, w1)
+	}
+	item, ok := s.popFor(w0)
+	if !ok || item != 0 {
+		t.Fatalf("popFor(w0) = %d,%v, want 0,true (oldest of the victim)", item, ok)
+	}
+	// 8 queued: the thief consumed 1 and moved half the remainder (7/2=3).
+	if got := s.shards[w0].deque.Size(); got != 3 {
+		t.Errorf("thief deque holds %d items after steal-half, want 3", got)
+	}
+	if got := s.shards[w1].deque.Size(); got != 4 {
+		t.Errorf("victim deque holds %d items after steal-half, want 4", got)
+	}
+	if st := s.Stats().Steals; st != 4 {
+		t.Errorf("steals counter = %d, want 4 (1 consumed + 3 migrated)", st)
+	}
+	// Exactly-once drain across both deques.
+	seen := map[int]bool{item: true}
+	for len(seen) < n {
+		it, ok := s.popFor(w0)
+		if !ok {
+			t.Fatalf("drain stalled with %d/%d items", len(seen), n)
+		}
+		if seen[it] {
+			t.Fatalf("item %d taken twice", it)
+		}
+		seen[it] = true
+	}
+	if _, ok := s.popFor(w0); ok {
+		t.Fatal("extra item after drain")
+	}
+	s.Yield(w0)
+	s.Yield(w1)
+}
+
 func TestStealingConcurrencyCap(t *testing.T) {
 	const workers = 3
 	var cur, peak atomic.Int64

@@ -44,16 +44,18 @@ import (
 // recheck is forwarded to another parked reserver, so responsibility for a
 // freed slot is never dropped.
 type sharded struct {
-	limit   int64
-	workers int
-	batch   int64 // borrow quantum = per-worker cache cap
-	balance atomic.Int64
-	open    atomic.Int64
-	nwait   atomic.Int64
-	parks   atomic.Int64
-	borrows atomic.Int64
-	steals  atomic.Int64
-	shards  []tshard
+	limit    int64
+	workers  int
+	batch    int64 // borrow quantum = per-worker cache cap
+	balance  atomic.Int64
+	open     atomic.Int64
+	nwait    atomic.Int64
+	parks    atomic.Int64
+	borrows  atomic.Int64
+	steals   atomic.Int64
+	handoffs atomic.Int64
+	reparks  atomic.Int64
+	shards   []tshard
 }
 
 // tshard pads to two cache lines so one worker's credit-cache traffic does
@@ -62,8 +64,12 @@ type sharded struct {
 type tshard struct {
 	cache atomic.Int64 // credits cached by the owning worker
 	wmu   sync.Mutex
-	wlist []chan struct{} // parked reservers (FIFO)
-	_     [88]byte        // 40 -> 128
+	// wlist holds the parked reservers (FIFO). The wake value is the
+	// batch-wake protocol: true carries the waker's credit with the wake —
+	// the reserver owns it outright and resumes without retrying the
+	// credit sources — false is a bare recheck hint (the Dekker fallback).
+	wlist []chan bool
+	_     [88]byte // 40 -> 128
 }
 
 // NewSharded creates the token-bucket window with the given bound and
@@ -160,14 +166,23 @@ func (s *sharded) tryAcquire(idx int) bool {
 	return false
 }
 
-// put returns one credit: an overdrawn balance (cascade entries pushed it
-// below zero) is repaid first — a credit cached while occupancy is above
-// the bound would admit a reserver the bound should block, and the
-// overdraft would otherwise persist through cache/reserve churn — then the
-// worker's cache up to the cap, then the balance. Either way it then —
-// publish-then-recheck — wakes a parked reserver if any is registered.
+// put returns one credit. Batch-wake fast path: if a reserver is parked
+// and the balance is not overdrawn, the credit is handed to it directly —
+// popped from the wait list and sent with the wake — so a burst of
+// completions wakes a burst of reservers, each owning its credit outright,
+// with no wake/retry/re-park churn. An overdrawn balance (cascade entries
+// pushed occupancy past the bound) disables the hand-off and is repaid
+// first — a credit handed (or cached) while occupancy is above the bound
+// would admit a reserver the bound should block, and the overdraft would
+// otherwise persist through hand-off/reserve churn — then the worker's
+// cache up to the cap, then the balance; a recheck of the waiter count
+// (publish-then-recheck) covers reservers that registered after the
+// fast-path test.
 func (s *sharded) put(worker int) {
 	idx := s.shardOf(worker)
+	if s.balance.Load() >= 0 && s.nwait.Load() > 0 && s.handOff(idx) {
+		return
+	}
 	for {
 		bal := s.balance.Load()
 		if bal >= 0 {
@@ -188,9 +203,29 @@ func (s *sharded) put(worker int) {
 	}
 }
 
-// wakeOne pops one parked reserver, scanning wait lists from shard idx,
-// and signals it to recheck the credit sources.
+// handOff pops one parked reserver, scanning wait lists from shard idx,
+// and transfers the caller's credit to it; false means no reserver was
+// found (the caller still owns the credit).
+func (s *sharded) handOff(idx int) bool {
+	if ch, ok := s.popWaiter(idx); ok {
+		s.handoffs.Add(1)
+		ch <- true
+		return true
+	}
+	return false
+}
+
+// wakeOne pops one parked reserver and signals it to recheck the credit
+// sources (no credit attached — the Dekker fallback wake).
 func (s *sharded) wakeOne(idx int) {
+	if ch, ok := s.popWaiter(idx); ok {
+		ch <- false
+	}
+}
+
+// popWaiter removes the oldest parked reserver, scanning wait lists from
+// shard idx.
+func (s *sharded) popWaiter(idx int) (chan bool, bool) {
 	for i := 0; i < s.workers; i++ {
 		sh := &s.shards[(idx+i)%s.workers]
 		sh.wmu.Lock()
@@ -199,16 +234,16 @@ func (s *sharded) wakeOne(idx int) {
 			sh.wlist = sh.wlist[1:]
 			s.nwait.Add(-1)
 			sh.wmu.Unlock()
-			ch <- struct{}{}
-			return
+			return ch, true
 		}
 		sh.wmu.Unlock()
 	}
+	return nil, false
 }
 
 // deregister removes ch from sh's wait list; false means a waker already
 // popped it (a signal is in flight on ch).
-func (s *sharded) deregister(sh *tshard, ch chan struct{}) bool {
+func (s *sharded) deregister(sh *tshard, ch chan bool) bool {
 	sh.wmu.Lock()
 	defer sh.wmu.Unlock()
 	for i, c := range sh.wlist {
@@ -223,29 +258,40 @@ func (s *sharded) deregister(sh *tshard, ch chan struct{}) bool {
 
 // park blocks until a credit is acquired. Each round registers on the
 // shard's wait list, then — Dekker — rechecks every credit source before
-// sleeping; a wake-up is a hint to recheck, and a reserver that loses the
-// recheck race to a fresh reserver parks again (the credit that fresh
-// reserver consumed funds a task whose start will return it with a wake).
+// sleeping. A wake-up carrying a credit (direct hand-off) ends the park
+// immediately: the credit is the reserver's, no retry needed. A bare wake
+// is a hint to recheck; a reserver that loses the recheck race to a fresh
+// reserver parks again (the credit that fresh reserver consumed funds a
+// task whose start will return it, with a hand-off to whoever is parked).
 func (s *sharded) park(idx int) {
 	sh := &s.shards[idx]
 	for {
-		ch := make(chan struct{}, 1)
+		ch := make(chan bool, 1)
 		sh.wmu.Lock()
 		sh.wlist = append(sh.wlist, ch)
 		sh.wmu.Unlock()
 		s.nwait.Add(1)
 		if s.tryAcquire(idx) {
 			if !s.deregister(sh, ch) {
-				// A waker popped us concurrently; its wake-up is addressed
-				// to an already-satisfied reserver, so forward it.
-				s.wakeOne(idx)
+				// A waker popped us concurrently; consume its signal and
+				// re-dispatch: a handed-off credit must not be dropped (it
+				// goes to another parked reserver, or back to the pool),
+				// and a bare hint is forwarded.
+				if <-ch {
+					s.put(idx)
+				} else {
+					s.wakeOne(idx)
+				}
 			}
 			return
 		}
-		<-ch
+		if <-ch {
+			return // direct hand-off: the credit is ours
+		}
 		if s.tryAcquire(idx) {
 			return
 		}
+		s.reparks.Add(1)
 	}
 }
 
@@ -284,5 +330,8 @@ func (s *sharded) Open() int64 { return s.open.Load() }
 func (s *sharded) Limit() int { return int(s.limit) }
 
 func (s *sharded) Stats() Stats {
-	return Stats{Parks: s.parks.Load(), Borrows: s.borrows.Load(), Steals: s.steals.Load()}
+	return Stats{
+		Parks: s.parks.Load(), Borrows: s.borrows.Load(), Steals: s.steals.Load(),
+		Handoffs: s.handoffs.Load(), Reparks: s.reparks.Load(),
+	}
 }

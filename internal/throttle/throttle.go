@@ -76,6 +76,15 @@ type Stats struct {
 	// Steals counts credits taken from another worker's cache (sharded
 	// only).
 	Steals int64
+	// Handoffs counts credits handed directly to a parked reserver by a
+	// returner (sharded only): the woken reserver owns the credit outright
+	// and resumes without re-contending the credit sources, so a burst of
+	// completions wakes a burst of reservers with no retry traffic.
+	Handoffs int64
+	// Reparks counts reservers that woke without an attached credit, lost
+	// the recheck race, and slept again (sharded only). Direct hand-off
+	// exists to keep this at zero in the common case.
+	Reparks int64
 }
 
 // Window is the admission-window contract between the runtime and a

@@ -262,6 +262,102 @@ func TestParkAndWake(t *testing.T) {
 	}
 }
 
+// TestShardedBatchWakeHandsCreditsDirectly pins the batch-wake protocol:
+// a completion burst against a full window hands its freed credits
+// directly to the parked reservers — every wake carries a credit, no woken
+// reserver retries the credit sources, and none re-parks. With K reservers
+// parked before the burst begins, the Handoffs counter must account for
+// every wake and Reparks must stay zero (the retry storm the one-at-a-time
+// wake/recheck protocol used to produce under window pressure).
+func TestShardedBatchWakeHandsCreditsDirectly(t *testing.T) {
+	const parked = 8
+	w := New(KindSharded, 1, 4)
+	// Take the single credit so every later reserver parks.
+	if _, prepaid := w.Reserve(0, nil); !prepaid {
+		t.Fatal("sharded Reserve did not prepay")
+	}
+	w.EnteredReserved()
+	var done sync.WaitGroup
+	for i := 0; i < parked; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			w.Reserve(i%4, nil)
+			w.EnteredReserved()
+			// Chain the burst: each resumed reserver's task "starts",
+			// freeing the slot for the next parked reserver.
+			w.Started(i % 4)
+		}(i)
+	}
+	// Wait until all reservers are parked, then start the burst.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().Parks < parked {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d reservers parked", w.Stats().Parks, parked)
+		}
+		runtime.Gosched()
+	}
+	w.Started(0)
+	done.Wait()
+	st := w.Stats()
+	if st.Handoffs != parked {
+		t.Errorf("Handoffs = %d, want %d (every wake must carry its credit)", st.Handoffs, parked)
+	}
+	if st.Reparks != 0 {
+		t.Errorf("Reparks = %d, want 0 (direct hand-off leaves nothing to retry)", st.Reparks)
+	}
+	if got := w.Open(); got != 0 {
+		t.Errorf("Open() = %d, want 0", got)
+	}
+}
+
+// TestShardedOverdrawBlocksHandOff pins the bound under cascade overdraw:
+// while unreserved (cascade) entries hold occupancy above the limit, a
+// returned credit must repay the overdrawn balance — not be handed to a
+// parked reserver, which would admit a submitter the bound should block
+// (and let the window run above its bound indefinitely under pressure).
+// Only once the overdraft is repaid may a start admit the reserver.
+func TestShardedOverdrawBlocksHandOff(t *testing.T) {
+	w := New(KindSharded, 2, 2)
+	// A dependency cascade readies 4 unreserved tasks: open=4, balance=-2.
+	w.Entered(4)
+	admitted := make(chan struct{})
+	go func() {
+		w.Reserve(0, nil)
+		w.EnteredReserved()
+		close(admitted)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().Parks < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("reserver did not park against the overdrawn window")
+		}
+		runtime.Gosched()
+	}
+	// Two starts repay the overdraft (balance -2 → 0, open 4 → 2 = limit);
+	// neither may admit the parked reserver.
+	w.Started(0)
+	w.Started(0)
+	select {
+	case <-admitted:
+		t.Fatal("reserver admitted while occupancy was above the bound")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// With the overdraft repaid, the next start frees a real slot.
+	w.Started(0)
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reserver not admitted after the overdraft was repaid")
+	}
+	// Retire the last cascade entry and the reserver's own entry.
+	w.Started(0)
+	w.Started(0)
+	if got := w.Open(); got != 0 {
+		t.Errorf("Open() = %d, want 0", got)
+	}
+}
+
 // recordingYielder counts the token round-trips of parked reservers.
 type recordingYielder struct {
 	yields, acquires atomic.Int64

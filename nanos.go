@@ -41,6 +41,14 @@
 // common lock. The single-lock central queue (FIFO/LIFO/Priority) and a
 // sharded central variant remain selectable for ablations.
 //
+// With the locks sharded away, the remaining steady-state cost is
+// allocator and GC traffic, and real mode therefore defaults to pooled
+// task-lifecycle memory (Config.MemPool = MemAuto): tasks, dependency
+// nodes, access fragments, and interval-map cells recycle through typed
+// free lists with generation-counted handles, so a submit→complete cycle
+// allocates nothing once warm. MemReference restores the allocate-always
+// baseline for A/B comparisons.
+//
 // A minimal program:
 //
 //	rt := nanos.New(nanos.Config{Workers: 4})
@@ -63,6 +71,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/deps"
+	"repro/internal/mempool"
 	"repro/internal/regions"
 	"repro/internal/sched"
 	"repro/internal/throttle"
@@ -113,6 +122,12 @@ type (
 	// ThrottleStats exposes throttle-window activity counters
 	// (Runtime.ThrottleStats).
 	ThrottleStats = throttle.Stats
+	// MemPoolKind selects the task-lifecycle memory management
+	// (Config.MemPool).
+	MemPoolKind = mempool.Kind
+	// MemStats exposes the dependency engine's memory-pool counters
+	// (Runtime.MemStats).
+	MemStats = deps.MemStats
 )
 
 // Access types for Dep.Type.
@@ -182,6 +197,21 @@ const (
 	// ThrottleSharded is the sharded token-bucket window: a global atomic
 	// credit balance, per-worker credit caches, and per-shard wait lists.
 	ThrottleSharded = throttle.KindSharded
+)
+
+// Memory-management modes for Config.MemPool.
+const (
+	// MemAuto picks the pooled mode in real mode (reference in virtual
+	// mode): tasks, dependency nodes, fragments, and interval-map cells
+	// recycle through typed free lists instead of being reallocated every
+	// submit→complete cycle.
+	MemAuto = mempool.KindAuto
+	// MemReference is the allocate-always baseline (the differential
+	// reference for the pooled mode).
+	MemReference = mempool.KindReference
+	// MemPooled recycles task-lifecycle objects through internal/mempool
+	// free lists; see docs/ARCHITECTURE.md for the ownership rules.
+	MemPooled = mempool.KindPooled
 )
 
 // Verification finding kinds.

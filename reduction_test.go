@@ -123,6 +123,7 @@ func TestReductionOrderAgainstWriter(t *testing.T) {
 // group versus the same accumulation expressed as a serializing inout
 // chain (the only pre-extension formulation).
 func BenchmarkReductionVsSerialized(b *testing.B) {
+	b.ReportAllocs()
 	const n = 256
 	run := func(typ nanos.AccessType) int64 {
 		rt := nanos.New(nanos.Config{Workers: 16, Virtual: true})
@@ -136,6 +137,7 @@ func BenchmarkReductionVsSerialized(b *testing.B) {
 		return rt.VirtualTime()
 	}
 	b.Run("reduction", func(b *testing.B) {
+		b.ReportAllocs()
 		var vt int64
 		for i := 0; i < b.N; i++ {
 			vt = run(nanos.Red)
@@ -143,6 +145,7 @@ func BenchmarkReductionVsSerialized(b *testing.B) {
 		b.ReportMetric(float64(vt), "virtual-time")
 	})
 	b.Run("inout-chain", func(b *testing.B) {
+		b.ReportAllocs()
 		var vt int64
 		for i := 0; i < b.N; i++ {
 			vt = run(nanos.InOut)
