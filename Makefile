@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke depbench ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke depbench ci
 
 all: build
 
@@ -19,11 +19,15 @@ help:
 	@echo "  throttle-smoke throttle-window contention matrix (impl x window x w) + w=1 parity guard"
 	@echo "  mem-smoke      memory-pool gates: >=5x alloc cut, pooled-vs-reference differentials,"
 	@echo "                 leak accounting, w=1 parity guard, SubmitDisjoint bench smoke"
+	@echo "  replay-smoke   record-and-replay gates: replay-vs-live differential over random"
+	@echo "                 iterative programs, shape-flip invalidation fallback, countdown-node"
+	@echo "                 leak accounting, w=1 parity guard (replay <=1.5x live), workload"
+	@echo "                 validation (GS graph variant + heat vs sequential reference)"
 	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
-	@echo "                 throttle windows (go run ./cmd/depbench; -mode deps|sched|throttle"
-	@echo "                  selects one table, -workers/-ops/-sched-ops/-throttle-ops/-window"
-	@echo "                  size the sweeps; allocs/kop + gc-pause columns expose GC traffic)"
-	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem smokes"
+	@echo "                 throttle windows, replay cache (go run ./cmd/depbench; -mode"
+	@echo "                  deps|sched|throttle|replay selects one table, -workers/-ops/"
+	@echo "                  -sched-ops/-throttle-ops/-window/-replay-iters size the sweeps)"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay smokes"
 
 build:
 	$(GO) build ./...
@@ -67,11 +71,22 @@ mem-smoke:
 	$(GO) test -run 'TestMemPool' -bench 'BenchmarkSubmitDisjoint' -benchtime 1x ./internal/deps
 	$(GO) test -run 'TestMemPool' ./internal/core
 
+# Record-and-replay smoke: the replay-vs-live differential (identical
+# final state and task counts over randomized iterative programs), the
+# shape-flip invalidation fallback (no lost tasks, zero countdown nodes
+# outstanding), the w=1 parity guard (a replayed sweep must not cost more
+# than 1.5x the live engine when uncontended — in practice it is several
+# times cheaper), and the graph-region workload validations.
+replay-smoke:
+	$(GO) test -run 'TestGraphReplayDifferential|TestGraphShapeFlipInvalidation|TestReplayW1Parity' ./internal/core
+	$(GO) test -run 'TestHeatValidates|TestGSGraphValidates' ./internal/workloads
+
 # Contention tables (deps: global vs sharded engine, plus the pooled
 # memory mode; sched: single-lock vs
 # sharded ready pools; throttle: mutex+cond vs sharded token-bucket
-# window). See `go doc ./cmd/depbench` for the flags and columns.
+# window; replay: live engine vs frozen-graph replay per sweep). See
+# `go doc ./cmd/depbench` for the flags and columns.
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke

@@ -14,6 +14,14 @@
 //     analogous cycle workload (w submitters sharing one contended window,
 //     each cycling reserve → enter → start) runs through the mutex+cond
 //     reference window and the sharded token-bucket window.
+//   - replay: the record-and-replay taskgraph cache. The Gauss-Seidel
+//     wavefront sweep (one graph region per iteration, empty tile bodies
+//     so only runtime overhead is measured) runs three ways: the paper's
+//     nest-weak formulation through the live engine, the graph-region
+//     formulation through the live engine, and the graph-region
+//     formulation replayed from the frozen recording — the last bypasses
+//     the dependency engine entirely, so its per-iteration overhead is
+//     the cost of atomic countdowns plus ready-pool admission.
 //
 // Measurements per configuration:
 //
@@ -42,8 +50,9 @@
 //
 // Usage:
 //
-//	depbench [-mode all|deps|sched|throttle] [-workers 1,2,4,8]
+//	depbench [-mode all|deps|sched|throttle|replay] [-workers 1,2,4,8]
 //	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
+//	         [-replay-iters N] [-replay-blocks N]
 //
 // -ops, -sched-ops, and -throttle-ops size the three workloads
 // independently (admission cycles are far cheaper than engine ops, so the
@@ -65,9 +74,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/mempool"
 	"repro/internal/regions"
+	"repro/internal/replay"
 	"repro/internal/sched"
 	"repro/internal/throttle"
 )
@@ -253,6 +264,80 @@ func runThrottle(kind throttle.Kind, w, ops, window int) (ranOps int, wall, wait
 		pkgLockCycles("repro/internal/throttle.") - cyc0, win.Stats().Parks, m1 - m0, p1 - p0
 }
 
+// replayVariant names one formulation of the Gauss-Seidel wavefront sweep
+// for the replay table.
+type replayVariant uint8
+
+const (
+	rvNestWeak replayVariant = iota // weakwait iteration tasks (§VIII-B nest-weak)
+	rvLive                          // graph regions through the live engine
+	rvReplay                        // graph regions replayed from the recording
+)
+
+// runReplay drives iters sweeps of a blocks×blocks tile wavefront with
+// empty bodies — pure runtime overhead — and returns the wall time plus
+// the usual allocator/contention counters.
+func runReplay(v replayVariant, w, blocks, iters int) (tasksPerIter int, wall, wait time.Duration, allocs uint64, gcPause time.Duration) {
+	kind := replay.KindOff
+	if v == rvReplay {
+		kind = replay.KindOn
+	}
+	rt := core.New(core.Config{Workers: w, Replay: kind})
+	b := int64(blocks)
+	side := b + 2
+	total := side * side
+	ad := rt.NewData("A", total, 8)
+	blk := func(i, j int64) regions.Interval { return regions.BlockInterval(side, 1, i, j) }
+	tile := func(i, j int64) core.TaskSpec {
+		return core.TaskSpec{
+			Label: "tile",
+			Deps: []core.Dep{
+				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i-1, j)}},
+				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i, j-1)}},
+				{Data: ad, Type: deps.InOut, Ivs: []regions.Interval{blk(i, j)}},
+				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i, j+1)}},
+				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i+1, j)}},
+			},
+			Body: func(*core.TaskContext) {},
+		}
+	}
+	// The tile specs are built once and resubmitted every sweep, so the
+	// allocs/kop column measures the runtime's per-task allocations, not
+	// the driver's spec construction.
+	specs := make([]core.TaskSpec, 0, blocks*blocks)
+	for i := int64(1); i <= b; i++ {
+		for j := int64(1); j <= b; j++ {
+			specs = append(specs, tile(i, j))
+		}
+	}
+	sweep := func(tc *core.TaskContext) {
+		for k := range specs {
+			tc.Submit(specs[k])
+		}
+	}
+	iterSpec := core.TaskSpec{
+		Label:    "iteration",
+		WeakWait: true,
+		Deps:     []core.Dep{{Data: ad, Type: deps.InOut, Weak: true, Ivs: []regions.Interval{regions.Iv(0, total)}}},
+		Body:     sweep,
+	}
+	wait0 := mutexWait()
+	m0, p0 := memCounters()
+	start := time.Now()
+	rt.Run(func(tc *core.TaskContext) {
+		for it := 0; it < iters; it++ {
+			if v == rvNestWeak {
+				tc.Submit(iterSpec)
+			} else {
+				tc.Graph("gs-sweep", sweep)
+			}
+		}
+	})
+	wall = time.Since(start)
+	m1, p1 := memCounters()
+	return blocks * blocks, wall, mutexWait() - wait0, m1 - m0, p1 - p0
+}
+
 var schedPools = []struct {
 	name string
 	mk   func(workers int, spawn func(item, worker int)) sched.Queue[int]
@@ -272,6 +357,8 @@ func main() {
 	schedOpsFlag := flag.Int("sched-ops", 2_000_000, "chain steps per scheduler-pool configuration")
 	throttleOpsFlag := flag.Int("throttle-ops", 4_000_000, "admission cycles per throttle-window configuration")
 	windowFlag := flag.Int("window", 0, "throttle window bound (0 = the row's worker count)")
+	replayItersFlag := flag.Int("replay-iters", 400, "sweeps per replay-table configuration")
+	replayBlocksFlag := flag.Int("replay-blocks", 8, "tile grid side of the replay-table wavefront sweep")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	flag.Parse()
 
@@ -285,9 +372,9 @@ func main() {
 		workers = append(workers, n)
 	}
 	switch *modeFlag {
-	case "all", "deps", "sched", "throttle":
+	case "all", "deps", "sched", "throttle", "replay":
 	default:
-		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, or throttle)\n", *modeFlag)
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, or replay)\n", *modeFlag)
 		os.Exit(2)
 	}
 
@@ -386,4 +473,55 @@ func main() {
 			runtime.GOMAXPROCS(prev)
 		}
 	}
+
+	if *modeFlag == "all" || *modeFlag == "replay" {
+		if *modeFlag == "all" {
+			fmt.Println()
+		}
+		iters, blocks := *replayItersFlag, *replayBlocksFlag
+		fmt.Printf("record-and-replay taskgraph cache (Gauss-Seidel wavefront sweep, empty bodies)\n")
+		fmt.Printf("%-14s %8s %10s %8s %12s %12s %14s %11s %10s %9s\n",
+			"variant", "workers", "tiles/it", "iters", "wall", "us/iter", "mutex-wait", "allocs/kop", "gc-pause", "overhead")
+		rows := []struct {
+			name string
+			v    replayVariant
+		}{
+			{"live-nestweak", rvNestWeak},
+			{"live-graph", rvLive},
+			{"replay", rvReplay},
+		}
+		for _, w := range workers {
+			prev := runtime.GOMAXPROCS(0)
+			if w > prev {
+				runtime.GOMAXPROCS(w)
+			}
+			var liveGraphPerIter float64
+			for _, row := range rows {
+				runReplay(row.v, w, blocks, iters/10+1) // warm-up
+				runtime.GC()
+				tiles, wall, wait, allocs, gcPause := runReplay(row.v, w, blocks, iters)
+				ops := tiles * iters
+				perIter := float64(wall.Microseconds()) / float64(iters)
+				cut := "1.00x"
+				switch row.v {
+				case rvLive:
+					liveGraphPerIter = perIter
+				case rvReplay:
+					if perIter > 0 && liveGraphPerIter > 0 {
+						// The acceptance metric: live-engine sweeps cost this
+						// many times the replayed sweeps' overhead.
+						cut = fmt.Sprintf("%.2fx", liveGraphPerIter/perIter)
+					}
+				default:
+					cut = "-"
+				}
+				fmt.Printf("%-14s %8d %10d %8d %12s %12.1f %14s %11.1f %10s %9s\n",
+					row.name, w, tiles, iters, wall.Round(time.Millisecond), perIter,
+					wait.Round(10*time.Microsecond), float64(allocs)/float64(ops)*1000,
+					gcPause.Round(10*time.Microsecond), cut)
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+
 }

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	reproduce [-scale 1.0] [-cores N] [-reps 3] [-quick] [-out report.txt]
+//	reproduce -replay [-replay-json BENCH_replay.json]
+//
+// -replay runs only the record-and-replay graph-region experiment (the
+// before/after per-sweep comparison of the taskgraph cache), optionally
+// writing the rows to a JSON file.
 package main
 
 import (
@@ -23,6 +28,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per point (best kept)")
 	quick := flag.Bool("quick", false, "tiny sizes for a fast smoke run")
 	ext := flag.Bool("ext", false, "also run the beyond-the-paper extension experiments")
+	replayBench := flag.Bool("replay", false, "run only the record-and-replay graph-region experiment")
+	replayJSON := flag.String("replay-json", "", "with -replay: also write the rows to this JSON file (e.g. BENCH_replay.json)")
 	out := flag.String("out", "", "also write the report to this file")
 	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
 	flag.Parse()
@@ -45,6 +52,13 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	o := harness.Options{Scale: *scale, Cores: *cores, Reps: *reps, Quick: *quick, CSVDir: *csvDir}
+	if *replayBench {
+		if err := harness.ReplayBench(w, o, *replayJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := harness.All(w, o); err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)

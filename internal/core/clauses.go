@@ -84,6 +84,14 @@ func (r *Runtime) runErr() error {
 				return fmt.Errorf("core: debug check failed: %d pooled dependency objects not recycled at end of run", n)
 			}
 		}
+		if r.replayPool != nil {
+			// Replay countdown nodes return to their pool at each region's
+			// barrier (including invalidation fallbacks), all of which
+			// happen-before the root's completion.
+			if n := r.replayPool.Outstanding(); n != 0 {
+				return fmt.Errorf("core: debug check failed: %d replay countdown nodes not recycled at end of run", n)
+			}
+		}
 	}
 	return nil
 }

@@ -141,7 +141,13 @@ func (r *Runtime) executeTask(t *Task, w int) (*Task, int) {
 	}
 	// The hand-off locality hint must be read before the completion
 	// pipeline: completing the node may recycle it (pooled memory mode).
-	donePD, doneOK := t.node.PrimaryData()
+	// Replayed region tasks carry no engine node (their dependency state
+	// is a frozen countdown cell) and use no locality hint.
+	var donePD deps.DataID
+	var doneOK bool
+	if t.node != nil {
+		donePD, doneOK = t.node.PrimaryData()
+	}
 	ready, completed := r.finishBody(t, tc.worker)
 	worker := tc.worker
 	if completed {

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabledCore flags race-instrumented test builds; timing-sensitive
+// guards (TestReplayW1Parity) skip under it, since the instrumentation
+// skews the live-vs-replay comparison.
+func init() { raceEnabledCore = true }

@@ -1,0 +1,5 @@
+package core
+
+// raceEnabledCore is set by race_enabled_test.go in race-instrumented
+// builds.
+var raceEnabledCore = false

@@ -24,6 +24,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/mempool"
 	"repro/internal/regions"
+	"repro/internal/replay"
 	"repro/internal/sched"
 	"repro/internal/throttle"
 	"repro/internal/trace"
@@ -125,6 +126,19 @@ type Config struct {
 	// to the reference mode; selecting pooled explicitly there pools the
 	// dependency engine only.
 	MemPool mempool.Kind
+	// Replay selects the record-and-replay taskgraph cache behind
+	// TaskContext.Graph. replay.KindAuto (the zero value) enables it in
+	// real mode: the first execution of a named graph region records the
+	// submitted graph's dependency fingerprints and edges, and later
+	// executions with an identical shape bypass the dependency engine
+	// entirely, driving per-task atomic predecessor countdowns into the
+	// ready pools. Replay is an optimization, never a semantics change —
+	// shape changes invalidate the recording mid-region and fall back to
+	// the live engine, and unfinished external producers of region inputs
+	// force a live execution (see Runtime.ReplayStats). replay.KindOff
+	// disables the cache (regions keep their barrier); virtual mode always
+	// resolves to off.
+	Replay replay.Kind
 	// ThrottleImpl selects the throttle-window implementation.
 	// throttle.KindAuto (the zero value) picks the sharded token-bucket
 	// window in real mode — a global atomic credit balance with per-worker
@@ -201,6 +215,20 @@ type Runtime struct {
 
 	thr throttle.Window // admission window (nil if unthrottled or virtual)
 
+	// Record-and-replay taskgraph cache (Config.Replay; real mode only).
+	// gregs maps region names to their cache slots; replayPool is the
+	// countdown-node free list; recCount tracks how many regions are
+	// recording (the engine edge hook is installed while non-zero).
+	replayOn   bool
+	replayPool *replay.Pool
+	gregMu     sync.Mutex
+	gregs      map[string]*graphRegion
+	recMu      sync.Mutex
+	recCount   int
+	repStats   struct {
+		records, replays, invalidations, fallbacks atomic.Int64
+	}
+
 	rootDone  chan struct{}
 	wallStart time.Time
 	wallDur   time.Duration
@@ -221,11 +249,12 @@ type Runtime struct {
 // scratch never share a cache line. All fields are entered only while
 // holding the worker's token (at most one goroutine at a time).
 type workerScratch struct {
-	tasks mempool.Lane[Task] // 48 bytes
-	specs []deps.Spec        // 24
-	ready []*deps.Node       // 24
-	batch []*Task            // 24
-	_     [8]byte            // 120 -> 128
+	tasks  mempool.Lane[Task] // 48 bytes
+	specs  []deps.Spec        // 24
+	ready  []*deps.Node       // 24
+	batch  []*Task            // 24
+	gready []*Task            // 24 (replay successor dispatch)
+	_      [48]byte           // 144 -> 192 (multiple of the 64-byte line)
 }
 
 // scratchFor returns worker w's scratch set, or nil when w is out of range
@@ -269,6 +298,18 @@ func New(cfg Config) *Runtime {
 			tk = throttle.KindSharded
 		}
 		r.thr = throttle.New(tk, cfg.ThrottleOpenTasks, cfg.Workers)
+	}
+	rp := cfg.Replay
+	if rp == replay.KindAuto {
+		if cfg.Virtual {
+			rp = replay.KindOff
+		} else {
+			rp = replay.KindOn
+		}
+	}
+	if rp == replay.KindOn && !cfg.Virtual {
+		r.replayOn = true
+		r.replayPool = replay.NewPool()
 	}
 	if cfg.EnableTrace {
 		r.tracer = trace.New(cfg.Workers)
@@ -399,6 +440,30 @@ func (r *Runtime) TaskPoolStats() mempool.Stats {
 		return mempool.Stats{}
 	}
 	return r.tasksG.Stats()
+}
+
+// ReplayStats returns the record-and-replay cache's counters: regions
+// recorded, executions replayed from a recording, recordings invalidated
+// by a shape change, and live fallbacks (guard misses and ineligible
+// shapes). Zero when the cache is disabled or no Graph region ran.
+func (r *Runtime) ReplayStats() replay.Stats {
+	return replay.Stats{
+		Records:       r.repStats.records.Load(),
+		Replays:       r.repStats.replays.Load(),
+		Invalidations: r.repStats.invalidations.Load(),
+		Fallbacks:     r.repStats.fallbacks.Load(),
+	}
+}
+
+// ReplayPoolStats returns the countdown-node free-list counters of the
+// record-and-replay cache (zero when the cache is disabled). Outstanding
+// must be zero once the run has drained: every replayed region returns
+// its nodes at its barrier.
+func (r *Runtime) ReplayPoolStats() mempool.Stats {
+	if r.replayPool == nil {
+		return mempool.Stats{}
+	}
+	return r.replayPool.Stats()
 }
 
 // ThrottleStats returns the throttle window's diagnostic counters (zero

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/deps"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -63,6 +64,18 @@ type Task struct {
 	// only touched by the goroutine executing the body.
 	curGroup *taskgroup
 
+	// greg/gidx tie the task to an active graph region (TaskContext.Graph):
+	// on the region owner greg is the run whose body is executing (gidx
+	// -1); on a task submitted into the region, greg/gidx identify its
+	// recorded slot. gnode is the task's replay countdown cell when the
+	// region executes from a recording (its dependency state then lives
+	// there instead of in an engine node, and node stays nil unless the
+	// body submits subtasks). All three are written at submission time and
+	// read by the completion pipeline.
+	greg  *graphRun
+	gidx  int32
+	gnode *replay.Node
+
 	mu        sync.Mutex
 	children  int // direct children not yet fully complete
 	bodyDone  bool
@@ -115,6 +128,7 @@ func (r *Runtime) recycleTask(t *Task, worker int) {
 	t.parent = nil
 	t.depth, t.kind, t.final = 0, 0, false
 	t.group, t.curGroup = nil, nil
+	t.greg, t.gidx, t.gnode = nil, 0, nil
 	t.children = 0
 	t.bodyDone, t.completed = false, false
 	t.waitCh = nil
@@ -142,7 +156,10 @@ func (tc *TaskContext) Depth() int { return tc.task.depth }
 
 // Submit creates a child task of the current task. Its dependencies are
 // computed in the current task's domain; it starts once all its strong
-// entries are satisfied.
+// entries are satisfied. Inside an active graph region (Graph) the
+// submission is additionally recorded, validated against the region's
+// recording, or — when the region replays — admitted through the frozen
+// countdown graph instead of the dependency engine.
 func (tc *TaskContext) Submit(spec TaskSpec) {
 	r := tc.rt
 	if r.cfg.Verify {
@@ -152,28 +169,53 @@ func (tc *TaskContext) Submit(spec TaskSpec) {
 		r.runInline(tc, spec)
 		return
 	}
-	// Throttle gate (bounded lookahead window): the reservation may block,
-	// yielding this worker's token into other ready work and reacquiring one
-	// (possibly different) before returning. A prepaid reservation carries a
-	// window credit for the child's entry below.
-	prepaid := false
+	if g := tc.task.greg; g != nil {
+		if tc.task.gidx >= 0 {
+			// The submitter is itself a region task: a nested submission
+			// the frozen graph cannot express.
+			g.nestedSubmit(r, tc.task)
+		} else if g.submit(tc, spec) {
+			return
+		}
+	}
+	r.submitLive(tc, spec, nil, 0)
+}
+
+// admitChild runs the admission prologue shared by the live and replay
+// submission paths: the throttle gate (the reservation may block, yielding
+// this worker's token into other ready work and reacquiring one — possibly
+// different — before returning; a prepaid reservation carries a window
+// credit for the child's entry), task construction, and the liveness,
+// count, taskgroup, and parent-children bookkeeping.
+func (r *Runtime) admitChild(tc *TaskContext, spec TaskSpec) (t *Task, prepaid bool) {
 	if r.thr != nil {
 		tc.worker, prepaid = r.thr.Reserve(tc.worker, r.sch)
 	}
-	t := r.newTask(tc.task, spec, tc.worker)
+	t = r.newTask(tc.task, spec, tc.worker)
 	if r.v != nil && r.cfg.VirtualSubmitCost > 0 {
 		tc.task.vCreate += r.cfg.VirtualSubmitCost
 		t.vArrival = r.v.now + tc.task.vCreate
 	}
 	r.live.Add(1)
 	r.taskCount.Add(1)
-	if g := tc.task.curGroup; g != nil {
-		t.group = g
-		g.add()
+	if grp := tc.task.curGroup; grp != nil {
+		t.group = grp
+		grp.add()
 	}
 	tc.task.mu.Lock()
 	tc.task.children++
 	tc.task.mu.Unlock()
+	return t, prepaid
+}
+
+// submitLive is the dependency-engine submission path. g/gidx tag the task
+// as a member of a recording graph region (nil outside regions and in
+// replayed regions, whose tasks never reach this path).
+func (r *Runtime) submitLive(tc *TaskContext, spec TaskSpec, g *graphRun, gidx int32) {
+	t, prepaid := r.admitChild(tc, spec)
+	if g != nil {
+		t.greg, t.gidx = g, gidx
+	}
 	t.node = r.eng.NewNode(tc.task.node, spec.Label, t)
 	if r.eng.Register(t.node, r.convertDeps(spec.Deps, tc.worker)) {
 		if prepaid {
@@ -218,6 +260,16 @@ func (tc *TaskContext) Taskwait() {
 // release immediately. On an included task (inside a final region) Release
 // is a no-op: included tasks register no dependencies.
 func (tc *TaskContext) Release(ds ...Dep) {
+	// A region task's body may run concurrently with the owner's further
+	// submissions, so the check reads g.recorder (immutable after run
+	// creation; non-nil exactly while recording) rather than g.mode.
+	if g := tc.task.greg; g != nil && tc.task.gidx >= 0 && g.recorder != nil {
+		// Early release by a region task shifts when successors may start;
+		// the frozen completion-edge graph cannot reproduce it, so the
+		// recorded shape stays live. (Replayed region tasks have no engine
+		// node and fall through to the no-op below.)
+		g.recorder.MarkIneligible("release directive in region task")
+	}
 	if tc.task.node == nil {
 		return
 	}
@@ -281,7 +333,7 @@ func (r *Runtime) finishBody(t *Task, worker int) (ready []*deps.Node, completed
 	if ws != nil {
 		buf = ws.ready[:0]
 	}
-	if t.spec.WeakWait {
+	if t.spec.WeakWait && t.node != nil {
 		buf = r.eng.BodyDoneInto(t.node, buf)
 	}
 	t.mu.Lock()
@@ -309,7 +361,15 @@ func (r *Runtime) finishBody(t *Task, worker int) (ready []*deps.Node, completed
 // finished without a taskwait), so this goroutine is the last to see them.
 // Ready nodes are appended to buf.
 func (r *Runtime) completeTask(t *Task, worker int, buf []*deps.Node) []*deps.Node {
-	buf = r.eng.CompleteInto(t.node, buf)
+	if t.gnode != nil {
+		// A replayed region task: its completion decrements the recorded
+		// successors' countdowns (dispatching the ones that fire) before
+		// the parent bookkeeping below can unblock the region barrier.
+		r.replaySuccessors(t, worker)
+	}
+	if t.node != nil {
+		buf = r.eng.CompleteInto(t.node, buf)
+	}
 	if t.parent == nil {
 		close(r.rootDone)
 		return buf

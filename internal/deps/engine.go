@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mempool"
 	"repro/internal/regions"
@@ -100,7 +101,27 @@ type Engine interface {
 	// whether the engine recycles at all (false for reference engines,
 	// whose MemStats is zero).
 	MemStats() (stats MemStats, pooled bool)
+
+	// SetEdgeHook installs fn to receive every dependency edge the engine
+	// materializes — same-domain successor links (inbound=false) and
+	// cross-domain parent→child satisfaction links (inbound=true) — or
+	// uninstalls it when fn is nil. Unlike an Observer, the hook may be
+	// installed and removed mid-run (the record-and-replay cache attaches
+	// it only while a graph region is recording); the swap is atomic, and
+	// an edge whose Register call started before the install may or may
+	// not be delivered. fn runs under the engine lock covering the edge's
+	// data object: it must be fast, must not call back into the engine,
+	// and must do its own serialization if it aggregates across shards.
+	// Note the delivered set is timing-dependent by design — an edge is
+	// materialized only if the predecessor's piece was still unreleased
+	// when the successor registered (see internal/replay for why a replay
+	// cache must therefore not treat it as the complete semantic edge
+	// set).
+	SetEdgeHook(fn EdgeHook)
 }
+
+// EdgeHook observes materialized dependency edges (Engine.SetEdgeHook).
+type EdgeHook func(pred, succ *Node, inbound bool)
 
 // EngineKind selects an Engine implementation.
 type EngineKind uint8
@@ -192,6 +213,10 @@ type depCore struct {
 	stats     Stats
 	liveFrags int64
 	obs       Observer
+	// hook points at the engine-wide edge-hook slot (shared by all shards;
+	// set once at engine construction). The pointer load is the only cost
+	// on the linking path while no hook is installed.
+	hook *atomic.Pointer[EdgeHook]
 	// mem is this core's view of the engine's free lists (nil in the
 	// reference memory mode): lifecycle objects are allocated from and
 	// recycled to it, entered only under the owning lock.
@@ -256,9 +281,9 @@ func (c *depCore) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellS
 	virgin := cs.lastWriter == nil && !cs.written
 	switch f.typ() {
 	case In:
-		if len(cs.reds) > 0 {
+		if !cs.reds.empty() {
 			// A reader after a reduction group waits for every member.
-			for _, rd := range cs.reds {
+			for _, rd := range cs.reds.frags() {
 				c.linkAfter(rd, f, cIv, 1, 0)
 			}
 		} else if cs.lastWriter != nil {
@@ -266,7 +291,7 @@ func (c *depCore) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellS
 		} else if !cs.written {
 			c.inbound(n, f, cIv, false)
 		}
-		cs.readers = append(cs.readers, f)
+		cs.readers = c.listAppend(cs.readers, f)
 	case Red:
 		// Order after the pre-group history; commute with other members.
 		// Note: written is NOT set — each group member on a virgin base
@@ -275,32 +300,91 @@ func (c *depCore) linkCell(n *Node, f *fragment, cIv regions.Interval, cs *cellS
 		if cs.lastWriter != nil {
 			c.linkAfter(cs.lastWriter, f, cIv, 1, 1)
 		}
-		for _, r := range cs.readers {
+		for _, r := range cs.readers.frags() {
 			c.linkAfter(r, f, cIv, 0, 1)
 		}
 		if virgin {
 			c.inbound(n, f, cIv, true)
 		}
-		cs.reds = append(cs.reds, f)
+		cs.reds = c.listAppend(cs.reds, f)
 	default: // Out, InOut
 		if cs.lastWriter != nil {
 			c.linkAfter(cs.lastWriter, f, cIv, 1, 1)
 		}
-		for _, r := range cs.readers {
+		for _, r := range cs.readers.frags() {
 			c.linkAfter(r, f, cIv, 0, 1)
 		}
-		for _, rd := range cs.reds {
+		for _, rd := range cs.reds.frags() {
 			c.linkAfter(rd, f, cIv, 1, 1)
 		}
 		if virgin {
 			c.inbound(n, f, cIv, true)
 		}
 		cs.lastWriter = f
-		cs.readers = nil
-		cs.reds = nil
+		c.listDrop(&cs.readers) // the write dissolves the history
+		c.listDrop(&cs.reds)
 		cs.written = true
 	}
 	cs.liveCount++
+}
+
+// listAppend appends f to a cell history list, drawing a pooled list when
+// the cell has none yet. Caller holds the owning shard's lock.
+func (c *depCore) listAppend(l *fragList, f *fragment) *fragList {
+	if l == nil {
+		if c.mem != nil {
+			l = c.mem.flists.Get()
+		} else {
+			l = &fragList{}
+		}
+	}
+	l.s = append(l.s, f)
+	return l
+}
+
+// listDrop empties a cell history list and returns it to the pool,
+// restoring the nil-on-empty invariant (reference mode leaves it to the
+// collector).
+func (c *depCore) listDrop(lp **fragList) {
+	l := *lp
+	if l == nil {
+		return
+	}
+	l.resetForPool()
+	if c.mem != nil {
+		c.mem.flists.Put(l)
+	}
+	*lp = nil
+}
+
+// listRemove deletes f from a cell history list, recycling the list when
+// it empties.
+func (c *depCore) listRemove(lp **fragList, f *fragment) {
+	l := *lp
+	if l == nil {
+		return
+	}
+	l.s = removeFrag(l.s, f)
+	if len(l.s) == 0 {
+		c.listDrop(lp)
+	}
+}
+
+// scrubCell removes the released fragment f from the cell's access
+// history. Observably equivalent to keeping it — linkAfter over a fully
+// released fragment creates no links and charges nothing, and the written
+// flag (not the lastWriter pointer) is what suppresses inbound linking —
+// but it unpins the fragment's memory from the domain: without the scrub
+// a released fragment would stay reachable as history for as long as the
+// cell lives, which both leaks it (reference mode) and forbids recycling
+// it (pooled mode). Scrubbed cells also merge better: drained neighbors
+// compare equal once their dead writers are gone.
+func (c *depCore) scrubCell(cs *cellState, f *fragment) {
+	if cs.lastWriter == f {
+		cs.lastWriter = nil // written stays true: the history is still "dirty"
+	}
+	c.listRemove(&cs.readers, f)
+	c.listRemove(&cs.reds, f)
 }
 
 // linkAfter creates successor links from every unreleased piece of pred
@@ -320,6 +404,9 @@ func (c *depCore) linkAfter(pred, g *fragment, iv regions.Interval, dR, dW int32
 		c.stats.Links++
 		if c.obs != nil {
 			c.obs.Link(pred.node(), g.node(), g.data(), pIv, false)
+		}
+		if h := c.hook.Load(); h != nil {
+			(*h)(pred.node(), g.node(), false)
 		}
 	})
 }
@@ -357,6 +444,9 @@ func (c *depCore) inbound(n *Node, f *fragment, cIv regions.Interval, isWrite bo
 			c.stats.Inbounds++
 			if c.obs != nil {
 				c.obs.Link(parent, n, f.data(), pIv, true)
+			}
+			if h := c.hook.Load(); h != nil {
+				(*h)(parent, n, true)
 			}
 		})
 	})
@@ -589,7 +679,7 @@ func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval,
 			panic("deps: domain live-count underflow")
 		}
 		cs.liveCount--
-		cs.scrub(f)
+		c.scrubCell(cs, f)
 		if cs.liveCount == 0 && cs.handover != nil {
 			h := cs.handover
 			cs.handover = nil
@@ -609,12 +699,14 @@ func (c *depCore) handleDomainDec(owner *Node, data DataID, iv regions.Interval,
 // reduction history) two neighbors with the same writer history behave
 // identically for all future registrations, so the split can be undone.
 // Without this, an outer task's domain accumulates one cell per descendant
-// release and deep weakwait programs turn quadratic.
+// release and deep weakwait programs turn quadratic. History lists obey
+// the nil-on-empty invariant, so merged (dropped) cells never strand a
+// pooled list.
 func drainedCellsEqual(a, b cellState) bool {
 	return a.liveCount == 0 && b.liveCount == 0 &&
 		a.handover == nil && b.handover == nil &&
-		len(a.readers) == 0 && len(b.readers) == 0 &&
-		len(a.reds) == 0 && len(b.reds) == 0 &&
+		a.readers.empty() && b.readers.empty() &&
+		a.reds.empty() && b.reds.empty() &&
 		a.lastWriter == b.lastWriter && a.written == b.written
 }
 

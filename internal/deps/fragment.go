@@ -136,10 +136,42 @@ func (f *fragment) typ() AccessType { return f.acc.spec.Type }
 func (f *fragment) weak() bool      { return f.acc.spec.Weak }
 func (f *fragment) node() *Node     { return f.acc.node }
 
+// fragList is a pooled holder of a domain cell's reader or reduction-group
+// history. Cells used to carry bare slices, which interval-map splits
+// cloned and linkCell appends grew — one heap allocation per split and per
+// growth, and the dominant remaining allocation in deep-nesting weakwait
+// cascades once the other lifecycle objects pool. Lists obey a
+// nil-on-empty invariant: the moment a cell's history empties (a scrub
+// removed the last fragment, or a writer dissolved the history) the list
+// is returned to its pool and the cell's field set to nil, so cells
+// dropped by merges never strand a list and the engine's leak accounting
+// stays exact.
+type fragList struct {
+	s []*fragment
+}
+
+// frags returns the fragments of a possibly-nil list.
+func (l *fragList) frags() []*fragment {
+	if l == nil {
+		return nil
+	}
+	return l.s
+}
+
+// empty reports whether the list holds no fragments.
+func (l *fragList) empty() bool { return l == nil || len(l.s) == 0 }
+
+// resetForPool clears the list for reuse, keeping its capacity.
+func (l *fragList) resetForPool() {
+	clear(l.s)
+	l.s = l.s[:0]
+}
+
 // cellState is the per-interval state of a dependency domain: the access
 // history needed to link new sibling accesses, the live-registration count
 // used to detect drain, and the hand-over target for fine-grained release.
-// It is split by value copy; only the readers slice needs cloning.
+// It is split by value copy; only the reader/reduction lists need cloning
+// (through the engine's pools in the pooled memory mode).
 type cellState struct {
 	// written is true once any writer (or reduction) has registered over
 	// the cell, even if it has since released. A cell that was never
@@ -147,12 +179,13 @@ type cellState struct {
 	// access (§VI).
 	written    bool
 	lastWriter *fragment
-	readers    []*fragment
+	// readers is the cell's live reader history (nil when empty).
+	readers *fragList
 	// reds is the current reduction group: reduction accesses since the
-	// last reader/writer event. Members carry no mutual ordering; a
-	// subsequent reader or writer orders after all of them, and a writer
-	// dissolves the group.
-	reds []*fragment
+	// last reader/writer event (nil when empty). Members carry no mutual
+	// ordering; a subsequent reader or writer orders after all of them,
+	// and a writer dissolves the group.
+	reds *fragList
 	// liveCount is the number of unreleased fragment pieces registered over
 	// this cell. When it reaches zero and a hand-over is pending, the
 	// domain owner's corresponding access piece releases (§V).
@@ -162,27 +195,19 @@ type cellState struct {
 	handover *fragment
 }
 
+// cloneCell is the reference-mode cell clone: history lists are duplicated
+// with plain allocations (pooled engines use enginePools.cloneCellFn).
 func cloneCell(c cellState) cellState {
-	c.readers = slices.Clone(c.readers)
-	c.reds = slices.Clone(c.reds)
+	c.readers = cloneListRef(c.readers)
+	c.reds = cloneListRef(c.reds)
 	return c
 }
 
-// scrub removes the released fragment f from the cell's access history.
-// Observably equivalent to keeping it — linkAfter over a fully released
-// fragment creates no links and charges nothing, and the written flag
-// (not the lastWriter pointer) is what suppresses inbound linking — but it
-// unpins the fragment's memory from the domain: without the scrub a
-// released fragment would stay reachable as history for as long as the
-// cell lives, which both leaks it (reference mode) and forbids recycling
-// it (pooled mode). Scrubbed cells also merge better: drained neighbors
-// compare equal once their dead writers are gone.
-func (cs *cellState) scrub(f *fragment) {
-	if cs.lastWriter == f {
-		cs.lastWriter = nil // written stays true: the history is still "dirty"
+func cloneListRef(l *fragList) *fragList {
+	if l.empty() {
+		return nil
 	}
-	cs.readers = removeFrag(cs.readers, f)
-	cs.reds = removeFrag(cs.reds, f)
+	return &fragList{s: slices.Clone(l.s)}
 }
 
 // removeFrag deletes f from s in place (a fragment registers at most once

@@ -1,15 +1,19 @@
 package deps
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // GlobalEngine is the single-lock Engine: one mutex serializes every
 // submit, release, and cascade across all data objects. It is the
 // reference implementation — simplest to reason about, and the baseline
 // the contention benchmarks measure the sharded engine against.
 type GlobalEngine struct {
-	mu sync.Mutex
-	c  depCore
-	ep *enginePools // nil in the reference memory mode
+	mu       sync.Mutex
+	c        depCore
+	ep       *enginePools // nil in the reference memory mode
+	hookSlot atomic.Pointer[EdgeHook]
 }
 
 var _ Engine = (*GlobalEngine)(nil)
@@ -23,11 +27,22 @@ func NewGlobalEngine(obs Observer) *GlobalEngine {
 func newGlobalEngine(obs Observer, pooled bool) *GlobalEngine {
 	e := &GlobalEngine{}
 	e.c.obs = obs
+	e.c.hook = &e.hookSlot
 	if pooled {
 		e.ep = newEnginePools()
 		e.c.mem = newDepMem(e.ep, 0)
 	}
 	return e
+}
+
+// SetEdgeHook installs (or, with nil, uninstalls) the edge-export hook;
+// see the Engine contract.
+func (e *GlobalEngine) SetEdgeHook(fn EdgeHook) {
+	if fn == nil {
+		e.hookSlot.Store(nil)
+		return
+	}
+	e.hookSlot.Store(&fn)
 }
 
 // Stats returns a snapshot of the activity counters.

@@ -47,6 +47,13 @@ type enginePools struct {
 	accs  *mempool.Global[access]
 	amaps *mempool.Global[regions.Map[*fragment]]
 	dmaps *mempool.Global[regions.Map[cellState]]
+	// flists recycles the domain cells' reader/reduction history lists. A
+	// locked Pool rather than a bare Global: interval-map splits clone
+	// cells through the map's baked-in clone function, which has no shard
+	// lane in scope (cloneCellFn spreads those callers by fragment
+	// pointer); the shard-locked call sites go through per-shard lanes
+	// attached to the same accounting (depMem.flists).
+	flists *mempool.Pool[fragList]
 }
 
 // nodePoolLanes spreads concurrent NewNode callers over the node pool's
@@ -60,25 +67,55 @@ func laneHint(parent *Node) int {
 }
 
 func newEnginePools() *enginePools {
-	return &enginePools{
-		nodes: mempool.NewPool(nodePoolLanes, func() *Node { return &Node{} }),
-		frags: mempool.NewGlobal(func() *fragment { return &fragment{} }),
-		accs:  mempool.NewGlobal(func() *access { return &access{} }),
-		amaps: mempool.NewGlobal(func() *regions.Map[*fragment] { return regions.NewMap[*fragment](nil) }),
-		dmaps: mempool.NewGlobal(func() *regions.Map[cellState] { return regions.NewMap[cellState](cloneCell) }),
+	ep := &enginePools{
+		nodes:  mempool.NewPool(nodePoolLanes, func() *Node { return &Node{} }),
+		frags:  mempool.NewGlobal(func() *fragment { return &fragment{} }),
+		accs:   mempool.NewGlobal(func() *access { return &access{} }),
+		amaps:  mempool.NewGlobal(func() *regions.Map[*fragment] { return regions.NewMap[*fragment](nil) }),
+		flists: mempool.NewPool(nodePoolLanes, func() *fragList { return &fragList{} }),
 	}
+	// Pooled domain maps clone their cells' history lists through the
+	// engine's list pool instead of the reference mode's plain allocation.
+	ep.dmaps = mempool.NewGlobal(func() *regions.Map[cellState] { return regions.NewMap[cellState](ep.cloneCellFn) })
+	return ep
+}
+
+// cloneCellFn is the pooled-mode cell clone installed in pooled domain
+// maps: splitting a cell duplicates its reader/reduction lists from the
+// engine's list pool. The caller-supplied lane hint is derived from the
+// first fragment's pointer — the clones of one hot domain keep hitting
+// the same (uncontended) lane mutex.
+func (ep *enginePools) cloneCellFn(c cellState) cellState {
+	c.readers = ep.cloneList(c.readers)
+	c.reds = ep.cloneList(c.reds)
+	return c
+}
+
+func (ep *enginePools) cloneList(l *fragList) *fragList {
+	if l.empty() {
+		return nil
+	}
+	nl := ep.flists.Get(laneHintFrag(l.s[0]))
+	nl.s = append(nl.s, l.s...)
+	return nl
+}
+
+// laneHintFrag derives a stable list-pool lane from a fragment pointer.
+func laneHintFrag(f *fragment) int {
+	return int(uintptr(unsafe.Pointer(f)) >> 6)
 }
 
 // depMem is one shard's view of the engine pools: owner lanes entered only
 // while holding that shard's lock, plus the node-pool lane hint used when
 // this shard recycles nodes.
 type depMem struct {
-	ep    *enginePools
-	lane  int
-	frags mempool.Lane[fragment]
-	accs  mempool.Lane[access]
-	amaps mempool.Lane[regions.Map[*fragment]]
-	dmaps mempool.Lane[regions.Map[cellState]]
+	ep     *enginePools
+	lane   int
+	frags  mempool.Lane[fragment]
+	accs   mempool.Lane[access]
+	amaps  mempool.Lane[regions.Map[*fragment]]
+	dmaps  mempool.Lane[regions.Map[cellState]]
+	flists mempool.Lane[fragList]
 }
 
 func newDepMem(ep *enginePools, lane int) *depMem {
@@ -87,6 +124,7 @@ func newDepMem(ep *enginePools, lane int) *depMem {
 	m.accs.Init(ep.accs)
 	m.amaps.Init(ep.amaps)
 	m.dmaps.Init(ep.dmaps)
+	m.flists.Init(ep.flists.Global())
 	return m
 }
 
@@ -95,12 +133,15 @@ func newDepMem(ep *enginePools, lane int) *depMem {
 // against zero.
 type MemStats struct {
 	Nodes, Fragments, Accesses, AccessMaps, DomainMaps mempool.Stats
+	// FragLists counts the domain cells' pooled reader/reduction history
+	// lists (split clones and first-reader growth in weakwait cascades).
+	FragLists mempool.Stats
 }
 
 // Outstanding returns the total objects currently held out of the pools.
 func (s MemStats) Outstanding() int64 {
 	return s.Nodes.Outstanding() + s.Fragments.Outstanding() + s.Accesses.Outstanding() +
-		s.AccessMaps.Outstanding() + s.DomainMaps.Outstanding()
+		s.AccessMaps.Outstanding() + s.DomainMaps.Outstanding() + s.FragLists.Outstanding()
 }
 
 func (ep *enginePools) memStats() MemStats {
@@ -110,6 +151,7 @@ func (ep *enginePools) memStats() MemStats {
 		Accesses:   ep.accs.Stats(),
 		AccessMaps: ep.amaps.Stats(),
 		DomainMaps: ep.dmaps.Stats(),
+		FragLists:  ep.flists.Stats(),
 	}
 }
 

@@ -319,37 +319,141 @@ func chainCycle(e Engine, parent, prev *Node, spec []Spec, buf []*Node) *Node {
 	return nd
 }
 
+// weakCascadeCycle runs one steady-state weakwait-cascade step: an outer
+// task with a weak inout over the whole range weakwaits over five
+// children whose partially overlapping reader, reduction, and writer
+// accesses split the outer domain's interval map and grow its cells'
+// reader/reduction history lists — the workload whose remaining
+// allocations are the pooled cellState lists.
+// weakCascadeSpecs are the cascade cycle's depend clauses, hoisted so the
+// steady-state measurement counts engine allocations, not the driver's.
+var weakCascadeSpecs = struct {
+	outer, r1, r2, red, w []Spec
+}{
+	outer: []Spec{{Data: 0, Type: InOut, Weak: true, Ivs: []regions.Interval{regions.Iv(0, 64)}}},
+	r1:    []Spec{{Data: 0, Type: In, Ivs: []regions.Interval{regions.Iv(0, 32)}}},
+	r2:    []Spec{{Data: 0, Type: In, Ivs: []regions.Interval{regions.Iv(8, 48)}}}, // splits the reader cells
+	red:   []Spec{{Data: 0, Type: Red, Ivs: []regions.Interval{regions.Iv(32, 64)}}},
+	w:     []Spec{{Data: 0, Type: InOut, Ivs: []regions.Interval{regions.Iv(0, 64)}}},
+}
+
+func weakCascadeCycle(e Engine, gen *Node, buf []*Node, scratch []*Node) {
+	outer := e.NewNode(gen, "outer", nil)
+	e.Register(outer, weakCascadeSpecs.outer)
+	mk := func(label string, specs []Spec) *Node {
+		n := e.NewNode(outer, label, nil)
+		e.Register(n, specs)
+		return n
+	}
+	scratch = scratch[:0]
+	scratch = append(scratch, mk("r1", weakCascadeSpecs.r1))
+	scratch = append(scratch, mk("r2", weakCascadeSpecs.r2))
+	scratch = append(scratch, mk("red1", weakCascadeSpecs.red))
+	scratch = append(scratch, mk("red2", weakCascadeSpecs.red))
+	// The writer orders after the readers and the reduction group and
+	// dissolves the history.
+	scratch = append(scratch, mk("w", weakCascadeSpecs.w))
+	e.BodyDoneInto(outer, buf[:0])
+	for _, n := range scratch {
+		e.CompleteInto(n, buf[:0])
+	}
+	e.CompleteInto(outer, buf[:0])
+}
+
 // TestMemPoolAllocGate is the steady-state allocation gate of the pooled
-// mode: after warm-up, a submit→complete cycle through the pooled sharded
-// engine must allocate at least 5x less than through the reference build.
-// (In practice the pooled cycle is at or near zero allocations; the ratio
-// gate keeps the comparison robust to harness noise.)
+// mode: after warm-up, a cycle through the pooled sharded engine must
+// allocate at least 5x less than through the reference build. Two
+// workloads: the disjoint submit→complete chain, and a deep weakwait
+// cascade whose interval-map splits exercise the pooled cellState
+// reader/reduction lists. (In practice the pooled cycles are at or near
+// zero allocations; the ratio gate keeps the comparison robust to harness
+// noise.)
 func TestMemPoolAllocGate(t *testing.T) {
 	if testEngineKind != EngineGlobal {
 		t.Skip("memory-mode test instantiates its engines explicitly")
 	}
-	measure := func(mem mempool.Kind) float64 {
-		e := NewEngineMem(EngineSharded, nil, mem)
+	gate := func(t *testing.T, measure func(mem mempool.Kind) float64) {
+		t.Helper()
+		ref := measure(mempool.KindReference)
+		pooled := measure(mempool.KindPooled)
+		t.Logf("steady-state allocs/op: reference %.2f, pooled %.2f", ref, pooled)
+		if pooled*5 > ref {
+			t.Errorf("alloc gate failed: pooled %.2f allocs/op is not ≥5x below reference %.2f", pooled, ref)
+		}
+	}
+	t.Run("chain", func(t *testing.T) {
+		gate(t, func(mem mempool.Kind) float64 {
+			e := NewEngineMem(EngineSharded, nil, mem)
+			root := e.NewNode(nil, "root", nil)
+			e.Register(root, nil)
+			parent := e.NewNode(root, "gen", nil)
+			e.Register(parent, nil)
+			spec := []Spec{{Data: 0, Type: InOut, Ivs: []regions.Interval{regions.Iv(0, 64)}}}
+			buf := make([]*Node, 0, 4)
+			var prev *Node
+			for i := 0; i < 256; i++ { // warm-up: pools filled, maps grown
+				prev = chainCycle(e, parent, prev, spec, buf)
+			}
+			allocs := testing.AllocsPerRun(2000, func() {
+				prev = chainCycle(e, parent, prev, spec, buf)
+			})
+			return allocs
+		})
+	})
+	t.Run("weakwait-cascade", func(t *testing.T) {
+		gate(t, func(mem mempool.Kind) float64 {
+			e := NewEngineMem(EngineSharded, nil, mem)
+			root := e.NewNode(nil, "root", nil)
+			e.Register(root, nil)
+			gen := e.NewNode(root, "gen", nil)
+			e.Register(gen, nil)
+			buf := make([]*Node, 0, 8)
+			scratch := make([]*Node, 0, 5)
+			for i := 0; i < 64; i++ { // warm-up
+				weakCascadeCycle(e, gen, buf, scratch)
+			}
+			return testing.AllocsPerRun(500, func() {
+				weakCascadeCycle(e, gen, buf, scratch)
+			})
+		})
+	})
+}
+
+// TestMemPoolWeakCascadeDrains pins the list-pool leak accounting: after
+// the cascade workload fully drains, every pooled reader/reduction list
+// must be back on a free list, and the pooled run must actually have
+// recycled lists (Gets well above News).
+func TestMemPoolWeakCascadeDrains(t *testing.T) {
+	if testEngineKind != EngineGlobal {
+		t.Skip("memory-mode test instantiates its engines explicitly")
+	}
+	for _, kind := range []EngineKind{EngineGlobal, EngineSharded} {
+		e := NewEngineMem(kind, nil, mempool.KindPooled)
 		root := e.NewNode(nil, "root", nil)
 		e.Register(root, nil)
-		parent := e.NewNode(root, "gen", nil)
-		e.Register(parent, nil)
-		spec := []Spec{{Data: 0, Type: InOut, Ivs: []regions.Interval{regions.Iv(0, 64)}}}
-		buf := make([]*Node, 0, 4)
-		var prev *Node
-		for i := 0; i < 256; i++ { // warm-up: pools filled, maps grown
-			prev = chainCycle(e, parent, prev, spec, buf)
+		gen := e.NewNode(root, "gen", nil)
+		e.Register(gen, nil)
+		buf := make([]*Node, 0, 8)
+		scratch := make([]*Node, 0, 5)
+		for i := 0; i < 200; i++ {
+			weakCascadeCycle(e, gen, buf, scratch)
 		}
-		allocs := testing.AllocsPerRun(2000, func() {
-			prev = chainCycle(e, parent, prev, spec, buf)
-		})
-		return allocs
-	}
-	ref := measure(mempool.KindReference)
-	pooled := measure(mempool.KindPooled)
-	t.Logf("steady-state allocs/op: reference %.2f, pooled %.2f", ref, pooled)
-	if pooled*5 > ref {
-		t.Errorf("alloc gate failed: pooled %.2f allocs/op is not ≥5x below reference %.2f", pooled, ref)
+		e.Complete(gen)
+		e.Complete(root)
+		ms, pooled := e.MemStats()
+		if !pooled {
+			t.Fatalf("%v: engine not pooled", kind)
+		}
+		if n := ms.Outstanding(); n != 0 {
+			t.Errorf("%v: %d objects outstanding after drain: %+v", kind, n, ms)
+		}
+		if ms.FragLists.Gets == 0 {
+			t.Errorf("%v: cascade exercised no pooled history lists", kind)
+		}
+		if ms.FragLists.News > ms.FragLists.Gets/10 {
+			t.Errorf("%v: %d fresh list allocations over %d gets; list recycling is not engaging",
+				kind, ms.FragLists.News, ms.FragLists.Gets)
+		}
 	}
 }
 

@@ -38,9 +38,10 @@ import (
 // at a time — no shard lock is ever held while acquiring another, so the
 // engine is trivially deadlock-free.
 type ShardedEngine struct {
-	obs   Observer // wrapped: callbacks serialized across shards
-	nodes atomic.Int64
-	ep    *enginePools // nil in the reference memory mode
+	obs      Observer // wrapped: callbacks serialized across shards
+	nodes    atomic.Int64
+	ep       *enginePools // nil in the reference memory mode
+	hookSlot atomic.Pointer[EdgeHook]
 
 	// shards is a copy-on-write table indexed by DataID (data ids are
 	// allocated densely from zero): the hot-path lookup is one atomic load
@@ -94,6 +95,7 @@ func (e *ShardedEngine) shardFor(data DataID) *shard {
 	if sh == nil {
 		sh = &shard{}
 		sh.c.obs = e.obs
+		sh.c.hook = &e.hookSlot
 		if e.ep != nil {
 			sh.c.mem = newDepMem(e.ep, int(data))
 		}
@@ -106,6 +108,18 @@ func (e *ShardedEngine) shardFor(data DataID) *shard {
 // allShards snapshots the shard table for the aggregate accessors.
 func (e *ShardedEngine) allShards() []*shard {
 	return *e.shards.Load()
+}
+
+// SetEdgeHook installs (or, with nil, uninstalls) the edge-export hook;
+// see the Engine contract. The hook fires under the shard lock of the
+// edge's data object, so edges of different data objects may be delivered
+// concurrently.
+func (e *ShardedEngine) SetEdgeHook(fn EdgeHook) {
+	if fn == nil {
+		e.hookSlot.Store(nil)
+		return
+	}
+	e.hookSlot.Store(&fn)
 }
 
 // Stats returns a snapshot of the activity counters, aggregated over all

@@ -78,5 +78,8 @@ func Extensions(w io.Writer, o Options) error {
 	if err := FibOverhead(w, o); err != nil {
 		return err
 	}
+	if err := ReplayBench(w, o, ""); err != nil {
+		return err
+	}
 	return ClusterReport(w, o)
 }

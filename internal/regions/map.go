@@ -21,6 +21,10 @@ import (
 type Map[V any] struct {
 	entries []entry[V]
 	clone   func(V) V
+	// gaps is Materialize's reusable gap-collection scratch: pooled maps
+	// cycle through many materializations, and the scratch (plain
+	// intervals, no pointers) keeps its capacity across Reset.
+	gaps []Interval
 }
 
 type entry[V any] struct {
@@ -150,9 +154,9 @@ func (m *Map[V]) Materialize(iv Interval, init func(Interval) V, f func(Interval
 	m.splitAt(iv.Lo)
 	m.splitAt(iv.Hi)
 	// Collect gaps first (cannot insert while iterating).
-	var gaps []Interval
-	m.VisitRangeGaps(iv, nil, func(g Interval) { gaps = append(gaps, g) })
-	for _, g := range gaps {
+	m.gaps = m.gaps[:0]
+	m.VisitRangeGaps(iv, nil, func(g Interval) { m.gaps = append(m.gaps, g) })
+	for _, g := range m.gaps {
 		m.insert(g, init(g))
 	}
 	if f != nil {

@@ -1,0 +1,506 @@
+// Package replay implements the record-and-replay taskgraph cache behind
+// the runtime's graph regions (core.TaskContext.Graph): iterative programs
+// that submit the same task graph every sweep pay the dependency engine —
+// interval-map fragmentation, successor discovery, domain-cascade
+// bookkeeping — once, on the first execution, and afterwards replay the
+// frozen graph with nothing but per-node atomic predecessor countdowns.
+//
+// The contract mirrors the OpenMP taskgraph proposal ("Taskgraph: A Low
+// Contention OpenMP Tasking Framework", Yu et al.): a region names a task
+// graph; its first execution records each submitted task's dependency
+// fingerprint and derives the graph's edges; subsequent executions whose
+// submissions match the fingerprint stream bypass the engine entirely. A
+// mismatch — changed depend clauses, changed intervals, changed task
+// count — invalidates the recording mid-region and falls back to the live
+// engine, so replay is an optimization, never a semantics change.
+//
+// The frozen edge set is computed by an offline pass over the recorded
+// fingerprints (the same last-writer/readers/reduction-group linking rules
+// as deps.Engine, applied to an initially empty history), NOT from the
+// edges the live engine happened to materialize: the live set is
+// timing-dependent — a predecessor that completed and released before its
+// successor registered leaves no link — and replaying it would let the
+// successor race the predecessor on an iteration with different timing.
+// The engine's exported edges (deps.Engine.SetEdgeHook) are instead used
+// as a safety cross-check: every intra-region edge the engine produced
+// must appear in the offline set, and a recording that fails the check is
+// marked ineligible rather than replayed wrong.
+//
+// This package holds the runtime-agnostic machinery: canonical spec
+// fingerprints, the Recording/Recorder pair, the offline edge analysis,
+// and the pooled countdown nodes a replay run drives. The orchestration —
+// region bookkeeping, the union guard that re-checks a region's external
+// dependencies at replay time, submit interception, and scheduler
+// hand-off — lives in internal/core (graph.go).
+package replay
+
+import (
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deps"
+	"repro/internal/mempool"
+	"repro/internal/regions"
+)
+
+// Kind selects the record-and-replay mode (core.Config.Replay).
+type Kind uint8
+
+const (
+	// KindAuto lets the runtime pick: replay on in real mode, off in
+	// virtual mode (the deterministic simulation has no Graph support and
+	// its golden makespans must not depend on a cache).
+	KindAuto Kind = iota
+	// KindOff disables the cache: graph regions always run through the
+	// live dependency engine (they keep their end-of-region barrier).
+	KindOff
+	// KindOn enables the cache in real mode.
+	KindOn
+)
+
+// String returns the kind's flag/table name.
+func (k Kind) String() string {
+	switch k {
+	case KindOff:
+		return "off"
+	case KindOn:
+		return "on"
+	}
+	return "auto"
+}
+
+// Stats counts graph-region outcomes (Runtime.ReplayStats).
+type Stats struct {
+	// Records counts first executions that captured a recording.
+	Records int64
+	// Replays counts region executions that ran entirely from a recording,
+	// bypassing the dependency engine.
+	Replays int64
+	// Invalidations counts recordings dropped because an execution's
+	// submission stream no longer matched the recorded fingerprint
+	// (changed deps, intervals, or task count); the region fell back to
+	// the live engine mid-stream and re-records on its next execution.
+	Invalidations int64
+	// Fallbacks counts executions of a valid recording that ran live
+	// anyway: the region's union guard found an unfinished external
+	// producer (replay would have started tasks before their inputs were
+	// ready), or the recording is ineligible for replay.
+	Fallbacks int64
+}
+
+// TaskFP is the canonical dependency fingerprint of one submitted task:
+// every field of the spec that feeds the dependency engine, encoded as a
+// flat int64 sequence so validation is one slice compare and the offline
+// edge analysis needs no reference to caller-owned interval slices.
+// Labels, bodies, costs, and priorities are deliberately excluded — they
+// do not change the graph's edges, and replay always executes the freshly
+// submitted body.
+type TaskFP []int64
+
+// Spec-level flags encoded in the fingerprint head.
+const (
+	fpWeakWait int64 = 1 << iota
+	fpFinal
+)
+
+// AppendFP appends the canonical fingerprint of a task's dependency shape
+// to dst and returns the extended slice: [flags, ndeps, then per dep:
+// data, type|weak<<8, nivs, lo/hi pairs]. Callers cycling a scratch
+// buffer pay no allocation per submission in steady state.
+func AppendFP(dst TaskFP, weakWait, final bool, specs []deps.Spec) TaskFP {
+	var flags int64
+	if weakWait {
+		flags |= fpWeakWait
+	}
+	if final {
+		flags |= fpFinal
+	}
+	dst = append(dst, flags, int64(len(specs)))
+	for _, s := range specs {
+		kind := int64(s.Type)
+		if s.Weak {
+			kind |= 1 << 8
+		}
+		dst = append(dst, int64(s.Data), kind, int64(len(s.Ivs)))
+		for _, iv := range s.Ivs {
+			dst = append(dst, iv.Lo, iv.Hi)
+		}
+	}
+	return dst
+}
+
+// Equal reports whether two fingerprints are identical.
+func (fp TaskFP) Equal(o TaskFP) bool {
+	return slices.Equal(fp, o)
+}
+
+// visitSpecs decodes the fingerprint's depend entries, calling f for every
+// interval with its data object, access type, and weak flag.
+func (fp TaskFP) visitSpecs(f func(data deps.DataID, typ deps.AccessType, weak bool, iv regions.Interval)) {
+	i := 2 // skip flags, ndeps
+	nd := fp[1]
+	for d := int64(0); d < nd; d++ {
+		data := deps.DataID(fp[i])
+		kind := fp[i+1]
+		nivs := fp[i+2]
+		i += 3
+		typ := deps.AccessType(kind & 0xff)
+		weak := kind&(1<<8) != 0
+		for v := int64(0); v < nivs; v++ {
+			f(data, typ, weak, regions.Iv(fp[i], fp[i+1]))
+			i += 2
+		}
+	}
+}
+
+// TaskRecord is one recorded task of a region: its dependency fingerprint
+// and its outgoing edges (indices of the recorded tasks whose predecessor
+// countdown this task's completion decrements).
+type TaskRecord struct {
+	// FP is the task's canonical dependency fingerprint.
+	FP TaskFP
+	// Succs are the submission indices of the task's successors in the
+	// offline edge set.
+	Succs []int32
+	// NPreds is the number of distinct predecessors (earlier tasks whose
+	// completion gates this task's start under replay).
+	NPreds int32
+}
+
+// Recording is a sealed region capture: the fingerprinted task sequence,
+// the offline edge set, and the union guard specs. Immutable after Seal,
+// so replay validation needs no locking.
+type Recording struct {
+	tasks []TaskRecord
+	// union holds, per data object, the merged interval set of every
+	// strong access recorded in the region. At replay time the runtime
+	// registers these as one guard access in the region owner's domain: if
+	// the guard is immediately satisfied, no external producer of any
+	// region input is still running and the frozen edges are sufficient;
+	// if not, the execution falls back to the live engine.
+	union []deps.Spec
+	// ineligible is the empty string for replayable recordings, otherwise
+	// the reason replay is permanently unsafe for this shape (weak depend
+	// entries, weakwait tasks, nested submissions, a failed edge
+	// cross-check).
+	ineligible string
+}
+
+// Len returns the number of recorded tasks.
+func (r *Recording) Len() int { return len(r.tasks) }
+
+// Task returns the i-th recorded task.
+func (r *Recording) Task(i int) *TaskRecord { return &r.tasks[i] }
+
+// Union returns the guard specs: per data object, the merged intervals of
+// every strong access recorded in the region. The slice is owned by the
+// recording; callers must not mutate it.
+func (r *Recording) Union() []deps.Spec { return r.union }
+
+// Eligible reports whether the recorded shape may be replayed, and if
+// not, why. Ineligible recordings still validate fingerprints (so a shape
+// change is detected and re-recorded) but always execute live.
+func (r *Recording) Eligible() (bool, string) {
+	return r.ineligible == "", r.ineligible
+}
+
+// Recorder captures one region execution into a Recording. OnSubmit calls
+// are serialized by the region owner (only the owning task's body submits
+// into its region); OnLiveEdge may be called concurrently by the engine's
+// edge hook — the caller must serialize it externally (the core runtime
+// wraps it in a mutex).
+type Recorder struct {
+	rec       Recording
+	liveEdges map[int64]struct{} // engine-materialized pred<<32|succ pairs
+	// inelMu guards the ineligible reason: MarkIneligible may be called
+	// from concurrently executing region tasks (a release directive on
+	// one worker races the owner's next submission on another), and the
+	// reason is read again only at Seal, after the region barrier.
+	inelMu sync.Mutex
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{liveEdges: make(map[int64]struct{})}
+}
+
+// OnSubmit records the next task's fingerprint and returns its submission
+// index. Shapes the frozen completion-edge set cannot express are marked
+// ineligible here: weakwait tasks (their dependencies release piece-wise
+// before completion, gating descendants the recording does not know) and
+// weak depend entries (linking points whose satisfaction state gates the
+// task's own subtasks).
+func (rc *Recorder) OnSubmit(weakWait, final bool, specs []deps.Spec) int32 {
+	if weakWait {
+		rc.MarkIneligible("weakwait task in region")
+	}
+	for _, s := range specs {
+		if s.Weak {
+			rc.MarkIneligible("weak depend entry in region")
+		}
+	}
+	rc.rec.tasks = append(rc.rec.tasks, TaskRecord{
+		FP: AppendFP(nil, weakWait, final, specs),
+	})
+	return int32(len(rc.rec.tasks) - 1)
+}
+
+// OnLiveEdge records one dependency edge the live engine materialized
+// between two recorded tasks, for the Seal-time cross-check against the
+// offline edge set.
+func (rc *Recorder) OnLiveEdge(pred, succ int32) {
+	if pred == succ {
+		return
+	}
+	rc.liveEdges[edgeKey(pred, succ)] = struct{}{}
+}
+
+// MarkIneligible permanently excludes the recording from replay (it keeps
+// validating fingerprints so shape changes still re-record). The first
+// reason wins. Safe for concurrent use.
+func (rc *Recorder) MarkIneligible(reason string) {
+	rc.inelMu.Lock()
+	if rc.rec.ineligible == "" {
+		rc.rec.ineligible = reason
+	}
+	rc.inelMu.Unlock()
+}
+
+// Tasks returns the number of tasks recorded so far.
+func (rc *Recorder) Tasks() int { return len(rc.rec.tasks) }
+
+func edgeKey(pred, succ int32) int64 {
+	return int64(pred)<<32 | int64(uint32(succ))
+}
+
+// Seal finishes the capture: the offline edge analysis runs over the
+// fingerprints, the union guard specs are computed, and the live engine
+// edges are cross-checked against the offline set. The recorder must not
+// be used afterwards.
+func (rc *Recorder) Seal() *Recording {
+	edges := rc.analyze()
+	// Safety net: the engine's materialized intra-region edges are a
+	// timing-dependent subset of the semantic edge set (a pred that fully
+	// released before its succ registered leaves no link). If the engine
+	// produced an edge the analysis did not, the analysis is wrong for
+	// this shape — never replay it.
+	if rc.rec.ineligible == "" {
+		for key := range rc.liveEdges {
+			if _, ok := edges[key]; !ok {
+				rc.MarkIneligible("live engine edge outside the offline analysis")
+				break
+			}
+		}
+	}
+	return &rc.rec
+}
+
+// histCell is the offline analyzer's per-interval history: the same
+// last-writer / readers / reduction-group state deps.Engine keeps in its
+// domain cells, with task indices in place of fragments.
+type histCell struct {
+	lastWriter int32 // -1: none
+	readers    []int32
+	reds       []int32
+}
+
+func cloneHist(c histCell) histCell {
+	c.readers = append([]int32(nil), c.readers...)
+	c.reds = append([]int32(nil), c.reds...)
+	return c
+}
+
+// analyze computes the timing-independent edge set of the recorded task
+// sequence by replaying the engine's linking rules (deps.Engine linkCell)
+// against an initially empty history — empty because everything the
+// region read or wrote before its first task is covered by the union
+// guard at replay time. It fills in Succs/NPreds and the union specs, and
+// returns the edge-key set for the Seal cross-check.
+func (rc *Recorder) analyze() map[int64]struct{} {
+	edges := make(map[int64]struct{})
+	hists := make(map[deps.DataID]*regions.Map[histCell])
+	perData := make(map[deps.DataID][]regions.Interval)
+	addEdge := func(pred, succ int32) {
+		if pred == succ || pred < 0 {
+			return
+		}
+		key := edgeKey(pred, succ)
+		if _, dup := edges[key]; dup {
+			return
+		}
+		edges[key] = struct{}{}
+		rc.rec.tasks[pred].Succs = append(rc.rec.tasks[pred].Succs, succ)
+		rc.rec.tasks[succ].NPreds++
+	}
+	for i := range rc.rec.tasks {
+		idx := int32(i)
+		rc.rec.tasks[i].FP.visitSpecs(func(data deps.DataID, typ deps.AccessType, weak bool, iv regions.Interval) {
+			if weak || iv.Empty() {
+				return // weak shapes are ineligible; intervals kept out of the union
+			}
+			perData[data] = append(perData[data], iv)
+			hm := hists[data]
+			if hm == nil {
+				hm = regions.NewMap[histCell](cloneHist)
+				hists[data] = hm
+			}
+			hm.Materialize(iv,
+				func(regions.Interval) histCell { return histCell{lastWriter: -1} },
+				func(_ regions.Interval, cs *histCell) {
+					switch typ {
+					case deps.In:
+						if len(cs.reds) > 0 {
+							for _, rd := range cs.reds {
+								addEdge(rd, idx)
+							}
+						} else {
+							addEdge(cs.lastWriter, idx)
+						}
+						cs.readers = append(cs.readers, idx)
+					case deps.Red:
+						addEdge(cs.lastWriter, idx)
+						for _, r := range cs.readers {
+							addEdge(r, idx)
+						}
+						cs.reds = append(cs.reds, idx)
+					default: // Out, InOut
+						addEdge(cs.lastWriter, idx)
+						for _, r := range cs.readers {
+							addEdge(r, idx)
+						}
+						for _, rd := range cs.reds {
+							addEdge(rd, idx)
+						}
+						cs.lastWriter = idx
+						cs.readers = nil
+						cs.reds = nil
+					}
+				})
+		})
+	}
+	for data, ivs := range perData {
+		if merged := MergeIntervals(ivs); len(merged) > 0 {
+			rc.rec.union = append(rc.rec.union, deps.Spec{Data: data, Type: deps.InOut, Ivs: merged})
+		}
+	}
+	// Canonical ascending-data order: the guard registration visits engine
+	// shards in the same order as any other multi-object clause.
+	sort.Slice(rc.rec.union, func(i, j int) bool { return rc.rec.union[i].Data < rc.rec.union[j].Data })
+	return edges
+}
+
+// MergeIntervals sorts ivs and coalesces overlapping or touching runs into
+// a minimal disjoint cover (the union guard's shape).
+func MergeIntervals(ivs []regions.Interval) []regions.Interval {
+	var nonEmpty []regions.Interval
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			nonEmpty = append(nonEmpty, iv)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	sort.Slice(nonEmpty, func(i, j int) bool { return nonEmpty[i].Lo < nonEmpty[j].Lo })
+	out := nonEmpty[:1]
+	for _, iv := range nonEmpty[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Node is one replay countdown cell: the frozen stand-in for a task's
+// dependency state during a replayed region. Its pending counter starts
+// at the recorded predecessor count plus one submission hold; completions
+// of predecessor tasks and the task's own submission each decrement it,
+// and the decrement to zero — wherever it happens — is the task's
+// wait-free readiness transition. Nodes are drawn from a Pool at replay
+// start and returned at region drain, so steady-state replay allocates
+// nothing.
+type Node struct {
+	pending atomic.Int32
+	// User is the runtime task attached at submission time (opaque to this
+	// package, mirroring deps.Node.User). It is published by the
+	// submission-hold decrement: any goroutine whose decrement observes
+	// zero also observes User.
+	User any
+	// Succs are the submission indices of the recorded successors
+	// (borrowed from the Recording; never mutated).
+	Succs []int32
+}
+
+// Arm prepares the node for one replay run: the recorded predecessor
+// count plus the submission hold.
+func (n *Node) Arm(rec *TaskRecord) {
+	n.pending.Store(rec.NPreds + 1)
+	n.User = nil
+	n.Succs = rec.Succs
+}
+
+// Dec removes one pending hold (a predecessor completion or the
+// submission hold) and reports whether the node just became ready. At
+// most one caller observes true per Arm.
+func (n *Node) Dec() bool {
+	rem := n.pending.Add(-1)
+	if rem < 0 {
+		panic("replay: countdown underflow")
+	}
+	return rem == 0
+}
+
+// Ready reports whether the countdown has fired (diagnostics).
+func (n *Node) Ready() bool { return n.pending.Load() <= 0 }
+
+// Pool is the countdown-node free list of one runtime: a mempool.Pool
+// keyed by region, with gets-minus-puts leak accounting. A drained
+// runtime must report zero outstanding nodes — the invalidation stress
+// asserts it.
+type Pool struct {
+	p *mempool.Pool[Node]
+}
+
+// poolLanes spreads concurrent regions over the node pool's mutexes.
+const poolLanes = 8
+
+// NewPool creates a countdown-node pool.
+func NewPool() *Pool {
+	return &Pool{p: mempool.NewPool(poolLanes, func() *Node { return &Node{} })}
+}
+
+// Get draws one armed node per recorded task of rec, appending to dst.
+// hint spreads unrelated regions over the pool's lanes.
+func (p *Pool) Get(dst []*Node, rec *Recording, hint int) []*Node {
+	for i := range rec.tasks {
+		n := p.p.Get(hint)
+		n.Arm(&rec.tasks[i])
+		dst = append(dst, n)
+	}
+	return dst
+}
+
+// Put returns a run's nodes after the region drained. The nodes' User
+// references are dropped before they reach the free list.
+func (p *Pool) Put(nodes []*Node, hint int) {
+	for _, n := range nodes {
+		n.User = nil
+		n.Succs = nil
+		n.pending.Store(0)
+		p.p.Put(hint, n)
+	}
+}
+
+// Outstanding returns the number of countdown nodes currently held by
+// replay runs (leak accounting; zero at quiescence).
+func (p *Pool) Outstanding() int64 { return p.p.Outstanding() }
+
+// Stats returns the pool's aggregate counters.
+func (p *Pool) Stats() mempool.Stats { return p.p.Stats() }

@@ -1,0 +1,207 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/regions"
+)
+
+func iv(lo, hi int64) regions.Interval { return regions.Iv(lo, hi) }
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	specs := []deps.Spec{
+		{Data: 2, Type: deps.InOut, Ivs: []regions.Interval{iv(0, 8), iv(16, 24)}},
+		{Data: 0, Type: deps.In, Weak: true, Ivs: []regions.Interval{iv(4, 5)}},
+	}
+	fp := AppendFP(nil, true, false, specs)
+	if !fp.Equal(AppendFP(nil, true, false, specs)) {
+		t.Fatal("identical specs produced different fingerprints")
+	}
+	if fp.Equal(AppendFP(nil, false, false, specs)) {
+		t.Fatal("weakwait flag not captured")
+	}
+	other := []deps.Spec{
+		{Data: 2, Type: deps.InOut, Ivs: []regions.Interval{iv(0, 8), iv(16, 25)}},
+		{Data: 0, Type: deps.In, Weak: true, Ivs: []regions.Interval{iv(4, 5)}},
+	}
+	if fp.Equal(AppendFP(nil, true, false, other)) {
+		t.Fatal("changed interval not captured")
+	}
+	var got []deps.Spec
+	fp.visitSpecs(func(data deps.DataID, typ deps.AccessType, weak bool, v regions.Interval) {
+		got = append(got, deps.Spec{Data: data, Type: typ, Weak: weak, Ivs: []regions.Interval{v}})
+	})
+	want := []struct {
+		data deps.DataID
+		typ  deps.AccessType
+		weak bool
+		iv   regions.Interval
+	}{
+		{2, deps.InOut, false, iv(0, 8)},
+		{2, deps.InOut, false, iv(16, 24)},
+		{0, deps.In, true, iv(4, 5)},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d intervals, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Data != w.data || g.Type != w.typ || g.Weak != w.weak || g.Ivs[0] != w.iv {
+			t.Fatalf("decoded entry %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestOfflineEdges checks the analyzer against the engine's linking rules
+// on a small known graph: writer → two readers → writer (RAW + WAR), over
+// partially overlapping intervals.
+func TestOfflineEdges(t *testing.T) {
+	rc := NewRecorder()
+	spec := func(typ deps.AccessType, lo, hi int64) []deps.Spec {
+		return []deps.Spec{{Data: 0, Type: typ, Ivs: []regions.Interval{iv(lo, hi)}}}
+	}
+	rc.OnSubmit(false, false, spec(deps.Out, 0, 8))   // 0: writer
+	rc.OnSubmit(false, false, spec(deps.In, 0, 4))    // 1: reader (RAW on 0)
+	rc.OnSubmit(false, false, spec(deps.In, 4, 8))    // 2: reader (RAW on 0)
+	rc.OnSubmit(false, false, spec(deps.InOut, 2, 6)) // 3: writer (RAW on 0, WAR on 1 and 2)
+	rec := rc.Seal()
+	if ok, why := rec.Eligible(); !ok {
+		t.Fatalf("eligible shape marked ineligible: %s", why)
+	}
+	wantPreds := []int32{0, 1, 1, 3}
+	for i, want := range wantPreds {
+		if got := rec.Task(i).NPreds; got != want {
+			t.Errorf("task %d: NPreds = %d, want %d", i, got, want)
+		}
+	}
+	succsOf := func(i int) map[int32]bool {
+		m := make(map[int32]bool)
+		for _, s := range rec.Task(i).Succs {
+			m[s] = true
+		}
+		return m
+	}
+	if s := succsOf(0); !s[1] || !s[2] || !s[3] || len(s) != 3 {
+		t.Errorf("task 0 succs = %v, want {1,2,3}", rec.Task(0).Succs)
+	}
+	if s := succsOf(1); !s[3] || len(s) != 1 {
+		t.Errorf("task 1 succs = %v, want {3}", rec.Task(1).Succs)
+	}
+	if s := succsOf(2); !s[3] || len(s) != 1 {
+		t.Errorf("task 2 succs = %v, want {3}", rec.Task(2).Succs)
+	}
+	union := rec.Union()
+	if len(union) != 1 || union[0].Data != 0 || len(union[0].Ivs) != 1 || union[0].Ivs[0] != iv(0, 8) {
+		t.Errorf("union = %+v, want one InOut [0,8) over data 0", union)
+	}
+}
+
+// TestOfflineEdgesReduction: reduction-group members commute; readers and
+// writers order against the whole group.
+func TestOfflineEdgesReduction(t *testing.T) {
+	rc := NewRecorder()
+	spec := func(typ deps.AccessType) []deps.Spec {
+		return []deps.Spec{{Data: 0, Type: typ, Ivs: []regions.Interval{iv(0, 4)}}}
+	}
+	rc.OnSubmit(false, false, spec(deps.Out)) // 0
+	rc.OnSubmit(false, false, spec(deps.Red)) // 1: after 0
+	rc.OnSubmit(false, false, spec(deps.Red)) // 2: after 0, NOT after 1
+	rc.OnSubmit(false, false, spec(deps.In))  // 3: after both reds
+	rec := rc.Seal()
+	if got := rec.Task(1).NPreds; got != 1 {
+		t.Errorf("red 1 NPreds = %d, want 1", got)
+	}
+	if got := rec.Task(2).NPreds; got != 1 {
+		t.Errorf("red 2 NPreds = %d, want 1 (group members commute)", got)
+	}
+	if got := rec.Task(3).NPreds; got != 2 {
+		t.Errorf("reader NPreds = %d, want 2 (orders after the whole group)", got)
+	}
+}
+
+// TestLiveEdgeCrossCheck: an engine edge outside the offline set must
+// poison eligibility instead of replaying wrong.
+func TestLiveEdgeCrossCheck(t *testing.T) {
+	rc := NewRecorder()
+	spec := []deps.Spec{{Data: 0, Type: deps.In, Ivs: []regions.Interval{iv(0, 4)}}}
+	rc.OnSubmit(false, false, spec) // 0: reader
+	rc.OnSubmit(false, false, spec) // 1: reader — no offline edge 0→1
+	rc.OnLiveEdge(0, 1)
+	rec := rc.Seal()
+	if ok, _ := rec.Eligible(); ok {
+		t.Fatal("recording with an uncovered live edge stayed eligible")
+	}
+}
+
+func TestRecorderIneligibleShapes(t *testing.T) {
+	rc := NewRecorder()
+	rc.OnSubmit(true, false, nil)
+	if ok, why := rc.Seal().Eligible(); ok || why == "" {
+		t.Fatal("weakwait shape stayed eligible")
+	}
+	rc = NewRecorder()
+	rc.OnSubmit(false, false, []deps.Spec{{Data: 0, Type: deps.In, Weak: true, Ivs: []regions.Interval{iv(0, 1)}}})
+	if ok, _ := rc.Seal().Eligible(); ok {
+		t.Fatal("weak-entry shape stayed eligible")
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	got := MergeIntervals([]regions.Interval{iv(8, 12), iv(0, 4), iv(3, 9), iv(20, 24), iv(12, 12)})
+	want := []regions.Interval{iv(0, 12), iv(20, 24)}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+	if MergeIntervals(nil) != nil {
+		t.Fatal("empty merge not nil")
+	}
+}
+
+// TestNodePoolAccounting: countdown nodes drawn for a run must all return
+// at drain, and the countdown fires exactly once.
+func TestNodePoolAccounting(t *testing.T) {
+	rc := NewRecorder()
+	spec := func(typ deps.AccessType) []deps.Spec {
+		return []deps.Spec{{Data: 0, Type: typ, Ivs: []regions.Interval{iv(0, 4)}}}
+	}
+	rc.OnSubmit(false, false, spec(deps.Out))
+	rc.OnSubmit(false, false, spec(deps.InOut))
+	rec := rc.Seal()
+	p := NewPool()
+	nodes := p.Get(nil, rec, 0)
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(nodes))
+	}
+	if p.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d, want 2", p.Outstanding())
+	}
+	// Task 1 waits on task 0 plus its submission hold.
+	if nodes[1].Dec() {
+		t.Fatal("node fired with a predecessor pending")
+	}
+	if !nodes[0].Dec() { // submission hold only
+		t.Fatal("independent node did not fire on its submission hold")
+	}
+	if !nodes[1].Dec() { // predecessor completion
+		t.Fatal("node did not fire after its last hold")
+	}
+	if !nodes[0].Ready() || !nodes[1].Ready() {
+		t.Fatal("fired nodes not ready")
+	}
+	p.Put(nodes, 0)
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain, want 0", p.Outstanding())
+	}
+	// Reuse must re-arm cleanly.
+	nodes = p.Get(nodes[:0], rec, 0)
+	if nodes[0].Ready() || nodes[1].Ready() {
+		t.Fatal("recycled nodes came back fired")
+	}
+	p.Put(nodes, 0)
+}

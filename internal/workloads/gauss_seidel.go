@@ -22,6 +22,13 @@ const (
 	// GSNestDepend: iteration tasks with strong inout over the whole array
 	// and a taskwait — iterations serialize.
 	GSNestDepend GSVariant = "nest-depend"
+	// GSGraph: one graph region (TaskContext.Graph) per iteration
+	// submitting the tile wavefront — the record-and-replay formulation
+	// (beyond the paper; the Taskgraph direction of PAPERS.md). Iterations
+	// serialize at the region barrier like GSNestDepend, but with
+	// Mode.Replay on, every sweep after the first replays the frozen tile
+	// graph and never touches the dependency engine.
+	GSGraph GSVariant = "graph"
 )
 
 // GSVariants lists the Gauss-Seidel variants in the paper's order.
@@ -137,6 +144,15 @@ func RunGS(mode Mode, variant GSVariant, p GSParams) (Result, error) {
 
 	startT := time.Now()
 	switch variant {
+	case GSGraph:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for it := 0; it < p.Iters; it++ {
+				tc.Graph("gs-sweep", func(tc *nanos.TaskContext) {
+					forTiles(func(i, j int64) { tc.Submit(tile(i, j)) })
+				})
+			}
+		})
+
 	case GSFlatDepend:
 		rt.Run(func(tc *nanos.TaskContext) {
 			for it := 0; it < p.Iters; it++ {

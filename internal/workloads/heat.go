@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"time"
+
+	nanos "repro"
+)
+
+// The heat workload is a blocked Jacobi heat-diffusion stencil: two planes
+// ping-pong as source and destination, one task per TS×TS tile reading its
+// 5-point neighborhood from the source plane and overwriting its tile of
+// the destination. Unlike the in-place Gauss-Seidel sweep (§VIII-B), every
+// iteration's tiles are mutually independent — all ordering is across
+// iterations — which makes it the canonical record-and-replay workload:
+// each sweep is one graph region (TaskContext.Graph), the even and odd
+// phases record once each, and with Mode.Replay on every later sweep
+// bypasses the dependency engine entirely.
+
+// HeatParams sizes the heat workload: Iters Jacobi sweeps of an N×N plane
+// decomposed into TS×TS tiles (N must be a multiple of TS), with a
+// one-element fixed boundary ring.
+type HeatParams struct {
+	N     int64
+	TS    int64
+	Iters int
+	// Compute performs the real stencil and validates against a sequential
+	// reference; tile cost is TS·TS either way.
+	Compute bool
+}
+
+// heatKernel writes tile (bi,bj) (1-based block coordinates) of dst from
+// src's 4-point neighborhood on the (n+2)×(n+2) planes.
+func heatKernel(dst, src []float64, n, ts, bi, bj int64) {
+	m := n + 2
+	r0 := (bi-1)*ts + 1
+	c0 := (bj-1)*ts + 1
+	for r := r0; r < r0+ts; r++ {
+		row := r * m
+		up := (r - 1) * m
+		down := (r + 1) * m
+		for c := c0; c < c0+ts; c++ {
+			dst[row+c] = 0.25 * (src[up+c] + src[row+c-1] + src[row+c+1] + src[down+c])
+		}
+	}
+}
+
+// heatSequential runs the reference ping-pong sweep and returns the plane
+// holding the final result.
+func heatSequential(a, b []float64, n, ts int64, iters int) []float64 {
+	blocks := n / ts
+	src, dst := a, b
+	for it := 0; it < iters; it++ {
+		for i := int64(1); i <= blocks; i++ {
+			for j := int64(1); j <= blocks; j++ {
+				heatKernel(dst, src, n, ts, i, j)
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// RunHeat executes the heat workload and returns its measurements. Each
+// sweep runs as a graph region named by its phase ("heat-even" writes
+// plane B, "heat-odd" writes plane A), so under Mode.Replay both phases
+// record on their first sweep and replay on every later one —
+// Result.Runtime.ReplayStats() exposes the counts.
+func RunHeat(mode Mode, p HeatParams) (Result, error) {
+	if p.N <= 0 || p.TS <= 0 || p.N%p.TS != 0 || p.Iters <= 0 {
+		return Result{}, errf("heat: bad params %+v (N must be a multiple of TS)", p)
+	}
+	blocks := p.N / p.TS
+	side := blocks + 2
+	total := side * side * p.TS * p.TS
+
+	rt := nanos.New(mode.config())
+	ad := rt.NewData("A", total, 8)
+	bd := rt.NewData("B", total, 8)
+
+	var a, b []float64
+	if p.Compute {
+		a = make([]float64, (p.N+2)*(p.N+2))
+		b = make([]float64, (p.N+2)*(p.N+2))
+		gsInit(a, p.N)
+		gsInit(b, p.N) // boundary ring is fixed on both planes
+	}
+
+	blk := func(i, j int64) nanos.Interval { return nanos.BlockInterval(side, p.TS, i, j) }
+
+	tile := func(dst, src nanos.DataID, dstP, srcP []float64, i, j int64) nanos.TaskSpec {
+		return nanos.TaskSpec{
+			Label: "tile",
+			Kind:  "tile",
+			Cost:  p.TS * p.TS,
+			Flops: 4 * p.TS * p.TS,
+			Deps: []nanos.Dep{
+				nanos.DIn(src, blk(i-1, j)),
+				nanos.DIn(src, blk(i, j-1)),
+				// The kernel reads the center tile of src too: every
+				// interior point's four neighbors are within blk(i,j).
+				nanos.DIn(src, blk(i, j)),
+				nanos.DIn(src, blk(i, j+1)),
+				nanos.DIn(src, blk(i+1, j)),
+				nanos.DOut(dst, blk(i, j)),
+			},
+			Body: func(*nanos.TaskContext) {
+				if p.Compute {
+					heatKernel(dstP, srcP, p.N, p.TS, i, j)
+				}
+			},
+		}
+	}
+
+	startT := time.Now()
+	rt.Run(func(tc *nanos.TaskContext) {
+		srcD, dstD := ad, bd
+		srcP, dstP := a, b
+		for it := 0; it < p.Iters; it++ {
+			name := "heat-even"
+			if it%2 == 1 {
+				name = "heat-odd"
+			}
+			sd, dd, sp, dp := srcD, dstD, srcP, dstP
+			tc.Graph(name, func(tc *nanos.TaskContext) {
+				for i := int64(1); i <= blocks; i++ {
+					for j := int64(1); j <= blocks; j++ {
+						tc.Submit(tile(dd, sd, dp, sp, i, j))
+					}
+				}
+			})
+			srcD, dstD = dstD, srcD
+			srcP, dstP = dstP, srcP
+		}
+	})
+
+	res := measure(rt, startT)
+	if p.Compute {
+		refA := make([]float64, (p.N+2)*(p.N+2))
+		refB := make([]float64, (p.N+2)*(p.N+2))
+		gsInit(refA, p.N)
+		gsInit(refB, p.N)
+		ref := heatSequential(refA, refB, p.N, p.TS, p.Iters)
+		got := a
+		if p.Iters%2 == 1 {
+			got = b
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return res, errf("heat: element %d = %v, want %v", i, got[i], ref[i])
+			}
+		}
+	}
+	return res, nil
+}

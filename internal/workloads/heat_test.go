@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"testing"
+
+	nanos "repro"
+)
+
+// TestHeatValidates: the Jacobi ping-pong result must match the
+// sequential reference with the cache on and off, and with replay on the
+// two phases must each record once and replay every later sweep.
+func TestHeatValidates(t *testing.T) {
+	p := HeatParams{N: 64, TS: 16, Iters: 6, Compute: true}
+	for _, kind := range []nanos.ReplayKind{nanos.ReplayOff, nanos.ReplayOn} {
+		res, err := RunHeat(Mode{Workers: 4, Replay: kind, Debug: true}, p)
+		if err != nil {
+			t.Fatalf("replay %v: %v", kind, err)
+		}
+		want := int64(p.Iters) * (64 / 16) * (64 / 16)
+		if res.Tasks != want {
+			t.Fatalf("replay %v: %d tasks, want %d", kind, res.Tasks, want)
+		}
+		st := res.Runtime.ReplayStats()
+		if kind == nanos.ReplayOff && st != (nanos.ReplayStats{}) {
+			t.Fatalf("replay off recorded: %+v", st)
+		}
+		if kind == nanos.ReplayOn {
+			if st.Records != 2 {
+				t.Fatalf("records = %d, want 2 (even and odd phase): %+v", st.Records, st)
+			}
+			if st.Replays != int64(p.Iters-2) {
+				t.Fatalf("replays = %d, want %d: %+v", st.Replays, p.Iters-2, st)
+			}
+			if st.Invalidations != 0 || st.Fallbacks != 0 {
+				t.Fatalf("stable phases must not invalidate or fall back: %+v", st)
+			}
+		}
+	}
+}
+
+// TestHeatOddIters covers the plane-swap bookkeeping for odd sweep counts.
+func TestHeatOddIters(t *testing.T) {
+	if _, err := RunHeat(Mode{Workers: 2, Debug: true}, HeatParams{N: 32, TS: 8, Iters: 5, Compute: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGSGraphValidates: the graph-region Gauss-Seidel formulation must
+// reproduce the sequential sweep with the cache on and off, and replay
+// every sweep after the first when on.
+func TestGSGraphValidates(t *testing.T) {
+	p := GSParams{N: 64, TS: 16, Iters: 5, Compute: true}
+	for _, kind := range []nanos.ReplayKind{nanos.ReplayOff, nanos.ReplayOn} {
+		res, err := RunGS(Mode{Workers: 4, Replay: kind, Debug: true}, GSGraph, p)
+		if err != nil {
+			t.Fatalf("replay %v: %v", kind, err)
+		}
+		if kind == nanos.ReplayOn {
+			st := res.Runtime.ReplayStats()
+			if st.Records != 1 || st.Replays != int64(p.Iters-1) {
+				t.Fatalf("replay stats: %+v, want 1 record and %d replays", st, p.Iters-1)
+			}
+		}
+	}
+}

@@ -58,6 +58,14 @@ type Mode struct {
 	// task instantiation, modeling the runtime's creation overhead (the
 	// single-generator bottleneck of Figure 4). 0 = free creation.
 	SubmitCost int64
+	// Replay selects the record-and-replay taskgraph cache
+	// (core.Config.Replay) for the graph-region workload formulations —
+	// the GSGraph Gauss-Seidel variant and the heat workload, whose
+	// per-iteration sweeps run as TaskContext.Graph regions. ReplayAuto
+	// resolves to on in real mode; ReplayOff runs the same regions through
+	// the live engine (the before/after comparison of cmd/reproduce's
+	// replay table). Variants that do not use graph regions ignore it.
+	Replay nanos.ReplayKind
 	// Verify enables the runtime's lint checks (Touch and child-entry
 	// coverage); findings are available on Result.Runtime.Violations().
 	Verify bool
@@ -85,6 +93,7 @@ func (m Mode) config() nanos.Config {
 		SharedCache:       m.SharedCache,
 		ThrottleOpenTasks: m.Throttle,
 		ThrottleImpl:      m.ThrottleImpl,
+		Replay:            m.Replay,
 		VirtualSubmitCost: m.SubmitCost,
 		Verify:            m.Verify,
 		Debug:             m.Debug,

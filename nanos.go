@@ -73,6 +73,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/mempool"
 	"repro/internal/regions"
+	"repro/internal/replay"
 	"repro/internal/sched"
 	"repro/internal/throttle"
 )
@@ -128,6 +129,13 @@ type (
 	// MemStats exposes the dependency engine's memory-pool counters
 	// (Runtime.MemStats).
 	MemStats = deps.MemStats
+	// ReplayKind selects the record-and-replay taskgraph cache mode
+	// (Config.Replay).
+	ReplayKind = replay.Kind
+	// ReplayStats exposes the record-and-replay cache counters
+	// (Runtime.ReplayStats): recordings, replays, invalidations, live
+	// fallbacks.
+	ReplayStats = replay.Stats
 )
 
 // Access types for Dep.Type.
@@ -212,6 +220,22 @@ const (
 	// MemPooled recycles task-lifecycle objects through internal/mempool
 	// free lists; see docs/ARCHITECTURE.md for the ownership rules.
 	MemPooled = mempool.KindPooled
+)
+
+// Record-and-replay modes for Config.Replay. The cache engages through
+// TaskContext.Graph: the first execution of a named graph region records
+// the submitted graph, and later executions with an identical dependency
+// shape bypass the dependency engine, driving frozen per-task predecessor
+// countdowns straight into the ready pools. Replay is transparent: shape
+// changes invalidate and fall back to the live engine mid-region, and
+// unfinished external producers of region inputs force a live execution.
+const (
+	// ReplayAuto picks on in real mode, off in virtual mode.
+	ReplayAuto = replay.KindAuto
+	// ReplayOff disables the cache (Graph regions keep their barrier).
+	ReplayOff = replay.KindOff
+	// ReplayOn enables the cache in real mode.
+	ReplayOn = replay.KindOn
 )
 
 // Verification finding kinds.
