@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke depbench ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke depbench ci
 
 all: build
 
@@ -23,11 +23,16 @@ help:
 	@echo "                 iterative programs, shape-flip invalidation fallback, countdown-node"
 	@echo "                 leak accounting, w=1 parity guard (replay <=1.5x live), workload"
 	@echo "                 validation (GS graph variant + heat vs sequential reference)"
+	@echo "  wait-smoke     taskwait gates: parking-vs-continuation differential over random"
+	@echo "                 nested programs, zero-parks continuation check (w=2/4/8), exact"
+	@echo "                 w=1 stats, edge cases, w=1 parity guard (continuation <=1.5x"
+	@echo "                 parking), plus the depbench nested-taskwait table"
 	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
-	@echo "                 throttle windows, replay cache (go run ./cmd/depbench; -mode"
-	@echo "                  deps|sched|throttle|replay selects one table, -workers/-ops/"
-	@echo "                  -sched-ops/-throttle-ops/-window/-replay-iters size the sweeps)"
-	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay smokes"
+	@echo "                 throttle windows, replay cache, taskwait strategies (go run"
+	@echo "                  ./cmd/depbench; -mode deps|sched|throttle|replay|wait selects one"
+	@echo "                  table, -workers/-ops/-sched-ops/-throttle-ops/-window/"
+	@echo "                  -replay-iters/-wait-reps size the sweeps)"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait smokes"
 
 build:
 	$(GO) build ./...
@@ -81,12 +86,24 @@ replay-smoke:
 	$(GO) test -run 'TestGraphReplayDifferential|TestGraphShapeFlipInvalidation|TestReplayW1Parity' ./internal/core
 	$(GO) test -run 'TestHeatValidates|TestGSGraphValidates' ./internal/workloads
 
+# Taskwait smoke: the parking-vs-continuation differential over randomized
+# nested programs (identical checksums and exact w=1 blocking-wait counts),
+# the zero-parks check (continuation mode must never park a worker at
+# w=2/4/8 while the parking reference always does), the exact-stats and
+# edge-case suites, the w=1 parity guard (continuation handoff must stay
+# within 1.5x of the parking reference when uncontended), and one pass of
+# the depbench nested-taskwait table.
+wait-smoke:
+	$(GO) test -run 'TestTaskwaitImplResolution|TestTaskwaitExactStats|TestTaskwaitZeroParksMultiWorker|TestTaskwaitEdgeCases|TestTaskwaitW1Parity' ./internal/core
+	$(GO) run ./cmd/depbench -mode wait -workers 2,4,8 -wait-reps 60
+
 # Contention tables (deps: global vs sharded engine, plus the pooled
 # memory mode; sched: single-lock vs
 # sharded ready pools; throttle: mutex+cond vs sharded token-bucket
-# window; replay: live engine vs frozen-graph replay per sweep). See
-# `go doc ./cmd/depbench` for the flags and columns.
+# window; replay: live engine vs frozen-graph replay per sweep; wait:
+# parking vs continuation taskwait). See `go doc ./cmd/depbench` for the
+# flags and columns.
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke

@@ -22,6 +22,13 @@
 //     formulation replayed from the frozen recording — the last bypasses
 //     the dependency engine entirely, so its per-iteration overhead is
 //     the cost of atomic countdowns plus ready-pool admission.
+//   - wait: the Taskwait blocking strategies. A nested-taskwait workload
+//     (parents submitting spinning leaf children and blocking on them,
+//     repeated in waves) runs through the parking reference and the
+//     continuation handoff; the table reports parks, handoffs,
+//     steal-resumes, and worker idle time per width. The continuation rows
+//     must show zero parks at every width — a blocked wait's resume rides
+//     the ready pools instead of parking the worker.
 //
 // Measurements per configuration:
 //
@@ -50,9 +57,9 @@
 //
 // Usage:
 //
-//	depbench [-mode all|deps|sched|throttle|replay] [-workers 1,2,4,8]
+//	depbench [-mode all|deps|sched|throttle|replay|wait] [-workers 1,2,4,8]
 //	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
-//	         [-replay-iters N] [-replay-blocks N]
+//	         [-replay-iters N] [-replay-blocks N] [-wait-reps N] [-wait-fan N]
 //
 // -ops, -sched-ops, and -throttle-ops size the three workloads
 // independently (admission cycles are far cheaper than engine ops, so the
@@ -72,6 +79,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -338,6 +346,73 @@ func runReplay(v replayVariant, w, blocks, iters int) (tasksPerIter int, wall, w
 	return blocks * blocks, wall, mutexWait() - wait0, m1 - m0, p1 - p0
 }
 
+// waitSpin burns a few microseconds of CPU so the parents' taskwaits are
+// guaranteed to find incomplete children (the blocking path under
+// measurement); the sink defeats dead-code elimination.
+var waitSink atomic.Int64
+
+func waitSpin(n int) {
+	var s int64
+	for i := 0; i < n; i++ {
+		s += int64(i ^ (i >> 3))
+	}
+	waitSink.Add(s)
+}
+
+// cpuTime returns the process's cumulative user+system CPU time. The
+// taskwait table derives worker idleness from its delta: a goroutine
+// blocked in a wait (parked or pool-queued) burns no CPU, while the
+// spinning leaf bodies burn it continuously, so 1 - cpu/(w*wall) is the
+// fraction of worker capacity the blocking strategy left unused. The
+// execution trace cannot supply this — its spans deliberately include
+// time blocked inside Taskwait (see executeTask).
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// runWait drives reps waves of a nested-taskwait workload: each wave
+// submits 2w parent tasks, and each parent submits fan spinning leaf
+// children and blocks on them twice (two batches per parent). It returns
+// the blocking-wait volume, the wall time, the taskwait counters, and the
+// fraction of worker capacity left idle — the cost a parked worker pays
+// that a continuation handoff avoids.
+func runWait(kind core.TaskwaitKind, w, reps, fan int) (waits int64, wall time.Duration, st core.TaskwaitStats, idle float64) {
+	rt := core.New(core.Config{Workers: w, TaskwaitImpl: kind})
+	cpu0 := cpuTime()
+	start := time.Now()
+	rt.Run(func(tc *core.TaskContext) {
+		for rep := 0; rep < reps; rep++ {
+			for p := 0; p < 2*w; p++ {
+				tc.Submit(core.TaskSpec{Label: "parent", Body: func(tc *core.TaskContext) {
+					for batch := 0; batch < 2; batch++ {
+						for c := 0; c < fan; c++ {
+							tc.Submit(core.TaskSpec{Label: "leaf", Body: func(*core.TaskContext) {
+								waitSpin(2000)
+							}})
+						}
+						tc.Taskwait()
+					}
+				}})
+			}
+			tc.Taskwait()
+		}
+	})
+	wall = time.Since(start)
+	cpu := cpuTime() - cpu0
+	st = rt.TaskwaitStats()
+	if wall > 0 {
+		idle = 1 - float64(cpu)/(float64(w)*float64(wall))
+		if idle < 0 {
+			idle = 0
+		}
+	}
+	return st.Parks + st.Handoffs, wall, st, idle
+}
+
 var schedPools = []struct {
 	name string
 	mk   func(workers int, spawn func(item, worker int)) sched.Queue[int]
@@ -349,7 +424,7 @@ var schedPools = []struct {
 }
 
 func main() {
-	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, or throttle")
+	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, throttle, replay, or wait")
 	opsFlag := flag.Int("ops", 400_000, "chain steps per dependency-engine configuration")
 	// Scheduler admission ops are ~10x cheaper than engine ops, so the
 	// sched table needs a longer run for lock contention to accumulate
@@ -359,6 +434,8 @@ func main() {
 	windowFlag := flag.Int("window", 0, "throttle window bound (0 = the row's worker count)")
 	replayItersFlag := flag.Int("replay-iters", 400, "sweeps per replay-table configuration")
 	replayBlocksFlag := flag.Int("replay-blocks", 8, "tile grid side of the replay-table wavefront sweep")
+	waitRepsFlag := flag.Int("wait-reps", 200, "waves per taskwait-table configuration")
+	waitFanFlag := flag.Int("wait-fan", 8, "leaf children per parent in the taskwait-table workload")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	flag.Parse()
 
@@ -372,9 +449,9 @@ func main() {
 		workers = append(workers, n)
 	}
 	switch *modeFlag {
-	case "all", "deps", "sched", "throttle", "replay":
+	case "all", "deps", "sched", "throttle", "replay", "wait":
 	default:
-		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, or replay)\n", *modeFlag)
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, or wait)\n", *modeFlag)
 		os.Exit(2)
 	}
 
@@ -524,4 +601,36 @@ func main() {
 		}
 	}
 
+	if *modeFlag == "all" || *modeFlag == "wait" {
+		if *modeFlag == "all" {
+			fmt.Println()
+		}
+		reps, fan := *waitRepsFlag, *waitFanFlag
+		fmt.Printf("taskwait blocking strategy (nested parents over spinning leaves)\n")
+		fmt.Printf("%-13s %8s %10s %12s %10s %10s %10s %11s %7s\n",
+			"impl", "workers", "waits", "wall", "us/wait", "parks", "handoffs", "steal-res", "idle")
+		kinds := []struct {
+			name string
+			kind core.TaskwaitKind
+		}{
+			{"parking", core.TaskwaitParking},
+			{"continuation", core.TaskwaitContinuation},
+		}
+		for _, w := range workers {
+			prev := runtime.GOMAXPROCS(0)
+			if w > prev {
+				runtime.GOMAXPROCS(w)
+			}
+			for _, row := range kinds {
+				runWait(row.kind, w, reps/10+1, fan) // warm-up
+				runtime.GC()
+				waits, wall, st, idle := runWait(row.kind, w, reps, fan)
+				fmt.Printf("%-13s %8d %10d %12s %10.2f %10d %10d %11d %6.1f%%\n",
+					row.name, w, waits, wall.Round(time.Millisecond),
+					float64(wall.Microseconds())/float64(waits),
+					st.Parks, st.Handoffs, st.StealResumes, idle*100)
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
 }

@@ -92,6 +92,15 @@ func (r *Runtime) runErr() error {
 				return fmt.Errorf("core: debug check failed: %d replay countdown nodes not recycled at end of run", n)
 			}
 		}
+		if r.contPool != nil {
+			// Every blocked taskwait resumes before its subtree can complete,
+			// and the resumed waiter recycles its continuation node before its
+			// body continues — all of which happens-before the root's
+			// completion, so a positive count here is a leaked continuation.
+			if n := r.contPool.Outstanding(); n != 0 {
+				return fmt.Errorf("core: debug check failed: %d taskwait continuation nodes not recycled at end of run", n)
+			}
+		}
 	}
 	return nil
 }

@@ -101,8 +101,20 @@ func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, donePD deps.Dat
 // yields its token and may resume holding a different one, and continuing
 // with the stale id would double-release it — putting two goroutines on
 // one worker and corrupting the per-worker cache and trace state.
+//
+// A task arriving with a continuation node attached is not new work but a
+// parked taskwait riding the ready pool: the worker hands its token to the
+// parked goroutine and exits in its place. The unlocked cont read is
+// ordered by the pool: the waiter sets cont (then the last child reads it
+// under the parent's mu and submits), and the pool's Submit/pop pair
+// orders that write before this read. The intercept runs before
+// taskStarted, so the throttle window never counts a resume.
 func (r *Runtime) runWorker(t *Task, w int) {
 	for {
+		if cn := t.cont; cn != nil {
+			r.resumeContinuation(t, cn, w)
+			return
+		}
 		next, cur := r.executeTask(t, w)
 		w = cur
 		if next == nil {

@@ -37,6 +37,18 @@ import (
 // region — are detected during recording and marked ineligible: such
 // regions keep validating (so a shape change still re-records) but always
 // execute live.
+//
+// Blocking taskwaits interact with recording in two directions (decided in
+// markRegionTaskwait, taskwait.go, and tested in both): an owner-level
+// taskwait between submissions keeps the recording replay-eligible — the
+// barrier is owner body code re-executed identically by every execution,
+// live or replayed (child counters are maintained the same way under
+// replay, via admitChild/completeTask), so the frozen edge set need not
+// express it; the recorder counts it as the trace of the continuation edge
+// (Recording.OwnerWaits). A blocking taskwait inside a region *member*
+// task implies nested submissions and marks the recording ineligible. The
+// region's own end barrier is neither: Graph clears t.greg before its
+// final Taskwait.
 
 // graphMode is the execution mode of one region run.
 type graphMode uint8

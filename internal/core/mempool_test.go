@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -205,6 +206,68 @@ func TestMemPoolViolationsSurviveRecycling(t *testing.T) {
 	}
 	if !sawChild || !sawTouch {
 		t.Errorf("missing violation kinds: %v", vios)
+	}
+}
+
+// TestMemPoolAllocGate gates the blocking-Taskwait allocation fix: the
+// parking path reuses one signal channel per task (allocated on the first
+// blocking wait, kept across waits and recycles) instead of making a fresh
+// chan per wait, and the continuation path draws its nodes from a pool. A
+// steady-state {submit child; Taskwait} cycle in the pooled memory mode
+// must stay at its 2-mallocs floor under both strategies — a per-wait
+// channel (or unpooled continuation node) would push it to 3 — and well
+// under the allocate-always reference.
+func TestMemPoolAllocGate(t *testing.T) {
+	measure := func(mem mempool.Kind, kind TaskwaitKind) float64 {
+		r := New(Config{Workers: 1, TaskwaitImpl: kind, MemPool: mem})
+		var per float64
+		r.Run(func(tc *TaskContext) {
+			tc.Submit(TaskSpec{Label: "driver", Body: func(tc *TaskContext) {
+				// At w=1 every wait blocks: the driver holds the only token,
+				// so the submitted child cannot have run yet.
+				var firstSig chan struct{}
+				cycle := func() {
+					tc.Submit(TaskSpec{Label: "c"})
+					tc.Taskwait()
+				}
+				for i := 0; i < 200; i++ {
+					cycle()
+					if kind == TaskwaitParking {
+						if firstSig == nil {
+							firstSig = tc.task.waitSig
+							if firstSig == nil {
+								t.Error("no signal channel after a blocking parking wait")
+							}
+						} else if tc.task.waitSig != firstSig {
+							t.Error("parking wait replaced the task's signal channel; it must be reused")
+						}
+					}
+				}
+				runtime.GC()
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				const N = 800
+				for i := 0; i < N; i++ {
+					cycle()
+				}
+				runtime.ReadMemStats(&m1)
+				per = float64(m1.Mallocs-m0.Mallocs) / N
+			}})
+		})
+		return per
+	}
+	for _, kind := range []TaskwaitKind{TaskwaitParking, TaskwaitContinuation} {
+		pooled := measure(mempool.KindPooled, kind)
+		ref := measure(mempool.KindReference, kind)
+		t.Logf("%v: pooled %.2f mallocs/cycle, reference %.2f", kind, pooled, ref)
+		if pooled > 2.5 {
+			t.Errorf("%v: %.2f mallocs per blocking-wait cycle, want <= 2.5 (a per-wait allocation crept in)",
+				kind, pooled)
+		}
+		if ref < pooled*1.5 {
+			t.Errorf("%v: reference mode %.2f vs pooled %.2f mallocs/cycle; expected the pooled mode well below the reference",
+				kind, ref, pooled)
+		}
 	}
 }
 

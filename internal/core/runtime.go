@@ -150,6 +150,18 @@ type Config struct {
 	// comparisons. Ignored when ThrottleOpenTasks is 0 or in virtual mode
 	// (the sequential simulation never blocks submitters).
 	ThrottleImpl throttle.Kind
+	// TaskwaitImpl selects the TaskContext.Taskwait blocking strategy.
+	// TaskwaitAuto (the zero value) picks the continuation handoff in real
+	// mode: a blocked taskwait yields its worker into other ready work and
+	// the *last completing child* submits the waiting task back into the
+	// sharded ready pools as a pooled continuation — the worker-token
+	// protocol never parks a worker on a nested sync point.
+	// TaskwaitParking is the classic park-on-channel reference. Both
+	// strategies share the same child-countdown state (the differential
+	// tests in this package prove them observably equivalent); selecting
+	// one explicitly is for ablations and A/B comparisons. Virtual mode has
+	// no Taskwait and ignores this.
+	TaskwaitImpl TaskwaitKind
 	// Virtual selects the discrete-event virtual-time mode.
 	Virtual bool
 	// VirtualSubmitCost charges the creating task this many virtual cost
@@ -214,6 +226,13 @@ type Runtime struct {
 	ws     []workerScratch
 
 	thr throttle.Window // admission window (nil if unthrottled or virtual)
+
+	// Taskwait strategy (Config.TaskwaitImpl). contPool is the continuation-
+	// node free list (continuation strategy, real mode only); tw counts
+	// parks/handoffs/steal-resumes (Runtime.TaskwaitStats).
+	twKind   TaskwaitKind
+	contPool *mempool.Pool[contNode]
+	tw       twStats
 
 	// Record-and-replay taskgraph cache (Config.Replay; real mode only).
 	// gregs maps region names to their cache slots; replayPool is the
@@ -310,6 +329,18 @@ func New(cfg Config) *Runtime {
 	if rp == replay.KindOn && !cfg.Virtual {
 		r.replayOn = true
 		r.replayPool = replay.NewPool()
+	}
+	tw := cfg.TaskwaitImpl
+	if tw == TaskwaitAuto {
+		if cfg.Virtual {
+			tw = TaskwaitParking // inert: virtual mode has no Taskwait
+		} else {
+			tw = TaskwaitContinuation
+		}
+	}
+	r.twKind = tw
+	if tw == TaskwaitContinuation && !cfg.Virtual {
+		r.contPool = newContPool(cfg.Workers)
 	}
 	if cfg.EnableTrace {
 		r.tracer = trace.New(cfg.Workers)

@@ -80,7 +80,19 @@ type Task struct {
 	children  int // direct children not yet fully complete
 	bodyDone  bool
 	completed bool
-	waitCh    chan struct{} // Taskwait blocker
+	// waiting/waitSig serve the parking Taskwait strategy: the blocked body
+	// goroutine parks on waitSig (capacity 1) and the last completing child
+	// signals it. The channel is allocated on the task's first blocking wait
+	// and then reused across waits *and* recycles (it is always empty when
+	// the wait returns), so the steady-state parking path allocates nothing.
+	waiting bool
+	waitSig chan struct{}
+	// cont is the continuation Taskwait strategy's parked waiter: set while
+	// the body goroutine is blocked in taskwaitContinuation, read by the
+	// last completing child (under mu) to submit the resume into the ready
+	// pools, and by runWorker (unlocked — ordered by the pool's internal
+	// synchronization) to hand its token over.
+	cont *contNode
 
 	vEnd     int64 // virtual mode: completion time
 	vCreate  int64 // virtual mode: accumulated creation cost of the body
@@ -131,7 +143,10 @@ func (r *Runtime) recycleTask(t *Task, worker int) {
 	t.greg, t.gidx, t.gnode = nil, 0, nil
 	t.children = 0
 	t.bodyDone, t.completed = false, false
-	t.waitCh = nil
+	t.waiting, t.cont = false, nil
+	// waitSig is deliberately kept: it is empty again by the time the task
+	// can recycle, and reusing it keeps repeat blocking waits allocation-free
+	// (TestMemPoolAllocGate in this package gates this).
 	t.vEnd, t.vCreate, t.vArrival = 0, 0, 0
 	ws.tasks.Put(t)
 }
@@ -229,29 +244,6 @@ func (r *Runtime) submitLive(tc *TaskContext, spec TaskSpec, g *graphRun, gidx i
 		// window; its eventual dependency-cascade entry is unreserved.
 		r.thr.Refund(tc.worker)
 	}
-}
-
-// Taskwait blocks until all direct children (and, transitively, their
-// descendants) have completed. The caller's worker token is yielded while
-// blocked and reacquired afterwards — the cost the paper's wait clause
-// avoids (§IV). Not available in virtual mode.
-func (tc *TaskContext) Taskwait() {
-	r := tc.rt
-	if r.cfg.Virtual {
-		panic("core: Taskwait is not supported in virtual mode; use WeakWait or the default wait-clause completion")
-	}
-	t := tc.task
-	t.mu.Lock()
-	if t.children == 0 {
-		t.mu.Unlock()
-		return
-	}
-	ch := make(chan struct{})
-	t.waitCh = ch
-	t.mu.Unlock()
-	r.sch.Yield(tc.worker)
-	<-ch
-	tc.worker = r.sch.Acquire()
 }
 
 // Release implements the release directive (§V): the task asserts that
@@ -381,15 +373,31 @@ func (r *Runtime) completeTask(t *Task, worker int, buf []*deps.Node) []*deps.No
 	p := t.parent
 	p.mu.Lock()
 	p.children--
-	if p.children == 0 && p.waitCh != nil {
-		close(p.waitCh)
-		p.waitCh = nil
+	var sig chan struct{}
+	var cont *contNode
+	if p.children == 0 {
+		if p.waiting {
+			p.waiting = false
+			sig = p.waitSig
+		}
+		// cont stays set on p: the resumer reads it through the ready pool,
+		// and the woken waiter detaches it before recycling the node.
+		cont = p.cont
 	}
+	// A parked waiter implies the parent's body has not returned, so cascade
+	// and the wakeups below are mutually exclusive.
 	cascade := p.children == 0 && p.bodyDone && !p.completed
 	if cascade {
 		p.completed = true
 	}
 	p.mu.Unlock()
+	if sig != nil {
+		// Capacity 1 with a single consumer: the send never blocks.
+		sig <- struct{}{}
+	}
+	if cont != nil {
+		r.submitContinuation(p, cont, worker)
+	}
 	if cascade {
 		buf = r.completeTask(p, worker, buf)
 		r.recycleTask(p, worker)

@@ -186,6 +186,16 @@ type Recording struct {
 	// entries, weakwait tasks, nested submissions, a failed edge
 	// cross-check).
 	ineligible string
+	// ownerWaits counts blocking owner-level taskwaits recorded in the
+	// region body. An owner-level wait does NOT make the shape ineligible:
+	// the barrier is part of the owner's body code, re-executed identically
+	// by every later execution — live or replayed — at the same point in
+	// the submission stream, so the frozen edge set need not express it.
+	// (A blocking taskwait inside a region *member* task is different: it
+	// implies nested submissions, which are ineligible.) The count is the
+	// recorded trace of those continuation edges, surfaced for diagnostics
+	// and the eligibility tests.
+	ownerWaits int
 }
 
 // Len returns the number of recorded tasks.
@@ -205,6 +215,11 @@ func (r *Recording) Union() []deps.Spec { return r.union }
 func (r *Recording) Eligible() (bool, string) {
 	return r.ineligible == "", r.ineligible
 }
+
+// OwnerWaits returns the number of blocking owner-level taskwaits recorded
+// in the region body (see the field doc: owner-level waits keep the
+// recording replay-eligible).
+func (r *Recording) OwnerWaits() int { return r.ownerWaits }
 
 // Recorder captures one region execution into a Recording. OnSubmit calls
 // are serialized by the region owner (only the owning task's body submits
@@ -245,6 +260,16 @@ func (rc *Recorder) OnSubmit(weakWait, final bool, specs []deps.Spec) int32 {
 		FP: AppendFP(nil, weakWait, final, specs),
 	})
 	return int32(len(rc.rec.tasks) - 1)
+}
+
+// OnOwnerWait records one blocking owner-level taskwait in the region
+// body. Serialized by the region owner, like OnSubmit (only the owning
+// task's body waits at owner level). The recording stays replay-eligible:
+// the wait is owner body code that re-executes identically on every later
+// execution, so it needs no frozen-edge representation — only its trace
+// (Recording.OwnerWaits).
+func (rc *Recorder) OnOwnerWait() {
+	rc.rec.ownerWaits++
 }
 
 // OnLiveEdge records one dependency edge the live engine materialized

@@ -6,8 +6,15 @@
 // on its own goroutine only while it holds a token, so at most Workers task
 // bodies execute at once. A task blocking in taskwait yields its token (the
 // paper's observation that a taskwait forces the runtime to keep the task
-// context alive, §IV, maps to the blocked goroutine plus the token
-// round-trip) and reacquires one to resume.
+// context alive, §IV, maps to the blocked goroutine). How the blocked task
+// gets a token back depends on the core runtime's Taskwait strategy: the
+// parking reference re-acquires one through Acquire's waiter list (a full
+// token round-trip per sync point), while the default continuation handoff
+// re-submits the waiting task into these ready pools — it competes for a
+// worker like any other item, may be stolen, and the worker that pulls it
+// hands its token directly to the parked goroutine. The pools need no
+// special case for this: a continuation is an ordinary queued item whose
+// dispatch callback transfers the token instead of running a body.
 //
 // Four ready-pool implementations share the Queue contract:
 //

@@ -49,6 +49,15 @@
 // allocates nothing once warm. MemReference restores the allocate-always
 // baseline for A/B comparisons.
 //
+// Nested synchronization points are wait-free by default (Config.
+// TaskwaitImpl = TaskwaitAuto): a Taskwait that finds incomplete children
+// yields its worker token into other ready work, and the last completing
+// child submits the waiting task back into the ready pools as a pooled
+// continuation — the worker that pulls it hands its token straight to the
+// parked goroutine, so the token protocol never idles a worker on a sync
+// point. TaskwaitParking restores the classic park-on-channel reference;
+// Runtime.TaskwaitStats reports parks, handoffs, and steal-resumes.
+//
 // A minimal program:
 //
 //	rt := nanos.New(nanos.Config{Workers: 4})
@@ -136,6 +145,13 @@ type (
 	// (Runtime.ReplayStats): recordings, replays, invalidations, live
 	// fallbacks.
 	ReplayStats = replay.Stats
+	// TaskwaitKind selects the Taskwait blocking strategy
+	// (Config.TaskwaitImpl).
+	TaskwaitKind = core.TaskwaitKind
+	// TaskwaitStats exposes the Taskwait blocking counters
+	// (Runtime.TaskwaitStats): parks (parking strategy), continuation
+	// handoffs, and steal-resumes.
+	TaskwaitStats = core.TaskwaitStats
 )
 
 // Access types for Dep.Type.
@@ -236,6 +252,25 @@ const (
 	ReplayOff = replay.KindOff
 	// ReplayOn enables the cache in real mode.
 	ReplayOn = replay.KindOn
+)
+
+// Taskwait strategies for Config.TaskwaitImpl. Both enforce the same
+// semantics (the differential tests in internal/core prove it); selecting
+// one explicitly is for ablations and A/B comparisons.
+const (
+	// TaskwaitAuto picks the continuation handoff in real mode (virtual
+	// mode has no Taskwait).
+	TaskwaitAuto = core.TaskwaitAuto
+	// TaskwaitParking is the classic reference: a blocked taskwait parks
+	// its goroutine and re-acquires a worker token through the scheduler's
+	// waiter list when the last child completes.
+	TaskwaitParking = core.TaskwaitParking
+	// TaskwaitContinuation is the wait-free strategy: a blocked taskwait's
+	// resume is submitted into the sharded ready pools by the last
+	// completing child as a pooled continuation, and the worker that pulls
+	// it hands its token straight to the parked goroutine — the token
+	// protocol never parks a worker on a nested sync point.
+	TaskwaitContinuation = core.TaskwaitContinuation
 )
 
 // Verification finding kinds.

@@ -245,6 +245,122 @@ func TestStressFailureInjection(t *testing.T) {
 	}
 }
 
+// TestStressTaskwaitContinuationMatrix combines the taskwait strategies
+// with every sharded subsystem at once — stealing ready pool, sharded
+// throttle window, pooled memory, and replay graph regions (one
+// replay-eligible region with owner-level waits, one made ineligible by
+// member-task waits over nested submissions) — under Debug, whose
+// end-of-run checks assert zero continuation nodes outstanding at drain.
+// Run with -race this is the concurrency-safety net for the continuation
+// handoff across all layers.
+func TestStressTaskwaitContinuationMatrix(t *testing.T) {
+	iters, inner := 4, 20
+	if testing.Short() {
+		iters, inner = 2, 8
+	}
+	for _, impl := range []nanos.TaskwaitKind{nanos.TaskwaitParking, nanos.TaskwaitContinuation} {
+		impl := impl
+		t.Run(fmt.Sprintf("impl=%v", impl), func(t *testing.T) {
+			rt := nanos.New(nanos.Config{
+				Workers:           4,
+				Stealing:          true,
+				ThrottleOpenTasks: 6,
+				TaskwaitImpl:      impl,
+				Debug:             true,
+			})
+			d := rt.NewData("x", stressUniverse, 8)
+			var sum atomic.Int64
+			err := rt.RunChecked(func(tc *nanos.TaskContext) {
+				for it := 0; it < iters; it++ {
+					// Replay-eligible region: owner-level waits between
+					// submissions; iterations 2+ run from the recording.
+					tc.Graph("tw-owner", func(tc *nanos.TaskContext) {
+						for b := 0; b < 4; b++ {
+							lo, hi := int64(b*16), int64(b*16+16)
+							tc.Submit(nanos.TaskSpec{
+								Label: "A",
+								Deps:  []nanos.Dep{nanos.DInOut(d, nanos.Iv(lo, hi))},
+								Body:  func(*nanos.TaskContext) { sum.Add(1) },
+							})
+							if b == 1 {
+								tc.Taskwait()
+							}
+						}
+						tc.Taskwait()
+					})
+					// Ineligible region: member tasks submit nested children
+					// and block on them, so every iteration runs live.
+					tc.Graph("tw-member", func(tc *nanos.TaskContext) {
+						for m := 0; m < 3; m++ {
+							tc.Submit(nanos.TaskSpec{Label: "M", Body: func(tc *nanos.TaskContext) {
+								var local atomic.Int64
+								for c := 0; c < inner; c++ {
+									tc.Submit(nanos.TaskSpec{Label: "inner", Body: func(*nanos.TaskContext) {
+										local.Add(1)
+										sum.Add(1)
+									}})
+								}
+								tc.Taskwait()
+								if got := local.Load(); got != int64(inner) {
+									t.Errorf("member wait returned after %d of %d nested children", got, inner)
+								}
+							}})
+						}
+					})
+					// Loose wait-heavy churn outside any region, throttled.
+					for p := 0; p < 6; p++ {
+						lo := int64((p % 4) * 16)
+						tc.Submit(nanos.TaskSpec{Label: "P", Body: func(tc *nanos.TaskContext) {
+							for c := 0; c < 4; c++ {
+								tc.Submit(nanos.TaskSpec{
+									Label: "leaf",
+									Deps:  []nanos.Dep{nanos.DInOut(d, nanos.Iv(lo, lo+16))},
+									Body:  func(*nanos.TaskContext) { sum.Add(1) },
+								})
+								tc.Taskwait()
+							}
+						}})
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(iters * (4 + 3*inner + 6*4))
+			if got := sum.Load(); got != want {
+				t.Fatalf("ran %d bodies, want %d", got, want)
+			}
+			if n := rt.ContPoolStats().Outstanding(); n != 0 {
+				t.Fatalf("%d continuation nodes outstanding after drain", n)
+			}
+			st := rt.TaskwaitStats()
+			switch impl {
+			case nanos.TaskwaitContinuation:
+				if st.Parks != 0 {
+					t.Errorf("continuation: %d parks, want zero (stats %+v)", st.Parks, st)
+				}
+				if st.Handoffs == 0 {
+					t.Errorf("continuation: no handoffs on a wait-heavy workload (stats %+v)", st)
+				}
+			case nanos.TaskwaitParking:
+				if st.Handoffs != 0 || st.StealResumes != 0 {
+					t.Errorf("parking: stats %+v, want zero handoffs and steal-resumes", st)
+				}
+				if st.Parks == 0 {
+					t.Errorf("parking: no parks on a wait-heavy workload (stats %+v)", st)
+				}
+			}
+			rst := rt.ReplayStats()
+			if rst.Records == 0 {
+				t.Errorf("no region recorded: %+v", rst)
+			}
+			if iters > 1 && rst.Replays == 0 {
+				t.Errorf("owner-wait region never replayed: %+v", rst)
+			}
+		})
+	}
+}
+
 // TestStressVirtualDeterminism: identical virtual-mode runs produce
 // identical makespans and task counts, across policies.
 func TestStressVirtualDeterminism(t *testing.T) {
