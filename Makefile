@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke depbench ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke depbench ci
 
 all: build
 
@@ -27,12 +27,16 @@ help:
 	@echo "                 nested programs, zero-parks continuation check (w=2/4/8), exact"
 	@echo "                 w=1 stats, edge cases, w=1 parity guard (continuation <=1.5x"
 	@echo "                 parking), plus the depbench nested-taskwait table"
+	@echo "  ws-smoke       worksharing gates: chunked-vs-expand differential over randomized"
+	@echo "                 grains and skewed chunk costs, single-replay-node check, w=1 parity"
+	@echo "                 guard (chunked <=1.5x expand), chunk-descriptor alloc gate, workload"
+	@echo "                 validation (axpy + GS wavefront), plus the depbench ws table"
 	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
-	@echo "                 throttle windows, replay cache, taskwait strategies (go run"
-	@echo "                  ./cmd/depbench; -mode deps|sched|throttle|replay|wait selects one"
-	@echo "                  table, -workers/-ops/-sched-ops/-throttle-ops/-window/"
-	@echo "                  -replay-iters/-wait-reps size the sweeps)"
-	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait smokes"
+	@echo "                 throttle windows, replay cache, taskwait strategies, worksharing"
+	@echo "                  chunks (go run ./cmd/depbench; -mode deps|sched|throttle|replay|"
+	@echo "                  wait|ws selects one table, -workers/-ops/-sched-ops/-throttle-ops/"
+	@echo "                  -window/-replay-iters/-wait-reps/-ws-iters/-ws-grain size the sweeps)"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws smokes"
 
 build:
 	$(GO) build ./...
@@ -97,6 +101,20 @@ wait-smoke:
 	$(GO) test -run 'TestTaskwaitImplResolution|TestTaskwaitExactStats|TestTaskwaitZeroParksMultiWorker|TestTaskwaitEdgeCases|TestTaskwaitW1Parity' ./internal/core
 	$(GO) run ./cmd/depbench -mode wait -workers 2,4,8 -wait-reps 60
 
+# Worksharing smoke: the chunked-vs-expand differential (identical final
+# state over randomized grains, widths, and skewed chunk costs), the
+# single-replay-node composition check (a region records and replays as
+# one graph node), the w=1 parity guard (the chunked body must stay within
+# 1.5x of the per-chunk-task expansion when uncontended), the
+# chunk-descriptor allocation gate (zero fresh descriptors in steady
+# state, with leak accounting), the workload validations (axpy +
+# Gauss-Seidel wavefront against their sequential references), and one
+# pass of the depbench ws table.
+ws-smoke:
+	$(GO) test -run 'TestWorksharingBasic|TestWorksharingKindResolution|TestWorksharingDifferential|TestWorksharingW1Parity|TestWorksharingReplaySingleNode|TestWorksharingEdgeCases|TestMemPoolAllocGateWorksharing' ./internal/core
+	$(GO) test -run 'TestAxpyWorksharingAllStrategies|TestGSWsWavefrontValidates' ./internal/workloads
+	$(GO) run ./cmd/depbench -mode ws -workers 2,4 -ws-iters 40 -ws-grain 64,256
+
 # Contention tables (deps: global vs sharded engine, plus the pooled
 # memory mode; sched: single-lock vs
 # sharded ready pools; throttle: mutex+cond vs sharded token-bucket
@@ -106,4 +124,4 @@ wait-smoke:
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke

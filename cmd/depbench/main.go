@@ -22,6 +22,17 @@
 //     formulation replayed from the frozen recording — the last bypasses
 //     the dependency engine entirely, so its per-iteration overhead is
 //     the cost of atomic countdowns plus ready-pool admission.
+//   - ws: the worksharing chunk distribution. A chain of fine-grained
+//     loop regions (union inout over one data object, chunk bodies that
+//     spin proportionally to chunk length) runs twice per grain: expanded
+//     to one task per chunk (the Taskloop shape) and as one worksharing
+//     task whose chunks self-schedule against a shared cursor. The table
+//     reports wall time, allocations per thousand chunks, the chunks
+//     executed by announced helpers (the redistributed work), worker idle
+//     time, and the expand/chunked speedup — which grows as the grain
+//     shrinks, because the expansion pays a full task lifecycle per chunk
+//     while the worksharing region pays one lifecycle plus an atomic add
+//     per chunk.
 //   - wait: the Taskwait blocking strategies. A nested-taskwait workload
 //     (parents submitting spinning leaf children and blocking on them,
 //     repeated in waves) runs through the parking reference and the
@@ -57,9 +68,10 @@
 //
 // Usage:
 //
-//	depbench [-mode all|deps|sched|throttle|replay|wait] [-workers 1,2,4,8]
+//	depbench [-mode all|deps|sched|throttle|replay|ws|wait] [-workers 1,2,4,8]
 //	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
-//	         [-replay-iters N] [-replay-blocks N] [-wait-reps N] [-wait-fan N]
+//	         [-replay-iters N] [-replay-blocks N] [-ws-iters N] [-ws-grain G,G,...]
+//	         [-wait-reps N] [-wait-fan N]
 //
 // -ops, -sched-ops, and -throttle-ops size the three workloads
 // independently (admission cycles are far cheaper than engine ops, so the
@@ -346,6 +358,45 @@ func runReplay(v replayVariant, w, blocks, iters int) (tasksPerIter int, wall, w
 	return blocks * blocks, wall, mutexWait() - wait0, m1 - m0, p1 - p0
 }
 
+// runWs drives iters worksharing regions over [0, n) at the given grain,
+// chained through a union inout entry so regions serialize and the
+// intra-region chunk distribution is the only parallelism — the worst case
+// for amortizing the announcement. Chunk bodies spin proportionally to
+// chunk length, so total body work is grain-independent and the grain
+// sweep isolates the per-chunk overhead: a full task lifecycle per chunk
+// under expand, an atomic cursor add under chunked.
+func runWs(kind core.WorksharingKind, w, iters int, grain, n int64) (chunks int64, wall time.Duration, allocs uint64, helper int64, idle float64) {
+	rt := core.New(core.Config{Workers: w, WorksharingImpl: kind})
+	ad := rt.NewData("A", n, 8)
+	cpu0 := cpuTime()
+	m0, _ := memCounters()
+	start := time.Now()
+	rt.Run(func(tc *core.TaskContext) {
+		for it := 0; it < iters; it++ {
+			tc.Worksharing(core.WorksharingSpec{
+				Label: "ws",
+				Lo:    0, Hi: n, Grain: grain,
+				Deps: func(lo, hi int64) []core.Dep {
+					return []core.Dep{{Data: ad, Type: deps.InOut, Ivs: []regions.Interval{regions.Iv(lo, hi)}}}
+				},
+				Body: func(_ *core.TaskContext, lo, hi int64) { waitSpin(int(hi - lo)) },
+			})
+		}
+	})
+	wall = time.Since(start)
+	cpu := cpuTime() - cpu0
+	m1, _ := memCounters()
+	chunks = (n + grain - 1) / grain * int64(iters)
+	helper = rt.WsStats().HelperChunks
+	if wall > 0 {
+		idle = 1 - float64(cpu)/(float64(w)*float64(wall))
+		if idle < 0 {
+			idle = 0
+		}
+	}
+	return chunks, wall, m1 - m0, helper, idle
+}
+
 // waitSpin burns a few microseconds of CPU so the parents' taskwaits are
 // guaranteed to find incomplete children (the blocking path under
 // measurement); the sink defeats dead-code elimination.
@@ -434,6 +485,9 @@ func main() {
 	windowFlag := flag.Int("window", 0, "throttle window bound (0 = the row's worker count)")
 	replayItersFlag := flag.Int("replay-iters", 400, "sweeps per replay-table configuration")
 	replayBlocksFlag := flag.Int("replay-blocks", 8, "tile grid side of the replay-table wavefront sweep")
+	wsItersFlag := flag.Int("ws-iters", 100, "loop regions per worksharing-table configuration")
+	wsGrainFlag := flag.String("ws-grain", "16,64,256", "comma-separated grain sweep for the worksharing table")
+	wsRangeFlag := flag.Int64("ws-n", 1<<16, "iteration-space size of each worksharing region")
 	waitRepsFlag := flag.Int("wait-reps", 200, "waves per taskwait-table configuration")
 	waitFanFlag := flag.Int("wait-fan", 8, "leaf children per parent in the taskwait-table workload")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
@@ -449,10 +503,19 @@ func main() {
 		workers = append(workers, n)
 	}
 	switch *modeFlag {
-	case "all", "deps", "sched", "throttle", "replay", "wait":
+	case "all", "deps", "sched", "throttle", "replay", "ws", "wait":
 	default:
-		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, or wait)\n", *modeFlag)
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, ws, or wait)\n", *modeFlag)
 		os.Exit(2)
+	}
+	var wsGrains []int64
+	for _, s := range strings.Split(*wsGrainFlag, ",") {
+		g, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil || g < 1 {
+			fmt.Fprintf(os.Stderr, "depbench: bad worksharing grain %q\n", s)
+			os.Exit(2)
+		}
+		wsGrains = append(wsGrains, g)
 	}
 
 	// Keep the collector out of the measurement as far as possible: the
@@ -596,6 +659,50 @@ func main() {
 					row.name, w, tiles, iters, wall.Round(time.Millisecond), perIter,
 					wait.Round(10*time.Microsecond), float64(allocs)/float64(ops)*1000,
 					gcPause.Round(10*time.Microsecond), cut)
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+
+	if *modeFlag == "all" || *modeFlag == "ws" {
+		if *modeFlag == "all" {
+			fmt.Println()
+		}
+		iters, n := *wsItersFlag, *wsRangeFlag
+		fmt.Printf("worksharing chunk distribution (chained fine-grain loop regions)\n")
+		fmt.Printf("%-8s %8s %7s %10s %8s %12s %12s %11s %12s %7s %9s\n",
+			"impl", "workers", "grain", "chunks/it", "iters", "wall", "us/iter", "allocs/kop", "helper-chks", "idle", "speedup")
+		kinds := []struct {
+			name string
+			kind core.WorksharingKind
+		}{
+			{"expand", core.WorksharingExpand},
+			{"chunked", core.WorksharingChunked},
+		}
+		for _, w := range workers {
+			prev := runtime.GOMAXPROCS(0)
+			if w > prev {
+				runtime.GOMAXPROCS(w)
+			}
+			for _, grain := range wsGrains {
+				var expandWall time.Duration
+				for _, row := range kinds {
+					runWs(row.kind, w, iters/10+1, grain, n) // warm-up
+					runtime.GC()
+					chunks, wall, allocs, helper, idle := runWs(row.kind, w, iters, grain, n)
+					speedup := "-"
+					if row.kind == core.WorksharingExpand {
+						expandWall = wall
+					} else if wall > 0 && expandWall > 0 {
+						// The acceptance metric: the per-chunk-task expansion
+						// costs this many times the worksharing region.
+						speedup = fmt.Sprintf("%.2fx", float64(expandWall)/float64(wall))
+					}
+					fmt.Printf("%-8s %8d %7d %10d %8d %12s %12.1f %11.1f %12d %6.1f%% %9s\n",
+						row.name, w, grain, chunks/int64(iters), iters, wall.Round(time.Millisecond),
+						float64(wall.Microseconds())/float64(iters),
+						float64(allocs)/float64(chunks)*1000, helper, idle*100, speedup)
+				}
 			}
 			runtime.GOMAXPROCS(prev)
 		}

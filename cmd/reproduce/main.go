@@ -7,10 +7,13 @@
 //
 //	reproduce [-scale 1.0] [-cores N] [-reps 3] [-quick] [-out report.txt]
 //	reproduce -replay [-replay-json BENCH_replay.json]
+//	reproduce -ws [-ws-json BENCH_ws.json]
 //
 // -replay runs only the record-and-replay graph-region experiment (the
 // before/after per-sweep comparison of the taskgraph cache), optionally
-// writing the rows to a JSON file.
+// writing the rows to a JSON file. -ws runs only the worksharing
+// experiment (fine-grain loops as per-chunk tasks vs one chunk-distributed
+// task per region), likewise optionally writing a JSON record.
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	ext := flag.Bool("ext", false, "also run the beyond-the-paper extension experiments")
 	replayBench := flag.Bool("replay", false, "run only the record-and-replay graph-region experiment")
 	replayJSON := flag.String("replay-json", "", "with -replay: also write the rows to this JSON file (e.g. BENCH_replay.json)")
+	wsBench := flag.Bool("ws", false, "run only the worksharing chunk-distribution experiment")
+	wsJSON := flag.String("ws-json", "", "with -ws: also write the rows to this JSON file (e.g. BENCH_ws.json)")
 	out := flag.String("out", "", "also write the report to this file")
 	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
 	flag.Parse()
@@ -54,6 +59,13 @@ func main() {
 	o := harness.Options{Scale: *scale, Cores: *cores, Reps: *reps, Quick: *quick, CSVDir: *csvDir}
 	if *replayBench {
 		if err := harness.ReplayBench(w, o, *replayJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *wsBench {
+		if err := harness.WSBench(w, o, *wsJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 			os.Exit(1)
 		}

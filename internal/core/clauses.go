@@ -101,6 +101,15 @@ func (r *Runtime) runErr() error {
 				return fmt.Errorf("core: debug check failed: %d taskwait continuation nodes not recycled at end of run", n)
 			}
 		}
+		if r.wsPool != nil {
+			// Every worksharing chunk descriptor recycles in its task's
+			// completeTask, which happens-before the root's completion, so a
+			// positive count here is a leaked descriptor (an announce-hold
+			// that never released).
+			if n := r.wsPool.Outstanding(); n != 0 {
+				return fmt.Errorf("core: debug check failed: %d worksharing chunk descriptors not recycled at end of run", n)
+			}
+		}
 	}
 	return nil
 }

@@ -109,11 +109,28 @@ func (r *Runtime) dispatchPreferFirst(nodes []*deps.Node, w int, donePD deps.Dat
 // under the parent's mu and submits), and the pool's Submit/pop pair
 // orders that write before this read. The intercept runs before
 // taskStarted, so the throttle window never counts a resume.
+//
+// A task arriving with a chunk descriptor attached is a worksharing
+// invitation (announced by wsExecute after the task's own body started):
+// the worker joins the chunk drain instead of executing a body, releases
+// its announce-hold, and looks for more work. The unlocked wsRun read is
+// ordered by the pool's Announce/pop pair exactly like cont; the task's
+// first dispatch — the one that runs the body — always sees wsRun nil,
+// which is only set from inside the running body.
 func (r *Runtime) runWorker(t *Task, w int) {
 	for {
 		if cn := t.cont; cn != nil {
 			r.resumeContinuation(t, cn, w)
 			return
+		}
+		if wr := t.wsRun; wr != nil {
+			w = r.runWsHelper(t, wr, w)
+			nt, ok := r.sch.Finish(w)
+			if !ok {
+				return
+			}
+			t = nt
+			continue
 		}
 		next, cur := r.executeTask(t, w)
 		w = cur

@@ -271,6 +271,58 @@ func TestMemPoolAllocGate(t *testing.T) {
 	}
 }
 
+// TestMemPoolAllocGateWorksharing gates the worksharing chunk descriptors:
+// a steady-state {Worksharing region; Taskwait} cycle must draw every
+// descriptor from the pool (zero fresh allocations once warm) and return
+// every one at completion, and the whole cycle must stay within a few
+// mallocs (the pooled task, the region's body closure, the wait) — a
+// per-chunk or per-region descriptor allocation would scale with the
+// region count and blow the bound.
+func TestMemPoolAllocGateWorksharing(t *testing.T) {
+	r := New(Config{Workers: 1, MemPool: mempool.KindPooled})
+	var sink atomic.Int64
+	var per float64
+	var newsDelta, outstanding int64
+	r.Run(func(tc *TaskContext) {
+		cycle := func() {
+			tc.Worksharing(WorksharingSpec{
+				Lo: 0, Hi: 256, Grain: 16,
+				Body: func(tc *TaskContext, lo, hi int64) { sink.Add(hi - lo) },
+			})
+			tc.Taskwait()
+		}
+		for i := 0; i < 100; i++ {
+			cycle()
+		}
+		runtime.GC()
+		warm := r.WsPoolStats()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		const N = 800
+		for i := 0; i < N; i++ {
+			cycle()
+		}
+		runtime.ReadMemStats(&m1)
+		per = float64(m1.Mallocs-m0.Mallocs) / N
+		st := r.WsPoolStats()
+		newsDelta = st.News - warm.News
+		outstanding = st.Outstanding()
+		if st.Gets-warm.Gets != N {
+			t.Errorf("drew %d descriptors over %d regions; every chunked region draws exactly one", st.Gets-warm.Gets, N)
+		}
+	})
+	t.Logf("worksharing cycle: %.2f mallocs, descriptor news delta %d", per, newsDelta)
+	if newsDelta != 0 {
+		t.Errorf("%d fresh chunk-descriptor allocations in steady state, want 0 (recycling is not engaging)", newsDelta)
+	}
+	if outstanding != 0 {
+		t.Errorf("%d chunk descriptors outstanding at drain, want 0", outstanding)
+	}
+	if per > 4.5 {
+		t.Errorf("%.2f mallocs per worksharing cycle, want <= 4.5 (a per-region or per-chunk allocation crept in)", per)
+	}
+}
+
 // TestMemPoolStressRace combines the pooled memory mode with every sharded
 // subsystem — sharded engine, stealing pool, sharded throttle — under
 // churn with nested weakwait tasks and taskwait blockers; run with -race

@@ -150,6 +150,19 @@ type Config struct {
 	// comparisons. Ignored when ThrottleOpenTasks is 0 or in virtual mode
 	// (the sequential simulation never blocks submitters).
 	ThrottleImpl throttle.Kind
+	// WorksharingImpl selects the TaskContext.Worksharing execution
+	// strategy. WorksharingAuto (the zero value) picks the chunk-distributed
+	// strategy in real mode: one task registers the loop's union depend
+	// entries, and when its body starts the grain-sized chunks self-schedule
+	// across idle workers via a shared atomic cursor, with announced helper
+	// invitations riding the task's completion countdown (see
+	// worksharing.go). WorksharingExpand is the per-chunk-task reference
+	// (the shape Taskloop submits), kept as the differential baseline and
+	// for A/B comparisons — both strategies produce identical final state
+	// on programs whose depend entries cover their accesses (the
+	// differential tests in this package prove it). Virtual mode runs the
+	// chunked strategy's chunks serially inside the single task.
+	WorksharingImpl WorksharingKind
 	// TaskwaitImpl selects the TaskContext.Taskwait blocking strategy.
 	// TaskwaitAuto (the zero value) picks the continuation handoff in real
 	// mode: a blocked taskwait yields its worker into other ready work and
@@ -233,6 +246,13 @@ type Runtime struct {
 	twKind   TaskwaitKind
 	contPool *mempool.Pool[contNode]
 	tw       twStats
+
+	// Worksharing strategy (Config.WorksharingImpl). wsPool is the chunk-
+	// descriptor free list (chunked strategy, real mode only); wsc counts
+	// regions/chunks/helper activity (Runtime.WsStats).
+	wsKind WorksharingKind
+	wsPool *mempool.Pool[wsRun]
+	wsc    wsCounters
 
 	// Record-and-replay taskgraph cache (Config.Replay; real mode only).
 	// gregs maps region names to their cache slots; replayPool is the
@@ -329,6 +349,14 @@ func New(cfg Config) *Runtime {
 	if rp == replay.KindOn && !cfg.Virtual {
 		r.replayOn = true
 		r.replayPool = replay.NewPool()
+	}
+	wsk := cfg.WorksharingImpl
+	if wsk == WorksharingAuto {
+		wsk = WorksharingChunked
+	}
+	r.wsKind = wsk
+	if wsk == WorksharingChunked && !cfg.Virtual {
+		r.wsPool = newWsPool(cfg.Workers)
 	}
 	tw := cfg.TaskwaitImpl
 	if tw == TaskwaitAuto {

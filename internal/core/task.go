@@ -93,6 +93,13 @@ type Task struct {
 	// pools, and by runWorker (unlocked — ordered by the pool's internal
 	// synchronization) to hand its token over.
 	cont *contNode
+	// wsRun is the worksharing chunk descriptor: set by the running body
+	// (wsExecute) before announcing helper invitations, read by runWorker
+	// (unlocked — ordered like cont by the pool's Announce/pop pair) to
+	// route popped invitations into the chunk drain, and recycled by
+	// completeTask. nil on every task that is not an executing worksharing
+	// region.
+	wsRun *wsRun
 
 	vEnd     int64 // virtual mode: completion time
 	vCreate  int64 // virtual mode: accumulated creation cost of the body
@@ -144,6 +151,7 @@ func (r *Runtime) recycleTask(t *Task, worker int) {
 	t.children = 0
 	t.bodyDone, t.completed = false, false
 	t.waiting, t.cont = false, nil
+	t.wsRun = nil
 	// waitSig is deliberately kept: it is empty again by the time the task
 	// can recycle, and reusing it keeps repeat blocking waits allocation-free
 	// (TestMemPoolAllocGate in this package gates this).
@@ -353,6 +361,15 @@ func (r *Runtime) finishBody(t *Task, worker int) (ready []*deps.Node, completed
 // finished without a taskwait), so this goroutine is the last to see them.
 // Ready nodes are appended to buf.
 func (r *Runtime) completeTask(t *Task, worker int, buf []*deps.Node) []*deps.Node {
+	if wr := t.wsRun; wr != nil {
+		// A completed worksharing region: every announce-hold has been
+		// released (holds ride t.children, which is zero here) and the
+		// cursor is exhausted, so nothing references the chunk descriptor
+		// anymore. Detach and recycle it before the task itself can.
+		t.wsRun = nil
+		wr.body = nil
+		r.wsPool.Put(worker, wr)
+	}
 	if t.gnode != nil {
 		// A replayed region task: its completion decrements the recorded
 		// successors' countdowns (dispatching the ones that fire) before

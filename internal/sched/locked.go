@@ -110,6 +110,27 @@ func (s *LockedStealing[T]) SubmitBatch(items []T, from int) {
 	s.mu.Unlock()
 }
 
+// Announce publishes n copies of one item: free tokens are matched first,
+// the rest are spread round-robin across the deques (announcements carry no
+// submitter locality), all under one lock acquisition.
+func (s *LockedStealing[T]) Announce(item T, n, from int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	for ; n > 0 && len(s.free) > 0; n-- {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.spawnGo(item, w)
+	}
+	for ; n > 0; n-- {
+		d := int(s.rr.Add(1)) % s.workers
+		s.deques[d] = append(s.deques[d], item)
+		s.queued++
+	}
+	s.mu.Unlock()
+}
+
 // popLocked removes the next item for worker w: own back, then victims'
 // fronts, scanning round-robin from w. Caller holds mu. Returns ok=false
 // when every deque is empty.

@@ -135,6 +135,17 @@ type Queue[T any] interface {
 	// instead of one lock round-trip per edge. from follows the same
 	// ownership rule as Submit.
 	SubmitBatch(items []T, from int)
+	// Announce publishes n copies of one item with no submitter locality:
+	// free tokens are matched first (goroutine-per-copy, as Submit), and
+	// the remaining copies are spread across the pool's shards instead of
+	// landing on the announcing worker's queue, so idle workers on other
+	// shards find them without a steal round-trip. Worksharing regions use
+	// this to invite the fleet into a chunk-distributed body: each copy is
+	// an invitation, not new work, so the same item may legitimately appear
+	// n times. from follows the same ownership rule as Submit (it names the
+	// announcing worker's token; the copies themselves are placed as if
+	// external).
+	Announce(item T, n, from int)
 	// Finish is called by a runner that completed its item and still holds
 	// worker — and only by that runner; the call consumes the token unless
 	// ok is true. It returns the next item to run on this worker, if any;
@@ -270,6 +281,26 @@ func (s *Scheduler[T]) SubmitBatch(items []T, from int) {
 	}
 	for ; i < len(items); i++ {
 		s.push(items[i])
+	}
+	s.mu.Unlock()
+}
+
+// Announce publishes n copies of item: free tokens are matched first, the
+// rest queue according to policy. The central queue has no shards, so
+// "spread" degenerates to the one queue; the contract's no-locality clause
+// is satisfied trivially.
+func (s *Scheduler[T]) Announce(item T, n, from int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	for ; n > 0 && len(s.free) > 0; n-- {
+		w := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		go s.spawn(item, w)
+	}
+	for ; n > 0; n-- {
+		s.push(item)
 	}
 	s.mu.Unlock()
 }

@@ -201,6 +201,32 @@ func (p *shardedPool[T]) SubmitBatch(items []T, from int) {
 	p.kick()
 }
 
+// Announce publishes n copies of one item: free tokens are matched first,
+// and the remaining copies are scattered round-robin across the shard
+// inboxes (the external-submission path — announcements have no submitter
+// locality, so parking them on the announcer's own deque would force every
+// other worker through a steal to find one). One kick closes the
+// lost-wakeup window for the whole announcement.
+func (p *shardedPool[T]) Announce(item T, n, from int) {
+	if n <= 0 {
+		return
+	}
+	for ; n > 0; n-- {
+		w, ok := p.tokens.tryPop()
+		if !ok {
+			break
+		}
+		p.spawnGo(item, w)
+	}
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		p.pushItem(item, -1)
+	}
+	p.kick()
+}
+
 // takeInbox pops the oldest inbox item of sh, if any.
 func (p *shardedPool[T]) takeInbox(sh *poolShard[T]) (item T, ok bool) {
 	if sh.ilen.Load() == 0 {

@@ -25,6 +25,13 @@ const (
 	// AxpyFlatTaskwait: no nesting, no dependencies, a taskwait barrier
 	// between calls (row 5).
 	AxpyFlatTaskwait AxpyVariant = "flat-taskwait"
+	// AxpyWorksharing: one worksharing region per call — a single task
+	// carrying the union depend entries over x and y, its TaskSize-grained
+	// chunks self-scheduled across the fleet (beyond Table I; the
+	// worksharing-tasks direction of PAPERS.md). Mode.Worksharing selects
+	// the strategy, so the same variant doubles as its own per-chunk-task
+	// baseline under WorksharingExpand.
+	AxpyWorksharing AxpyVariant = "worksharing"
 )
 
 // AxpyVariants lists all variants in Table I's order.
@@ -102,6 +109,30 @@ func RunAxpy(mode Mode, variant AxpyVariant, p AxpyParams) (Result, error) {
 
 	startT := time.Now()
 	switch variant {
+	case AxpyWorksharing:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for c := 0; c < p.Calls; c++ {
+				tc.Worksharing(nanos.WorksharingSpec{
+					Label: "axpy-ws",
+					Lo:    0, Hi: p.N, Grain: p.TaskSize,
+					Deps: func(lo, hi int64) []nanos.Dep {
+						return []nanos.Dep{
+							nanos.DIn(xd, nanos.Iv(lo, hi)),
+							nanos.DInOut(yd, nanos.Iv(lo, hi)),
+						}
+					},
+					Flops: func(lo, hi int64) int64 { return 2 * (hi - lo) },
+					Body: func(_ *nanos.TaskContext, lo, hi int64) {
+						if p.Compute {
+							for i := lo; i < hi; i++ {
+								y[i] += p.Alpha * x[i]
+							}
+						}
+					},
+				})
+			}
+		})
+
 	case AxpyFlatDepend:
 		rt.Run(func(tc *nanos.TaskContext) {
 			for c := 0; c < p.Calls; c++ {
@@ -220,6 +251,8 @@ func AxpyFeatures(v AxpyVariant) (nested, outerDeps, innerDeps, sync string) {
 		return "no", "—", "regular", "no"
 	case AxpyFlatTaskwait:
 		return "no", "—", "none", "taskwait"
+	case AxpyWorksharing:
+		return "no", "—", "union (one task)", "chunk-distributed body"
 	}
 	return "?", "?", "?", "?"
 }

@@ -29,6 +29,18 @@ const (
 	// Mode.Replay on, every sweep after the first replays the frozen tile
 	// graph and never touches the dependency engine.
 	GSGraph GSVariant = "graph"
+	// GSWsWavefront: one worksharing region per anti-diagonal — the tiles
+	// with i+j = d are mutually independent within a sweep, so each
+	// diagonal is a single task carrying a union inout over the plane
+	// (2b-1 tasks per sweep instead of b² tile tasks), its tiles
+	// self-scheduled across the fleet (beyond the paper; the
+	// worksharing-tasks direction of PAPERS.md). The union entries chain
+	// the diagonals, so every tile still reads this-sweep values above and
+	// left and previous-sweep values below and right — exactly the
+	// sequential numerics. The per-task-per-tile baseline to compare
+	// against is GSFlatDepend (expanding this variant's union entries per
+	// tile would serialize the tiles).
+	GSWsWavefront GSVariant = "ws-wavefront"
 )
 
 // GSVariants lists the Gauss-Seidel variants in the paper's order.
@@ -144,6 +156,41 @@ func RunGS(mode Mode, variant GSVariant, p GSParams) (Result, error) {
 
 	startT := time.Now()
 	switch variant {
+	case GSWsWavefront:
+		rt.Run(func(tc *nanos.TaskContext) {
+			for it := 0; it < p.Iters; it++ {
+				// Anti-diagonal d holds tiles (i, d-i) with both coordinates
+				// in [1, b]; chunk index k enumerates them by row coordinate.
+				for d := int64(2); d <= 2*b; d++ {
+					iLo := int64(1)
+					if d-b > iLo {
+						iLo = d - b
+					}
+					iHi := d - 1
+					if b < iHi {
+						iHi = b
+					}
+					d := d
+					tc.Worksharing(nanos.WorksharingSpec{
+						Label: "gs-diag",
+						Lo:    iLo, Hi: iHi + 1, Grain: 1,
+						Deps: func(lo, hi int64) []nanos.Dep {
+							return []nanos.Dep{nanos.DInOut(ad, nanos.Iv(0, total))}
+						},
+						Cost:  func(lo, hi int64) int64 { return (hi - lo) * p.TS * p.TS },
+						Flops: func(lo, hi int64) int64 { return 4 * (hi - lo) * p.TS * p.TS },
+						Body: func(_ *nanos.TaskContext, lo, hi int64) {
+							for i := lo; i < hi; i++ {
+								if p.Compute {
+									gsKernel(a, p.N, p.TS, i, d-i)
+								}
+							}
+						},
+					})
+				}
+			}
+		})
+
 	case GSGraph:
 		rt.Run(func(tc *nanos.TaskContext) {
 			for it := 0; it < p.Iters; it++ {

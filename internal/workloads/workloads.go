@@ -58,6 +58,14 @@ type Mode struct {
 	// task instantiation, modeling the runtime's creation overhead (the
 	// single-generator bottleneck of Figure 4). 0 = free creation.
 	SubmitCost int64
+	// Worksharing selects the Worksharing execution strategy
+	// (core.Config.WorksharingImpl) for the worksharing workload variants
+	// (AxpyWorksharing, GSWsWavefront): WorksharingAuto/Chunked runs each
+	// region as one dependency-carrying task with chunk-distributed body,
+	// WorksharingExpand expands to one task per chunk (the Taskloop-shaped
+	// baseline of cmd/reproduce's worksharing table). Variants that do not
+	// use Worksharing ignore it.
+	Worksharing nanos.WorksharingKind
 	// Replay selects the record-and-replay taskgraph cache
 	// (core.Config.Replay) for the graph-region workload formulations —
 	// the GSGraph Gauss-Seidel variant and the heat workload, whose
@@ -94,6 +102,7 @@ func (m Mode) config() nanos.Config {
 		ThrottleOpenTasks: m.Throttle,
 		ThrottleImpl:      m.ThrottleImpl,
 		Replay:            m.Replay,
+		WorksharingImpl:   m.Worksharing,
 		VirtualSubmitCost: m.SubmitCost,
 		Verify:            m.Verify,
 		Debug:             m.Debug,

@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"testing"
+
+	nanos "repro"
+)
+
+// Worksharing workload variants: both must validate against their
+// sequential references (RunAxpy/RunGS do that internally when Compute is
+// set) under every strategy, and the chunked strategy must actually
+// collapse the task count to one task per region.
+
+func TestAxpyWorksharingAllStrategies(t *testing.T) {
+	p := axpyParams()
+	for _, ws := range []nanos.WorksharingKind{
+		nanos.WorksharingAuto, nanos.WorksharingExpand, nanos.WorksharingChunked,
+	} {
+		for _, workers := range []int{1, 4} {
+			res, err := RunAxpy(Mode{Workers: workers, Worksharing: ws, Debug: true}, AxpyWorksharing, p)
+			if err != nil {
+				t.Fatalf("ws=%v w=%d: %v", ws, workers, err)
+			}
+			chunksPerCall := (p.N + p.TaskSize - 1) / p.TaskSize
+			want := int64(p.Calls) // one task per call
+			if ws == nanos.WorksharingExpand {
+				want = int64(p.Calls) * chunksPerCall
+			}
+			if res.Tasks != want {
+				t.Fatalf("ws=%v w=%d: %d tasks, want %d", ws, workers, res.Tasks, want)
+			}
+			if res.Flops != int64(p.Calls)*2*p.N {
+				t.Fatalf("ws=%v w=%d: %d flops accounted, want %d", ws, workers, res.Flops, int64(p.Calls)*2*p.N)
+			}
+		}
+	}
+}
+
+func TestAxpyWorksharingVirtualMode(t *testing.T) {
+	res, err := RunAxpy(Mode{Workers: 8, Virtual: true}, AxpyWorksharing, axpyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualTime == 0 {
+		t.Fatal("virtual time not measured")
+	}
+}
+
+func TestGSWsWavefrontValidates(t *testing.T) {
+	p := gsParams()
+	for _, ws := range []nanos.WorksharingKind{nanos.WorksharingChunked, nanos.WorksharingExpand} {
+		for _, workers := range []int{1, 4} {
+			res, err := RunGS(Mode{Workers: workers, Worksharing: ws, Debug: true}, GSWsWavefront, p)
+			if err != nil {
+				t.Fatalf("ws=%v w=%d: %v", ws, workers, err)
+			}
+			if ws == nanos.WorksharingChunked {
+				// One task per anti-diagonal per sweep: b blocks per side
+				// gives 2b-1 diagonals.
+				b := p.N / p.TS
+				want := int64(p.Iters) * (2*b - 1)
+				if res.Tasks != want {
+					t.Fatalf("w=%d: %d tasks, want %d (one per diagonal per sweep)", workers, res.Tasks, want)
+				}
+			}
+		}
+	}
+	if _, err := RunGS(Mode{Workers: 8, Virtual: true}, GSWsWavefront, p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,10 @@ package nanos
 // submitted per chunk — the OpenMP taskloop construct, extended with
 // per-chunk depend entries so chunked loops compose with the dependency
 // system (the paper's listing 5 is exactly this shape, written by hand).
+//
+// For iteration spaces whose chunks are finer than the runtime's per-task
+// cost, see Worksharing: the same spec shape executed as one
+// dependency-carrying task with chunk-distributed body.
 type TaskloopSpec struct {
 	// Label names the chunk tasks (diagnostics, trace kind).
 	Label string
@@ -15,8 +19,10 @@ type TaskloopSpec struct {
 	// Deps, when non-nil, returns the depend entries of the chunk covering
 	// [lo, hi).
 	Deps func(lo, hi int64) []Dep
-	// Cost, when non-nil, returns a chunk's virtual-mode cost; default is
-	// the chunk length.
+	// Cost, when non-nil, returns a chunk's virtual-mode cost. When nil,
+	// each chunk's cost defaults to its length hi-lo — one cost unit per
+	// iteration, the natural unit for uniform loops. Real mode ignores
+	// Cost entirely (tasks take as long as they take).
 	Cost func(lo, hi int64) int64
 	// Flops, when non-nil, returns a chunk's flop count for the runtime's
 	// accounting.
@@ -48,21 +54,29 @@ func Taskloop(tc *TaskContext, spec TaskloopSpec) int {
 		label = "taskloop"
 	}
 	n := 0
+	// One TaskSpec reused across every chunk: Submit copies the spec by
+	// value into the task, so rebuilding it per chunk would only feed the
+	// allocator. The chunk closure captures the body and its two bounds —
+	// not the whole TaskloopSpec — keeping the per-chunk garbage to the
+	// closure itself even in the reference memory mode.
+	body := spec.Body
+	ts := TaskSpec{
+		Label:    label,
+		Kind:     label,
+		Priority: spec.Priority,
+		Final:    spec.Final,
+	}
 	for lo := spec.Lo; lo < spec.Hi; lo += spec.Grain {
 		hi := lo + spec.Grain
 		if hi > spec.Hi {
 			hi = spec.Hi
 		}
 		lo, hi := lo, hi
-		ts := TaskSpec{
-			Label:    label,
-			Kind:     label,
-			Priority: spec.Priority,
-			Final:    spec.Final,
-			Body:     func(tc *TaskContext) { spec.Body(tc, lo, hi) },
-		}
+		ts.Body = func(tc *TaskContext) { body(tc, lo, hi) }
 		if spec.Deps != nil {
 			ts.Deps = spec.Deps(lo, hi)
+		} else {
+			ts.Deps = nil
 		}
 		if spec.Cost != nil {
 			ts.Cost = spec.Cost(lo, hi)

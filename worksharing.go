@@ -1,0 +1,66 @@
+package nanos
+
+import "repro/internal/core"
+
+// Worksharing vocabulary, re-exported so user code only imports this
+// package. The construct itself is the TaskContext.Worksharing method (or
+// the free Worksharing function below, for symmetry with Taskloop).
+type (
+	// WorksharingSpec describes a Worksharing invocation: the same shape
+	// as TaskloopSpec, but executed as ONE dependency-carrying task whose
+	// grain-sized chunks self-schedule across idle workers ("Worksharing
+	// Tasks", Maroñas et al.). Under the default chunked strategy the
+	// Deps/Cost/Flops callbacks are invoked once with the whole [Lo, Hi)
+	// range — the union the single task registers; under the expand
+	// reference they are invoked per chunk, exactly like Taskloop.
+	WorksharingSpec = core.WorksharingSpec
+	// WorksharingKind selects the Worksharing execution strategy
+	// (Config.WorksharingImpl).
+	WorksharingKind = core.WorksharingKind
+	// WsStats exposes the worksharing counters (Runtime.WsStats): regions
+	// executed chunk-distributed, chunks executed, helper chunks, and
+	// invitations announced.
+	WsStats = core.WsStats
+)
+
+// Worksharing strategies for Config.WorksharingImpl. Both produce
+// identical final state on programs whose depend entries cover their
+// accesses (the differential tests in internal/core prove it); selecting
+// one explicitly is for ablations and A/B comparisons.
+const (
+	// WorksharingAuto picks the chunk-distributed strategy in real mode
+	// (virtual mode runs the chunks serially inside the single task).
+	WorksharingAuto = core.WorksharingAuto
+	// WorksharingExpand is the per-chunk-task reference: the shape Taskloop
+	// submits, kept as the differential baseline. At fine grains it pays
+	// one full task lifecycle per chunk — the overhead the chunked strategy
+	// amortizes.
+	WorksharingExpand = core.WorksharingExpand
+	// WorksharingChunked is the worksharing strategy: one task carrying the
+	// union depend entries; its body's chunks are claimed from a shared
+	// atomic cursor by the owner and by idle workers invited through the
+	// sharded ready pools, and a single completion countdown releases the
+	// task exactly once. Inside a Graph region the whole loop records and
+	// replays as a single node.
+	WorksharingChunked = core.WorksharingChunked
+)
+
+// Worksharing submits spec's iteration space [Lo, Hi) as a worksharing
+// task and returns the number of grain-sized chunks. Exactly one task
+// registers the union depend entries through the engine (one node, one
+// throttle credit, one replay fingerprint); when its body starts, the
+// chunks are self-scheduled across the worker fleet against a shared
+// atomic cursor, so irregular chunk costs balance without per-chunk tasks.
+// Like Taskloop it does not wait: the region synchronizes through its
+// depend entries, a Taskwait on the submitter, or the enclosing task's
+// completion. Chunk bodies may run concurrently and must not block in
+// Taskwait or Taskgroup (the OpenMP worksharing restriction).
+//
+// Use Worksharing where Taskloop's per-chunk tasks are finer than the
+// runtime's per-task cost; keep Taskloop where individual chunks need
+// distinct depend entries that downstream tasks consume at chunk
+// granularity (the union entries serialize against everything the whole
+// range touches).
+func Worksharing(tc *TaskContext, spec WorksharingSpec) int {
+	return tc.Worksharing(spec)
+}
