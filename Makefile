@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke depbench ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke perftrack-smoke depbench perftrack ci
 
 all: build
 
@@ -31,12 +31,20 @@ help:
 	@echo "                 grains and skewed chunk costs, single-replay-node check, w=1 parity"
 	@echo "                 guard (chunked <=1.5x expand), chunk-descriptor alloc gate, workload"
 	@echo "                 validation (axpy + GS wavefront), plus the depbench ws table"
+	@echo "  perftrack-smoke perf-trajectory gates: perfstat + pattern-detector unit tests,"
+	@echo "                 the synthetic gate/detector selftest (both verdicts), and a"
+	@echo "                 reduced-op collect + append + compare cycle against a scratch"
+	@echo "                 history (wide materiality floor so host noise cannot flake CI)"
 	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
 	@echo "                 throttle windows, replay cache, taskwait strategies, worksharing"
 	@echo "                  chunks (go run ./cmd/depbench; -mode deps|sched|throttle|replay|"
 	@echo "                  wait|ws selects one table, -workers/-ops/-sched-ops/-throttle-ops/"
-	@echo "                  -window/-replay-iters/-wait-reps/-ws-iters/-ws-grain size the sweeps)"
-	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws smokes"
+	@echo "                  -window/-replay-iters/-wait-reps/-ws-iters/-ws-grain size the sweeps;"
+	@echo "                  -json emits machine-readable rows instead of tables)"
+	@echo "  perftrack      full perf-trajectory run: collect the depbench matrix + reproduce"
+	@echo "                 workloads under CV validation, gate against the last committed"
+	@echo "                 record, append to BENCH_history.json (go run ./cmd/perftrack)"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws/perftrack smokes"
 
 build:
 	$(GO) build ./...
@@ -124,4 +132,26 @@ ws-smoke:
 depbench:
 	$(GO) run ./cmd/depbench
 
-ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke
+# Perf-trajectory smoke: the statistics layer's unit tests (CV collection,
+# Welch/Mann-Whitney, gate verdicts both ways), the pattern detector's
+# synthetic pass/fail suite, the perftrack selftest (a synthetic regression
+# must gate, an identical sample must not; a serialized trace must
+# classify, a healthy one must not), and one reduced-op collect + append +
+# compare cycle against a scratch history. The compare step uses a wide
+# materiality floor (-min-delta 3.0) because its job here is to exercise
+# the plumbing — verdict correctness is proven by the selftest and unit
+# tests, and a tight floor would flake on noisy CI hosts.
+perftrack-smoke:
+	$(GO) test ./internal/perfstat
+	$(GO) test -run 'TestDetectPatterns|TestDetectSerializedCreation|TestDetectStarvedWorkers|TestDetectWaitHeavy|TestPatternReportRendering' ./internal/trace
+	$(GO) run ./cmd/perftrack -selftest-gate
+	rm -f /tmp/perftrack_smoke.json
+	$(GO) run ./cmd/perftrack -quick -workers 1,2 -reps 3 -history /tmp/perftrack_smoke.json
+	$(GO) run ./cmd/perftrack -quick -workers 1,2 -reps 3 -history /tmp/perftrack_smoke.json -compare -no-append -min-delta 3.0
+
+# Full trajectory run: collect, gate against the last committed record,
+# and append to BENCH_history.json (commit the result).
+perftrack:
+	$(GO) run ./cmd/perftrack -compare
+
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke perftrack-smoke

@@ -1,6 +1,5 @@
-// Command depbench quantifies runtime lock contention on the three hot
-// paths the sharded subsystems remove locks from, printing one table per
-// path:
+// Command depbench quantifies runtime lock contention on the hot paths
+// the sharded subsystems remove locks from, printing one table per path:
 //
 //   - deps: the dependency engine. The same disjoint-data chain workload
 //     (w generator goroutines, each registering and completing a serial
@@ -26,456 +25,108 @@
 //     loop regions (union inout over one data object, chunk bodies that
 //     spin proportionally to chunk length) runs twice per grain: expanded
 //     to one task per chunk (the Taskloop shape) and as one worksharing
-//     task whose chunks self-schedule against a shared cursor. The table
-//     reports wall time, allocations per thousand chunks, the chunks
-//     executed by announced helpers (the redistributed work), worker idle
-//     time, and the expand/chunked speedup — which grows as the grain
-//     shrinks, because the expansion pays a full task lifecycle per chunk
-//     while the worksharing region pays one lifecycle plus an atomic add
-//     per chunk.
+//     task whose chunks self-schedule against a shared cursor.
 //   - wait: the Taskwait blocking strategies. A nested-taskwait workload
 //     (parents submitting spinning leaf children and blocking on them,
 //     repeated in waves) runs through the parking reference and the
-//     continuation handoff; the table reports parks, handoffs,
-//     steal-resumes, and worker idle time per width. The continuation rows
-//     must show zero parks at every width — a blocked wait's resume rides
-//     the ready pools instead of parking the worker.
+//     continuation handoff; the continuation rows must show zero parks at
+//     every width — a blocked wait's resume rides the ready pools instead
+//     of parking the worker.
 //
-// Measurements per configuration:
-//
-//   - wall time / throughput, which on a large host shows the sharded
-//     implementations scaling where the single-lock ones flatline;
-//   - total mutex wait time (the runtime/metrics /sync/mutex/wait/total
-//     counter), which exposes the serialization even on small or
-//     oversubscribed hosts where wall clock cannot: the single-lock
-//     implementations accumulate lock wait proportional to worker count
-//     while the sharded ones' stays near zero;
-//   - package-attributed mutex contention cycles (runtime.MutexProfile
-//     filtered to the package under test), isolating exactly the locks the
-//     sharding removes;
-//   - allocations per 1000 ops and total GC pause accumulated during the
-//     run (runtime.MemStats deltas), which quantify the allocator and
-//     collector traffic the pooled memory mode (core.Config.MemPool,
-//     internal/mempool) removes from the task lifecycle — compare the
-//     sharded engine row against sharded-pool;
-//   - for the scheduler pools, the steal rate (items taken from another
-//     worker's shard per 1000 ops) — the redistribution cost of sharding
-//     the ready pool (with steal-half, one miss migrates up to half the
-//     victim's items to the thief);
-//   - for the throttle windows, the parked-submitter count (reservers that
-//     exhausted every credit source and slept) — the slow-path traffic the
-//     token bucket keeps off the submission path.
+// The benchmark kernels live in internal/harness (DepsBench, SchedBench,
+// ThrottleBench, ReplayOverheadBench, WSChunkBench, WaitBench), shared
+// with cmd/perftrack; see that package for the per-kernel workload and
+// counter documentation. This command owns the sweep loops, warm-up
+// passes, and formatting.
 //
 // Usage:
 //
 //	depbench [-mode all|deps|sched|throttle|replay|ws|wait] [-workers 1,2,4,8]
 //	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
 //	         [-replay-iters N] [-replay-blocks N] [-ws-iters N] [-ws-grain G,G,...]
-//	         [-wait-reps N] [-wait-fan N]
+//	         [-wait-reps N] [-wait-fan N] [-json]
 //
 // -ops, -sched-ops, and -throttle-ops size the three workloads
 // independently (admission cycles are far cheaper than engine ops, so the
 // later tables need longer runs for contention to accumulate measurably).
 // -window sets the throttle bound; 0 (the default) uses the row's worker
 // count, the tightest window that still lets every submitter run.
+//
+// -json replaces the text tables with one machine-readable JSON array on
+// stdout: one object per table row, {"table","row","workers","params",
+// "metrics"}, with every numeric column under its snake_case key in
+// "metrics". cmd/perftrack and plotting pipelines consume this form.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
-	"runtime/metrics"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deps"
+	"repro/internal/harness"
 	"repro/internal/mempool"
-	"repro/internal/regions"
-	"repro/internal/replay"
-	"repro/internal/sched"
 	"repro/internal/throttle"
 )
 
-// memCounters samples the allocator/collector counters the alloc columns
-// are computed from.
-func memCounters() (mallocs uint64, gcPause time.Duration) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.Mallocs, time.Duration(ms.PauseTotalNs)
+// row is one table row of the -json output.
+type row struct {
+	Table   string             `json:"table"`
+	Row     string             `json:"row"`
+	Workers int                `json:"workers"`
+	Params  map[string]int64   `json:"params,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
-func mutexWait() time.Duration {
-	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
-	metrics.Read(sample)
-	return time.Duration(sample[0].Value.Float64() * float64(time.Second))
+// emitter collects rows for -json or prints text lines, never both.
+type emitter struct {
+	json bool
+	rows []row
 }
 
-// pkgLockCycles sums mutex-contention cycles attributed to pkg (e.g.
-// "repro/internal/deps.") by the runtime mutex profiler — unlike the
-// process-wide wait counter it excludes allocator and scheduler locks, so
-// it isolates exactly the serialization the sharded implementations
-// remove.
-func pkgLockCycles(pkg string) int64 {
-	n, _ := runtime.MutexProfile(nil)
-	records := make([]runtime.BlockProfileRecord, n+50)
-	n, ok := runtime.MutexProfile(records)
-	for !ok {
-		// The profile grew past our slack between the two calls; resize
-		// and retry rather than returning a bogus (delta-breaking) zero.
-		records = make([]runtime.BlockProfileRecord, len(records)*2)
-		n, ok = runtime.MutexProfile(records)
+// printf prints only in text mode.
+func (e *emitter) printf(format string, args ...any) {
+	if !e.json {
+		fmt.Printf(format, args...)
 	}
-	var cycles int64
-	for _, r := range records[:n] {
-		frames := runtime.CallersFrames(r.Stack())
-		for {
-			f, more := frames.Next()
-			// CallersFrames (unlike FuncForPC) expands inlined calls, so a
-			// lock helper inlined into its caller still attributes here.
-			if strings.Contains(f.Function, pkg) {
-				cycles += r.Cycles
-				break
-			}
-			if !more {
-				break
-			}
-		}
-	}
-	return cycles
 }
 
-// runDeps drives ops register→complete chain steps split over w goroutines
-// (rounded down to a multiple of w; the actual count is returned), each
-// goroutine on its own data object, and returns the wall time and the
-// process-wide mutex wait accumulated during the run.
-func runDeps(kind deps.EngineKind, mem mempool.Kind, w, ops int) (ranOps int, wall, wait time.Duration, lockCycles int64, allocs uint64, gcPause time.Duration) {
-	e := deps.NewEngineMem(kind, nil, mem)
-	root := e.NewNode(nil, "root", nil)
-	e.Register(root, nil)
-	parents := make([]*deps.Node, w)
-	for i := range parents {
-		parents[i] = e.NewNode(root, fmt.Sprintf("gen%d", i), nil)
-		e.Register(parents[i], nil)
+// add records one row in JSON mode.
+func (e *emitter) add(table, name string, workers int, params map[string]int64, metrics map[string]float64) {
+	if e.json {
+		e.rows = append(e.rows, row{Table: table, Row: name, Workers: workers, Params: params, Metrics: metrics})
 	}
-	perW := ops / w
-	var wg sync.WaitGroup
-	wait0 := mutexWait()
-	cyc0 := pkgLockCycles("repro/internal/deps.")
-	m0, p0 := memCounters()
-	start := time.Now()
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			data := deps.DataID(i)
-			spec := []deps.Spec{{Data: data, Type: deps.InOut, Ivs: []regions.Interval{regions.Iv(0, 64)}}}
-			buf := make([]*deps.Node, 0, 4)
-			var prev *deps.Node
-			for n := 0; n < perW; n++ {
-				nd := e.NewNode(parents[i], "t", nil)
-				e.Register(nd, spec)
-				if prev != nil {
-					e.CompleteInto(prev, buf[:0])
-				}
-				prev = nd
-			}
-			if prev != nil {
-				e.CompleteInto(prev, buf[:0])
-			}
-		}(i)
-	}
-	wg.Wait()
-	wall = time.Since(start)
-	m1, p1 := memCounters()
-	return perW * w, wall, mutexWait() - wait0, pkgLockCycles("repro/internal/deps.") - cyc0, m1 - m0, p1 - p0
 }
 
-// statser is implemented by the ready pools that report steal counters.
-type statser interface {
-	Stats() sched.PoolStats
+// flush writes the collected rows as a JSON array.
+func (e *emitter) flush() error {
+	if !e.json {
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.rows)
 }
 
-// runSched drives ops submit→finish chain steps split over w runner
-// chains, each chain submitting its successor from its own worker — the
-// scheduler-admission analogue of the disjoint dependency chains: all
-// chains are independent, so the only serialization is the ready pool's
-// own locking.
-func runSched(mk func(workers int, spawn func(item, worker int)) sched.Queue[int], w, ops int) (ranOps int, wall, wait time.Duration, lockCycles, steals int64, allocs uint64, gcPause time.Duration) {
-	perW := ops / w
-	remaining := make([]atomic.Int64, w)
-	for i := range remaining {
-		remaining[i].Store(int64(perW))
+// withGOMAXPROCS raises GOMAXPROCS to at least w around f.
+func withGOMAXPROCS(w int, f func()) {
+	prev := runtime.GOMAXPROCS(0)
+	if w > prev {
+		runtime.GOMAXPROCS(w)
 	}
-	var done sync.WaitGroup
-	done.Add(w)
-	var q sched.Queue[int]
-	q = mk(w, func(chain, worker int) {
-		for {
-			if remaining[chain].Add(-1) > 0 {
-				q.Submit(chain, worker)
-			} else {
-				done.Done()
-			}
-			next, ok := q.Finish(worker)
-			if !ok {
-				return
-			}
-			chain = next
-		}
-	})
-	wait0 := mutexWait()
-	cyc0 := pkgLockCycles("repro/internal/sched.")
-	m0, p0 := memCounters()
-	start := time.Now()
-	for i := 0; i < w; i++ {
-		q.Submit(i, -1)
-	}
-	done.Wait()
-	wall = time.Since(start)
-	wait = mutexWait() - wait0
-	lockCycles = pkgLockCycles("repro/internal/sched.") - cyc0
-	m1, p1 := memCounters()
-	if st, ok := q.(statser); ok {
-		steals = st.Stats().Steals
-	}
-	return perW * w, wall, wait, lockCycles, steals, m1 - m0, p1 - p0
-}
-
-// runThrottle drives ops reserve→enter→start cycles split over w
-// submitter goroutines sharing one admission window of the given bound —
-// the throttle analogue of the disjoint chains: the submitters share
-// nothing but the window itself, so the only serialization is the window's
-// own synchronization (the locked window broadcasts under a mutex on every
-// start; the sharded one works per-worker credit caches).
-func runThrottle(kind throttle.Kind, w, ops, window int) (ranOps int, wall, wait time.Duration, lockCycles, parks int64, allocs uint64, gcPause time.Duration) {
-	win := throttle.New(kind, window, w)
-	perW := ops / w
-	var wg sync.WaitGroup
-	wait0 := mutexWait()
-	cyc0 := pkgLockCycles("repro/internal/throttle.")
-	m0, p0 := memCounters()
-	start := time.Now()
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < perW; i++ {
-				_, prepaid := win.Reserve(g, nil)
-				if prepaid {
-					win.EnteredReserved()
-				} else {
-					win.Entered(1)
-				}
-				win.Started(g)
-			}
-		}(g)
-	}
-	wg.Wait()
-	wall = time.Since(start)
-	m1, p1 := memCounters()
-	return perW * w, wall, mutexWait() - wait0,
-		pkgLockCycles("repro/internal/throttle.") - cyc0, win.Stats().Parks, m1 - m0, p1 - p0
-}
-
-// replayVariant names one formulation of the Gauss-Seidel wavefront sweep
-// for the replay table.
-type replayVariant uint8
-
-const (
-	rvNestWeak replayVariant = iota // weakwait iteration tasks (§VIII-B nest-weak)
-	rvLive                          // graph regions through the live engine
-	rvReplay                        // graph regions replayed from the recording
-)
-
-// runReplay drives iters sweeps of a blocks×blocks tile wavefront with
-// empty bodies — pure runtime overhead — and returns the wall time plus
-// the usual allocator/contention counters.
-func runReplay(v replayVariant, w, blocks, iters int) (tasksPerIter int, wall, wait time.Duration, allocs uint64, gcPause time.Duration) {
-	kind := replay.KindOff
-	if v == rvReplay {
-		kind = replay.KindOn
-	}
-	rt := core.New(core.Config{Workers: w, Replay: kind})
-	b := int64(blocks)
-	side := b + 2
-	total := side * side
-	ad := rt.NewData("A", total, 8)
-	blk := func(i, j int64) regions.Interval { return regions.BlockInterval(side, 1, i, j) }
-	tile := func(i, j int64) core.TaskSpec {
-		return core.TaskSpec{
-			Label: "tile",
-			Deps: []core.Dep{
-				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i-1, j)}},
-				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i, j-1)}},
-				{Data: ad, Type: deps.InOut, Ivs: []regions.Interval{blk(i, j)}},
-				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i, j+1)}},
-				{Data: ad, Type: deps.In, Ivs: []regions.Interval{blk(i+1, j)}},
-			},
-			Body: func(*core.TaskContext) {},
-		}
-	}
-	// The tile specs are built once and resubmitted every sweep, so the
-	// allocs/kop column measures the runtime's per-task allocations, not
-	// the driver's spec construction.
-	specs := make([]core.TaskSpec, 0, blocks*blocks)
-	for i := int64(1); i <= b; i++ {
-		for j := int64(1); j <= b; j++ {
-			specs = append(specs, tile(i, j))
-		}
-	}
-	sweep := func(tc *core.TaskContext) {
-		for k := range specs {
-			tc.Submit(specs[k])
-		}
-	}
-	iterSpec := core.TaskSpec{
-		Label:    "iteration",
-		WeakWait: true,
-		Deps:     []core.Dep{{Data: ad, Type: deps.InOut, Weak: true, Ivs: []regions.Interval{regions.Iv(0, total)}}},
-		Body:     sweep,
-	}
-	wait0 := mutexWait()
-	m0, p0 := memCounters()
-	start := time.Now()
-	rt.Run(func(tc *core.TaskContext) {
-		for it := 0; it < iters; it++ {
-			if v == rvNestWeak {
-				tc.Submit(iterSpec)
-			} else {
-				tc.Graph("gs-sweep", sweep)
-			}
-		}
-	})
-	wall = time.Since(start)
-	m1, p1 := memCounters()
-	return blocks * blocks, wall, mutexWait() - wait0, m1 - m0, p1 - p0
-}
-
-// runWs drives iters worksharing regions over [0, n) at the given grain,
-// chained through a union inout entry so regions serialize and the
-// intra-region chunk distribution is the only parallelism — the worst case
-// for amortizing the announcement. Chunk bodies spin proportionally to
-// chunk length, so total body work is grain-independent and the grain
-// sweep isolates the per-chunk overhead: a full task lifecycle per chunk
-// under expand, an atomic cursor add under chunked.
-func runWs(kind core.WorksharingKind, w, iters int, grain, n int64) (chunks int64, wall time.Duration, allocs uint64, helper int64, idle float64) {
-	rt := core.New(core.Config{Workers: w, WorksharingImpl: kind})
-	ad := rt.NewData("A", n, 8)
-	cpu0 := cpuTime()
-	m0, _ := memCounters()
-	start := time.Now()
-	rt.Run(func(tc *core.TaskContext) {
-		for it := 0; it < iters; it++ {
-			tc.Worksharing(core.WorksharingSpec{
-				Label: "ws",
-				Lo:    0, Hi: n, Grain: grain,
-				Deps: func(lo, hi int64) []core.Dep {
-					return []core.Dep{{Data: ad, Type: deps.InOut, Ivs: []regions.Interval{regions.Iv(lo, hi)}}}
-				},
-				Body: func(_ *core.TaskContext, lo, hi int64) { waitSpin(int(hi - lo)) },
-			})
-		}
-	})
-	wall = time.Since(start)
-	cpu := cpuTime() - cpu0
-	m1, _ := memCounters()
-	chunks = (n + grain - 1) / grain * int64(iters)
-	helper = rt.WsStats().HelperChunks
-	if wall > 0 {
-		idle = 1 - float64(cpu)/(float64(w)*float64(wall))
-		if idle < 0 {
-			idle = 0
-		}
-	}
-	return chunks, wall, m1 - m0, helper, idle
-}
-
-// waitSpin burns a few microseconds of CPU so the parents' taskwaits are
-// guaranteed to find incomplete children (the blocking path under
-// measurement); the sink defeats dead-code elimination.
-var waitSink atomic.Int64
-
-func waitSpin(n int) {
-	var s int64
-	for i := 0; i < n; i++ {
-		s += int64(i ^ (i >> 3))
-	}
-	waitSink.Add(s)
-}
-
-// cpuTime returns the process's cumulative user+system CPU time. The
-// taskwait table derives worker idleness from its delta: a goroutine
-// blocked in a wait (parked or pool-queued) burns no CPU, while the
-// spinning leaf bodies burn it continuously, so 1 - cpu/(w*wall) is the
-// fraction of worker capacity the blocking strategy left unused. The
-// execution trace cannot supply this — its spans deliberately include
-// time blocked inside Taskwait (see executeTask).
-func cpuTime() time.Duration {
-	var ru syscall.Rusage
-	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
-		return 0
-	}
-	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
-}
-
-// runWait drives reps waves of a nested-taskwait workload: each wave
-// submits 2w parent tasks, and each parent submits fan spinning leaf
-// children and blocks on them twice (two batches per parent). It returns
-// the blocking-wait volume, the wall time, the taskwait counters, and the
-// fraction of worker capacity left idle — the cost a parked worker pays
-// that a continuation handoff avoids.
-func runWait(kind core.TaskwaitKind, w, reps, fan int) (waits int64, wall time.Duration, st core.TaskwaitStats, idle float64) {
-	rt := core.New(core.Config{Workers: w, TaskwaitImpl: kind})
-	cpu0 := cpuTime()
-	start := time.Now()
-	rt.Run(func(tc *core.TaskContext) {
-		for rep := 0; rep < reps; rep++ {
-			for p := 0; p < 2*w; p++ {
-				tc.Submit(core.TaskSpec{Label: "parent", Body: func(tc *core.TaskContext) {
-					for batch := 0; batch < 2; batch++ {
-						for c := 0; c < fan; c++ {
-							tc.Submit(core.TaskSpec{Label: "leaf", Body: func(*core.TaskContext) {
-								waitSpin(2000)
-							}})
-						}
-						tc.Taskwait()
-					}
-				}})
-			}
-			tc.Taskwait()
-		}
-	})
-	wall = time.Since(start)
-	cpu := cpuTime() - cpu0
-	st = rt.TaskwaitStats()
-	if wall > 0 {
-		idle = 1 - float64(cpu)/(float64(w)*float64(wall))
-		if idle < 0 {
-			idle = 0
-		}
-	}
-	return st.Parks + st.Handoffs, wall, st, idle
-}
-
-var schedPools = []struct {
-	name string
-	mk   func(workers int, spawn func(item, worker int)) sched.Queue[int]
-}{
-	{"locked-stealing", func(w int, s func(int, int)) sched.Queue[int] { return sched.NewLockedStealing(w, s) }},
-	{"central", func(w int, s func(int, int)) sched.Queue[int] { return sched.New(w, sched.FIFO, s) }},
-	{"stealing", func(w int, s func(int, int)) sched.Queue[int] { return sched.NewStealing(w, s) }},
-	{"sharded-central", func(w int, s func(int, int)) sched.Queue[int] { return sched.NewShardedCentral(w, s) }},
+	f()
+	runtime.GOMAXPROCS(prev)
 }
 
 func main() {
-	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, throttle, replay, or wait")
+	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, throttle, replay, ws, or wait")
 	opsFlag := flag.Int("ops", 400_000, "chain steps per dependency-engine configuration")
 	// Scheduler admission ops are ~10x cheaper than engine ops, so the
 	// sched table needs a longer run for lock contention to accumulate
@@ -491,6 +142,7 @@ func main() {
 	waitRepsFlag := flag.Int("wait-reps", 200, "waves per taskwait-table configuration")
 	waitFanFlag := flag.Int("wait-fan", 8, "leaf children per parent in the taskwait-table workload")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	jsonFlag := flag.Bool("json", false, "emit one JSON array of table rows instead of text tables")
 	flag.Parse()
 
 	var workers []int
@@ -517,6 +169,7 @@ func main() {
 		}
 		wsGrains = append(wsGrains, g)
 	}
+	em := &emitter{json: *jsonFlag}
 
 	// Keep the collector out of the measurement as far as possible: the
 	// workloads allocate (nodes, fragments, deque rings), and GC's own
@@ -525,8 +178,8 @@ func main() {
 	runtime.SetMutexProfileFraction(1)
 
 	if *modeFlag == "all" || *modeFlag == "deps" {
-		fmt.Printf("dependency engine (disjoint-data chains)\n")
-		fmt.Printf("%-14s %8s %12s %12s %10s %14s %18s %11s %10s\n",
+		em.printf("dependency engine (disjoint-data chains)\n")
+		em.printf("%-14s %8s %12s %12s %10s %14s %18s %11s %10s\n",
 			"engine", "workers", "ops", "wall", "Mops/s", "mutex-wait", "engine-lock-Gcyc", "allocs/kop", "gc-pause")
 		rows := []struct {
 			name string
@@ -538,139 +191,152 @@ func main() {
 			{"sharded-pool", deps.EngineSharded, mempool.KindPooled},
 		}
 		for _, w := range workers {
-			prev := runtime.GOMAXPROCS(0)
-			if w > prev {
-				runtime.GOMAXPROCS(w)
-			}
-			for _, row := range rows {
-				// Warm-up pass absorbs one-time costs (shard tables, size
-				// classes, pool fills), then the measured pass.
-				runDeps(row.kind, row.mem, w, *opsFlag/10)
-				runtime.GC()
-				ranOps, wall, wait, cycles, allocs, gcPause := runDeps(row.kind, row.mem, w, *opsFlag)
-				fmt.Printf("%-14s %8d %12d %12s %10.2f %14s %18.3f %11.1f %10s\n",
-					row.name, w, ranOps, wall.Round(time.Millisecond),
-					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-					float64(cycles)/1e9, float64(allocs)/float64(ranOps)*1000,
-					gcPause.Round(10*time.Microsecond))
-			}
-			runtime.GOMAXPROCS(prev)
+			withGOMAXPROCS(w, func() {
+				for _, r := range rows {
+					// Warm-up pass absorbs one-time costs (shard tables, size
+					// classes, pool fills), then the measured pass.
+					harness.DepsBench(r.kind, r.mem, w, *opsFlag/10)
+					runtime.GC()
+					c := harness.DepsBench(r.kind, r.mem, w, *opsFlag)
+					em.printf("%-14s %8d %12d %12s %10.2f %14s %18.3f %11.1f %10s\n",
+						r.name, w, c.Ops, c.Wall.Round(time.Millisecond),
+						float64(c.Ops)/c.Wall.Seconds()/1e6, c.MutexWait.Round(10*time.Microsecond),
+						float64(c.LockCycles)/1e9, float64(c.Allocs)/float64(c.Ops)*1000,
+						c.GCPause.Round(10*time.Microsecond))
+					em.add("deps", r.name, w, nil, map[string]float64{
+						"ops": float64(c.Ops), "wall_ns": float64(c.Wall),
+						"mops":          float64(c.Ops) / c.Wall.Seconds() / 1e6,
+						"mutex_wait_ns": float64(c.MutexWait), "lock_gcyc": float64(c.LockCycles) / 1e9,
+						"allocs_per_kop": float64(c.Allocs) / float64(c.Ops) * 1000,
+						"gc_pause_ns":    float64(c.GCPause),
+					})
+				}
+			})
 		}
 	}
 
 	if *modeFlag == "all" || *modeFlag == "sched" {
 		if *modeFlag == "all" {
-			fmt.Println()
+			em.printf("\n")
 		}
-		fmt.Printf("scheduler admission path (disjoint submit/finish chains)\n")
-		fmt.Printf("%-16s %8s %12s %12s %10s %14s %17s %12s %11s %10s\n",
+		em.printf("scheduler admission path (disjoint submit/finish chains)\n")
+		em.printf("%-16s %8s %12s %12s %10s %14s %17s %12s %11s %10s\n",
 			"pool", "workers", "ops", "wall", "Mops/s", "mutex-wait", "sched-lock-Gcyc", "steals/kop", "allocs/kop", "gc-pause")
 		for _, w := range workers {
-			prev := runtime.GOMAXPROCS(0)
-			if w > prev {
-				runtime.GOMAXPROCS(w)
-			}
-			for _, p := range schedPools {
-				runSched(p.mk, w, *schedOpsFlag/10)
-				runtime.GC()
-				ranOps, wall, wait, cycles, steals, allocs, gcPause := runSched(p.mk, w, *schedOpsFlag)
-				fmt.Printf("%-16s %8d %12d %12s %10.2f %14s %17.3f %12.2f %11.1f %10s\n",
-					p.name, w, ranOps, wall.Round(time.Millisecond),
-					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-					float64(cycles)/1e9, float64(steals)/float64(ranOps)*1000,
-					float64(allocs)/float64(ranOps)*1000, gcPause.Round(10*time.Microsecond))
-			}
-			runtime.GOMAXPROCS(prev)
+			withGOMAXPROCS(w, func() {
+				for _, p := range harness.SchedPools {
+					harness.SchedBench(p.Make, w, *schedOpsFlag/10)
+					runtime.GC()
+					c, steals := harness.SchedBench(p.Make, w, *schedOpsFlag)
+					em.printf("%-16s %8d %12d %12s %10.2f %14s %17.3f %12.2f %11.1f %10s\n",
+						p.Name, w, c.Ops, c.Wall.Round(time.Millisecond),
+						float64(c.Ops)/c.Wall.Seconds()/1e6, c.MutexWait.Round(10*time.Microsecond),
+						float64(c.LockCycles)/1e9, float64(steals)/float64(c.Ops)*1000,
+						float64(c.Allocs)/float64(c.Ops)*1000, c.GCPause.Round(10*time.Microsecond))
+					em.add("sched", p.Name, w, nil, map[string]float64{
+						"ops": float64(c.Ops), "wall_ns": float64(c.Wall),
+						"mops":          float64(c.Ops) / c.Wall.Seconds() / 1e6,
+						"mutex_wait_ns": float64(c.MutexWait), "lock_gcyc": float64(c.LockCycles) / 1e9,
+						"steals_per_kop": float64(steals) / float64(c.Ops) * 1000,
+						"allocs_per_kop": float64(c.Allocs) / float64(c.Ops) * 1000,
+						"gc_pause_ns":    float64(c.GCPause),
+					})
+				}
+			})
 		}
 	}
 
 	if *modeFlag == "all" || *modeFlag == "throttle" {
 		if *modeFlag == "all" {
-			fmt.Println()
+			em.printf("\n")
 		}
-		fmt.Printf("throttle admission window (shared contended window)\n")
-		fmt.Printf("%-8s %8s %8s %12s %12s %10s %14s %20s %10s %11s %10s\n",
+		em.printf("throttle admission window (shared contended window)\n")
+		em.printf("%-8s %8s %8s %12s %12s %10s %14s %20s %10s %11s %10s\n",
 			"impl", "workers", "window", "ops", "wall", "Mops/s", "mutex-wait", "throttle-lock-Gcyc", "parks", "allocs/kop", "gc-pause")
 		for _, w := range workers {
-			prev := runtime.GOMAXPROCS(0)
-			if w > prev {
-				runtime.GOMAXPROCS(w)
-			}
-			window := *windowFlag
-			if window <= 0 {
-				window = w
-			}
-			for _, kind := range []throttle.Kind{throttle.KindLocked, throttle.KindSharded} {
-				runThrottle(kind, w, *throttleOpsFlag/10, window)
-				runtime.GC()
-				ranOps, wall, wait, cycles, parks, allocs, gcPause := runThrottle(kind, w, *throttleOpsFlag, window)
-				fmt.Printf("%-8s %8d %8d %12d %12s %10.2f %14s %20.3f %10d %11.1f %10s\n",
-					kind, w, window, ranOps, wall.Round(time.Millisecond),
-					float64(ranOps)/wall.Seconds()/1e6, wait.Round(10*time.Microsecond),
-					float64(cycles)/1e9, parks, float64(allocs)/float64(ranOps)*1000,
-					gcPause.Round(10*time.Microsecond))
-			}
-			runtime.GOMAXPROCS(prev)
+			withGOMAXPROCS(w, func() {
+				window := *windowFlag
+				if window <= 0 {
+					window = w
+				}
+				for _, kind := range []throttle.Kind{throttle.KindLocked, throttle.KindSharded} {
+					harness.ThrottleBench(kind, w, *throttleOpsFlag/10, window)
+					runtime.GC()
+					c, parks := harness.ThrottleBench(kind, w, *throttleOpsFlag, window)
+					em.printf("%-8s %8d %8d %12d %12s %10.2f %14s %20.3f %10d %11.1f %10s\n",
+						kind, w, window, c.Ops, c.Wall.Round(time.Millisecond),
+						float64(c.Ops)/c.Wall.Seconds()/1e6, c.MutexWait.Round(10*time.Microsecond),
+						float64(c.LockCycles)/1e9, parks, float64(c.Allocs)/float64(c.Ops)*1000,
+						c.GCPause.Round(10*time.Microsecond))
+					em.add("throttle", kind.String(), w, map[string]int64{"window": int64(window)}, map[string]float64{
+						"ops": float64(c.Ops), "wall_ns": float64(c.Wall),
+						"mops":          float64(c.Ops) / c.Wall.Seconds() / 1e6,
+						"mutex_wait_ns": float64(c.MutexWait), "lock_gcyc": float64(c.LockCycles) / 1e9,
+						"parks":          float64(parks),
+						"allocs_per_kop": float64(c.Allocs) / float64(c.Ops) * 1000,
+						"gc_pause_ns":    float64(c.GCPause),
+					})
+				}
+			})
 		}
 	}
 
 	if *modeFlag == "all" || *modeFlag == "replay" {
 		if *modeFlag == "all" {
-			fmt.Println()
+			em.printf("\n")
 		}
 		iters, blocks := *replayItersFlag, *replayBlocksFlag
-		fmt.Printf("record-and-replay taskgraph cache (Gauss-Seidel wavefront sweep, empty bodies)\n")
-		fmt.Printf("%-14s %8s %10s %8s %12s %12s %14s %11s %10s %9s\n",
+		em.printf("record-and-replay taskgraph cache (Gauss-Seidel wavefront sweep, empty bodies)\n")
+		em.printf("%-14s %8s %10s %8s %12s %12s %14s %11s %10s %9s\n",
 			"variant", "workers", "tiles/it", "iters", "wall", "us/iter", "mutex-wait", "allocs/kop", "gc-pause", "overhead")
-		rows := []struct {
-			name string
-			v    replayVariant
-		}{
-			{"live-nestweak", rvNestWeak},
-			{"live-graph", rvLive},
-			{"replay", rvReplay},
-		}
+		variants := []harness.ReplayVariant{harness.ReplayNestWeak, harness.ReplayLiveGraph, harness.ReplayFrozen}
 		for _, w := range workers {
-			prev := runtime.GOMAXPROCS(0)
-			if w > prev {
-				runtime.GOMAXPROCS(w)
-			}
-			var liveGraphPerIter float64
-			for _, row := range rows {
-				runReplay(row.v, w, blocks, iters/10+1) // warm-up
-				runtime.GC()
-				tiles, wall, wait, allocs, gcPause := runReplay(row.v, w, blocks, iters)
-				ops := tiles * iters
-				perIter := float64(wall.Microseconds()) / float64(iters)
-				cut := "1.00x"
-				switch row.v {
-				case rvLive:
-					liveGraphPerIter = perIter
-				case rvReplay:
-					if perIter > 0 && liveGraphPerIter > 0 {
-						// The acceptance metric: live-engine sweeps cost this
-						// many times the replayed sweeps' overhead.
-						cut = fmt.Sprintf("%.2fx", liveGraphPerIter/perIter)
+			withGOMAXPROCS(w, func() {
+				var liveGraphPerIter float64
+				for _, v := range variants {
+					harness.ReplayOverheadBench(v, w, blocks, iters/10+1) // warm-up
+					runtime.GC()
+					c, tiles := harness.ReplayOverheadBench(v, w, blocks, iters)
+					perIter := float64(c.Wall.Microseconds()) / float64(iters)
+					cut := "1.00x"
+					overhead := 1.0
+					switch v {
+					case harness.ReplayLiveGraph:
+						liveGraphPerIter = perIter
+					case harness.ReplayFrozen:
+						if perIter > 0 && liveGraphPerIter > 0 {
+							// The acceptance metric: live-engine sweeps cost this
+							// many times the replayed sweeps' overhead.
+							overhead = liveGraphPerIter / perIter
+							cut = fmt.Sprintf("%.2fx", overhead)
+						}
+					default:
+						cut = "-"
 					}
-				default:
-					cut = "-"
+					em.printf("%-14s %8d %10d %8d %12s %12.1f %14s %11.1f %10s %9s\n",
+						v, w, tiles, iters, c.Wall.Round(time.Millisecond), perIter,
+						c.MutexWait.Round(10*time.Microsecond), float64(c.Allocs)/float64(c.Ops)*1000,
+						c.GCPause.Round(10*time.Microsecond), cut)
+					em.add("replay", v.String(), w,
+						map[string]int64{"tiles_per_iter": int64(tiles), "iters": int64(iters)},
+						map[string]float64{
+							"wall_ns": float64(c.Wall), "us_per_iter": perIter,
+							"mutex_wait_ns":  float64(c.MutexWait),
+							"allocs_per_kop": float64(c.Allocs) / float64(c.Ops) * 1000,
+							"gc_pause_ns":    float64(c.GCPause), "overhead_x": overhead,
+						})
 				}
-				fmt.Printf("%-14s %8d %10d %8d %12s %12.1f %14s %11.1f %10s %9s\n",
-					row.name, w, tiles, iters, wall.Round(time.Millisecond), perIter,
-					wait.Round(10*time.Microsecond), float64(allocs)/float64(ops)*1000,
-					gcPause.Round(10*time.Microsecond), cut)
-			}
-			runtime.GOMAXPROCS(prev)
+			})
 		}
 	}
 
 	if *modeFlag == "all" || *modeFlag == "ws" {
 		if *modeFlag == "all" {
-			fmt.Println()
+			em.printf("\n")
 		}
 		iters, n := *wsItersFlag, *wsRangeFlag
-		fmt.Printf("worksharing chunk distribution (chained fine-grain loop regions)\n")
-		fmt.Printf("%-8s %8s %7s %10s %8s %12s %12s %11s %12s %7s %9s\n",
+		em.printf("worksharing chunk distribution (chained fine-grain loop regions)\n")
+		em.printf("%-8s %8s %7s %10s %8s %12s %12s %11s %12s %7s %9s\n",
 			"impl", "workers", "grain", "chunks/it", "iters", "wall", "us/iter", "allocs/kop", "helper-chks", "idle", "speedup")
 		kinds := []struct {
 			name string
@@ -680,41 +346,50 @@ func main() {
 			{"chunked", core.WorksharingChunked},
 		}
 		for _, w := range workers {
-			prev := runtime.GOMAXPROCS(0)
-			if w > prev {
-				runtime.GOMAXPROCS(w)
-			}
-			for _, grain := range wsGrains {
-				var expandWall time.Duration
-				for _, row := range kinds {
-					runWs(row.kind, w, iters/10+1, grain, n) // warm-up
-					runtime.GC()
-					chunks, wall, allocs, helper, idle := runWs(row.kind, w, iters, grain, n)
-					speedup := "-"
-					if row.kind == core.WorksharingExpand {
-						expandWall = wall
-					} else if wall > 0 && expandWall > 0 {
-						// The acceptance metric: the per-chunk-task expansion
-						// costs this many times the worksharing region.
-						speedup = fmt.Sprintf("%.2fx", float64(expandWall)/float64(wall))
+			withGOMAXPROCS(w, func() {
+				for _, grain := range wsGrains {
+					var expandWall time.Duration
+					for _, r := range kinds {
+						harness.WSChunkBench(r.kind, w, iters/10+1, grain, n) // warm-up
+						runtime.GC()
+						res := harness.WSChunkBench(r.kind, w, iters, grain, n)
+						speedup := "-"
+						ratio := 1.0
+						if r.kind == core.WorksharingExpand {
+							expandWall = res.Wall
+						} else if res.Wall > 0 && expandWall > 0 {
+							// The acceptance metric: the per-chunk-task expansion
+							// costs this many times the worksharing region.
+							ratio = float64(expandWall) / float64(res.Wall)
+							speedup = fmt.Sprintf("%.2fx", ratio)
+						}
+						em.printf("%-8s %8d %7d %10d %8d %12s %12.1f %11.1f %12d %6.1f%% %9s\n",
+							r.name, w, grain, res.Chunks/int64(iters), iters, res.Wall.Round(time.Millisecond),
+							float64(res.Wall.Microseconds())/float64(iters),
+							float64(res.Allocs)/float64(res.Chunks)*1000, res.HelperChunks, res.Idle*100, speedup)
+						em.add("ws", r.name, w,
+							map[string]int64{"grain": grain, "iters": int64(iters)},
+							map[string]float64{
+								"wall_ns":           float64(res.Wall),
+								"us_per_iter":       float64(res.Wall.Microseconds()) / float64(iters),
+								"chunks_per_iter":   float64(res.Chunks / int64(iters)),
+								"allocs_per_kchunk": float64(res.Allocs) / float64(res.Chunks) * 1000,
+								"helper_chunks":     float64(res.HelperChunks),
+								"idle_pct":          res.Idle * 100, "speedup_x": ratio,
+							})
 					}
-					fmt.Printf("%-8s %8d %7d %10d %8d %12s %12.1f %11.1f %12d %6.1f%% %9s\n",
-						row.name, w, grain, chunks/int64(iters), iters, wall.Round(time.Millisecond),
-						float64(wall.Microseconds())/float64(iters),
-						float64(allocs)/float64(chunks)*1000, helper, idle*100, speedup)
 				}
-			}
-			runtime.GOMAXPROCS(prev)
+			})
 		}
 	}
 
 	if *modeFlag == "all" || *modeFlag == "wait" {
 		if *modeFlag == "all" {
-			fmt.Println()
+			em.printf("\n")
 		}
 		reps, fan := *waitRepsFlag, *waitFanFlag
-		fmt.Printf("taskwait blocking strategy (nested parents over spinning leaves)\n")
-		fmt.Printf("%-13s %8s %10s %12s %10s %10s %10s %11s %7s\n",
+		em.printf("taskwait blocking strategy (nested parents over spinning leaves)\n")
+		em.printf("%-13s %8s %10s %12s %10s %10s %10s %11s %7s\n",
 			"impl", "workers", "waits", "wall", "us/wait", "parks", "handoffs", "steal-res", "idle")
 		kinds := []struct {
 			name string
@@ -724,20 +399,32 @@ func main() {
 			{"continuation", core.TaskwaitContinuation},
 		}
 		for _, w := range workers {
-			prev := runtime.GOMAXPROCS(0)
-			if w > prev {
-				runtime.GOMAXPROCS(w)
-			}
-			for _, row := range kinds {
-				runWait(row.kind, w, reps/10+1, fan) // warm-up
-				runtime.GC()
-				waits, wall, st, idle := runWait(row.kind, w, reps, fan)
-				fmt.Printf("%-13s %8d %10d %12s %10.2f %10d %10d %11d %6.1f%%\n",
-					row.name, w, waits, wall.Round(time.Millisecond),
-					float64(wall.Microseconds())/float64(waits),
-					st.Parks, st.Handoffs, st.StealResumes, idle*100)
-			}
-			runtime.GOMAXPROCS(prev)
+			withGOMAXPROCS(w, func() {
+				for _, r := range kinds {
+					harness.WaitBench(r.kind, w, reps/10+1, fan) // warm-up
+					runtime.GC()
+					res := harness.WaitBench(r.kind, w, reps, fan)
+					em.printf("%-13s %8d %10d %12s %10.2f %10d %10d %11d %6.1f%%\n",
+						r.name, w, res.Waits, res.Wall.Round(time.Millisecond),
+						float64(res.Wall.Microseconds())/float64(res.Waits),
+						res.Stats.Parks, res.Stats.Handoffs, res.Stats.StealResumes, res.Idle*100)
+					em.add("wait", r.name, w,
+						map[string]int64{"reps": int64(reps), "fan": int64(fan)},
+						map[string]float64{
+							"wall_ns": float64(res.Wall), "waits": float64(res.Waits),
+							"us_per_wait":   float64(res.Wall.Microseconds()) / float64(res.Waits),
+							"parks":         float64(res.Stats.Parks),
+							"handoffs":      float64(res.Stats.Handoffs),
+							"steal_resumes": float64(res.Stats.StealResumes),
+							"idle_pct":      res.Idle * 100,
+						})
+				}
+			})
 		}
+	}
+
+	if err := em.flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "depbench: %v\n", err)
+		os.Exit(1)
 	}
 }

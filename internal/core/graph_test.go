@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/randtest"
 	"repro/internal/replay"
 )
 
@@ -107,8 +108,8 @@ func TestGraphReplayDifferential(t *testing.T) {
 	if testing.Short() {
 		seeds = 8
 	}
-	for s := 0; s < seeds; s++ {
-		rng := rand.New(rand.NewSource(int64(s)*977 + 5))
+	for _, s := range randtest.SeedRange(t, 0, int64(seeds)) {
+		rng := rand.New(rand.NewSource(s*977 + 5))
 		p := genProg(rng)
 		iters := 2 + rng.Intn(5)
 		workers := 1 + rng.Intn(4)

@@ -15,6 +15,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/randtest"
 )
 
 var taskwaitKinds = []TaskwaitKind{TaskwaitParking, TaskwaitContinuation}
@@ -234,7 +236,7 @@ func runTWProgram(t *testing.T, root *twTree, kind TaskwaitKind, workers int) (i
 // tree's predicted blocking waits (plus the root's implicit wait when the
 // root submitted anything).
 func TestTaskwaitDifferential(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
+	for _, seed := range randtest.SeedRange(t, 1, 7) {
 		rng := rand.New(rand.NewSource(1300 + seed))
 		var next int
 		root := buildTWTree(rng, 3, &next)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/mempool"
+	"repro/internal/randtest"
 	"repro/internal/replay"
 	"repro/internal/sched"
 )
@@ -195,7 +196,7 @@ func TestWorksharingDifferential(t *testing.T) {
 		seeds = 4
 	}
 	for _, workers := range []int{1, 4} {
-		for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, seed := range randtest.SeedRange(t, 1, int64(seeds)+1) {
 			exp := wsDiffProgram(t, WorksharingExpand, workers, seed)
 			chk := wsDiffProgram(t, WorksharingChunked, workers, seed)
 			if exp != chk {

@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
-	"testing/quick"
 
+	"repro/internal/randtest"
 	"repro/internal/regions"
 )
 
@@ -203,9 +203,7 @@ func TestDifferentialFlatMultiData(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(21))}); err != nil {
-		t.Fatal(err)
-	}
+	randtest.Check(t, 50, 21, f)
 }
 
 func TestDifferentialNestedWeakMultiData(t *testing.T) {
@@ -222,9 +220,7 @@ func TestDifferentialNestedWeakMultiData(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(22))}); err != nil {
-		t.Fatal(err)
-	}
+	randtest.Check(t, 40, 22, f)
 }
 
 func TestDifferentialDeepNesting(t *testing.T) {
@@ -241,9 +237,7 @@ func TestDifferentialDeepNesting(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(23))}); err != nil {
-		t.Fatal(err)
-	}
+	randtest.Check(t, 30, 23, f)
 }
 
 // TestDifferentialSingleData pins the single-shard case: with one data
@@ -274,7 +268,5 @@ func TestDifferentialSingleData(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(24))}); err != nil {
-		t.Fatal(err)
-	}
+	randtest.Check(t, 30, 24, f)
 }

@@ -3,6 +3,8 @@ package metrics
 import (
 	"bytes"
 	"encoding/csv"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -39,6 +41,112 @@ func TestSeriesWriteCSVRoundTrip(t *testing.T) {
 				t.Errorf("row %d col %d = %q, want %q", i, j, recs[i][j], want[i][j])
 			}
 		}
+	}
+}
+
+// TestSeriesReadCSVInverse proves ReadSeriesCSV inverts WriteCSV on the
+// awkward inputs a plotting pipeline will eventually feed it: an empty
+// series (header only), non-finite values (NaN, ±Inf from zero-division
+// in speedup columns), and labels that need CSV quoting (commas, quotes,
+// leading '#' that must not be eaten as a title comment).
+func TestSeriesReadCSVInverse(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Series
+	}{
+		{"empty", func() *Series {
+			return NewSeries("nothing yet", "n", "a", "b")
+		}},
+		{"nonfinite", func() *Series {
+			s := NewSeries("speedups", "workers", "ok", "bad")
+			s.AddPoint("1", map[string]float64{"ok": 1, "bad": math.NaN()})
+			s.AddPoint("2", map[string]float64{"ok": math.Inf(1), "bad": math.Inf(-1)})
+			return s
+		}},
+		{"quoted-labels", func() *Series {
+			s := NewSeries("odd, labels", "size, bytes", `sharded "fast"`, "#central")
+			s.AddPoint("1,024", map[string]float64{`sharded "fast"`: 0.5, "#central": 2.25})
+			return s
+		}},
+		{"no-variants", func() *Series {
+			s := NewSeries("x only", "n")
+			s.AddPoint("1", nil)
+			s.AddPoint("2", nil)
+			return s
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			orig := c.build()
+			var buf bytes.Buffer
+			if err := orig.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadSeriesCSV(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("read back: %v\ncsv:\n%s", err, buf.String())
+			}
+			if got.Title != orig.Title || got.XLabel != orig.XLabel {
+				t.Errorf("title/xlabel = %q/%q, want %q/%q", got.Title, got.XLabel, orig.Title, orig.XLabel)
+			}
+			if !reflect.DeepEqual(got.Order, orig.Order) {
+				t.Errorf("order = %v, want %v", got.Order, orig.Order)
+			}
+			if !reflect.DeepEqual(got.Xs(), orig.Xs()) {
+				t.Errorf("xs = %v, want %v", got.Xs(), orig.Xs())
+			}
+			for _, name := range orig.Order {
+				a, b := orig.Column(name), got.Column(name)
+				if len(a) != len(b) {
+					t.Fatalf("column %q: %d values, want %d", name, len(b), len(a))
+				}
+				for i := range a {
+					same := a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i]))
+					if !same {
+						t.Errorf("column %q[%d] = %v, want %v", name, i, b[i], a[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeriesReadCSVErrors pins the failure modes: empty input, and a
+// non-numeric cell (with the row and column named in the error).
+func TestSeriesReadCSVErrors(t *testing.T) {
+	if _, err := ReadSeriesCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := "# t\nn,a\n1,notafloat\n"
+	if _, err := ReadSeriesCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric cell accepted")
+	} else if !strings.Contains(err.Error(), `column "a"`) {
+		t.Errorf("error does not name the column: %v", err)
+	}
+}
+
+// TestTableReadCSVRoundTrip: tables carry strings verbatim, including
+// ragged rows and cells needing quoting.
+func TestTableReadCSVRoundTrip(t *testing.T) {
+	tb := NewTable("variants, annotated", "name", "value", "note")
+	tb.Add("x", "1")                 // ragged: short row
+	tb.Add("y, z", "2", `said "hi"`) // quoting both styles
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTableCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read back: %v\ncsv:\n%s", err, buf.String())
+	}
+	if got.Title != tb.Title {
+		t.Errorf("title = %q, want %q", got.Title, tb.Title)
+	}
+	if !reflect.DeepEqual(got.Headers, tb.Headers) {
+		t.Errorf("headers = %v, want %v", got.Headers, tb.Headers)
+	}
+	if !reflect.DeepEqual(got.rows, tb.rows) {
+		t.Errorf("rows = %v, want %v", got.rows, tb.rows)
 	}
 }
 

@@ -1,0 +1,79 @@
+package perfstat
+
+// The collector: repeated measurement with coefficient-of-variation
+// validation. A benchmark entry is measured Reps times; if the trimmed
+// sample's CV exceeds MaxCV the entry — and only that entry — is re-run
+// with additional reps until it stabilizes or the rerun budget is spent.
+// Stable entries never pay for noisy ones, which is what keeps a full
+// matrix collection affordable.
+
+// CollectOptions bounds one entry's collection.
+type CollectOptions struct {
+	// Reps is the initial number of measurements (default 5).
+	Reps int
+	// MaxCV is the coefficient of variation above which the entry is
+	// re-run (default 0.10).
+	MaxCV float64
+	// MaxExtra bounds the additional measurements spent tightening a
+	// high-variance entry (default 2×Reps).
+	MaxExtra int
+}
+
+func (o CollectOptions) defaults() CollectOptions {
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.MaxCV <= 0 {
+		o.MaxCV = 0.10
+	}
+	if o.MaxExtra <= 0 {
+		o.MaxExtra = 2 * o.Reps
+	}
+	return o
+}
+
+// Sample is one entry's validated collection result.
+type Sample struct {
+	// Values are the trimmed measurements (collection order preserved).
+	Values []float64
+	// Raw counts every measurement taken, including trimmed outliers.
+	Raw int
+	// Reruns counts the extra measurements beyond the initial Reps.
+	Reruns int
+	// CV is the final coefficient of variation of Values.
+	CV float64
+	// Stable reports whether CV <= MaxCV was reached within the budget.
+	Stable bool
+}
+
+// Mean returns the mean of the trimmed values.
+func (s Sample) Mean() float64 { return Mean(s.Values) }
+
+// Collect measures run (one call = one measurement, e.g. ns/op of a
+// kernel pass) with CV validation: Reps initial calls, outlier trimming,
+// and targeted re-runs while the trimmed CV exceeds MaxCV. The returned
+// sample carries the trimmed values plus the rerun accounting that lands
+// in the history record, so a noisy host is visible in the trajectory.
+func Collect(run func() float64, opts CollectOptions) Sample {
+	opts = opts.defaults()
+	raw := make([]float64, 0, opts.Reps+opts.MaxExtra)
+	for i := 0; i < opts.Reps; i++ {
+		raw = append(raw, run())
+	}
+	extra := 0
+	for {
+		trimmed := TrimOutliers(raw)
+		cv := CV(trimmed)
+		if cv <= opts.MaxCV || extra >= opts.MaxExtra {
+			return Sample{
+				Values: trimmed,
+				Raw:    len(raw),
+				Reruns: extra,
+				CV:     cv,
+				Stable: cv <= opts.MaxCV,
+			}
+		}
+		raw = append(raw, run())
+		extra++
+	}
+}

@@ -1,0 +1,113 @@
+package perfstat
+
+import "fmt"
+
+// The regression gate: a benchstat-style two-sample comparison between
+// the last accepted record's sample and the current run's, entry by
+// entry. An entry regresses only when BOTH hold:
+//
+//   - the shift is statistically significant — the Mann-Whitney U test's
+//     two-sided p-value is below Alpha (Welch's t runs alongside and is
+//     reported, but the gate decision uses the rank test: timing
+//     distributions are heavy-tailed and the U test needs no normality);
+//   - the shift is material — the new mean exceeds the old by more than
+//     MinDelta (all tracked units are time-like, so higher is worse).
+//
+// Requiring both keeps the gate quiet: micro-shifts on a quiet host are
+// significant but immaterial, and big swings on a noisy host are material
+// but insignificant. Improvements are reported but never gate.
+
+// GatePolicy parameterizes the comparison.
+type GatePolicy struct {
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+	// MinDelta is the minimum relative slowdown that gates, e.g. 0.10
+	// for +10% (default 0.10).
+	MinDelta float64
+}
+
+func (p GatePolicy) defaults() GatePolicy {
+	if p.Alpha <= 0 {
+		p.Alpha = 0.05
+	}
+	if p.MinDelta <= 0 {
+		p.MinDelta = 0.10
+	}
+	return p
+}
+
+// Outcome classifies one entry's comparison.
+type Outcome uint8
+
+const (
+	// Unchanged: no statistically significant shift, or a significant
+	// one below the materiality floor.
+	Unchanged Outcome = iota
+	// Improved: significant and material in the faster direction.
+	Improved
+	// Regressed: significant and material in the slower direction.
+	Regressed
+	// Incomparable: one side has no values (new or removed entry).
+	Incomparable
+)
+
+// String returns the gate-report label of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Improved:
+		return "improved"
+	case Regressed:
+		return "REGRESSED"
+	case Incomparable:
+		return "n/a"
+	default:
+		return "~"
+	}
+}
+
+// Comparison is one entry's verdict.
+type Comparison struct {
+	Outcome     Outcome
+	OldMean     float64
+	NewMean     float64
+	Delta       float64 // relative change, (new-old)/old
+	PU          float64 // Mann-Whitney two-sided p (the gating test)
+	PWelch      float64 // Welch's t two-sided p (reported alongside)
+	Significant bool    // PU < Alpha
+}
+
+// String renders the verdict as one gate-report cell.
+func (c Comparison) String() string {
+	if c.Outcome == Incomparable {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%% (p=%.3f) %s", c.Delta*100, c.PU, c.Outcome)
+}
+
+// Compare gates one entry's new sample against its old one under the
+// policy. Old and new are raw measurement values in a lower-is-better
+// unit (trimming is the collector's job; Compare takes the samples as
+// recorded).
+func Compare(old, new []float64, policy GatePolicy) Comparison {
+	policy = policy.defaults()
+	if len(old) == 0 || len(new) == 0 {
+		return Comparison{Outcome: Incomparable, OldMean: Mean(old), NewMean: Mean(new)}
+	}
+	c := Comparison{OldMean: Mean(old), NewMean: Mean(new)}
+	if c.OldMean != 0 {
+		c.Delta = (c.NewMean - c.OldMean) / c.OldMean
+	}
+	_, c.PU = MannWhitneyU(old, new)
+	_, _, c.PWelch = WelchT(old, new)
+	c.Significant = c.PU < policy.Alpha
+	if !c.Significant {
+		return c
+	}
+	switch {
+	case c.Delta > policy.MinDelta:
+		c.Outcome = Regressed
+	case c.Delta < -policy.MinDelta:
+		c.Outcome = Improved
+	}
+	return c
+}

@@ -1,0 +1,289 @@
+// Package perfstat is the statistics layer of the continuous perf
+// trajectory (cmd/perftrack): coefficient-of-variation validation of
+// repeated measurements, benchstat-style outlier trimming, and two-sample
+// significance tests (Welch's t and Mann-Whitney U) behind a regression
+// gate that compares the current run of a benchmark matrix against the
+// last accepted record.
+//
+// The package is pure computation over []float64 samples — collection
+// (internal/harness kernels), persistence (BENCH_history.json), and
+// policy wiring live in cmd/perftrack — so every verdict is unit-testable
+// on synthetic distributions.
+package perfstat
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation (stddev over mean), the
+// scale-free noise measure the collector validates samples against. A
+// non-positive mean returns +Inf for a non-zero spread and 0 otherwise,
+// so noisy near-zero samples still fail validation.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	sd := Stddev(xs)
+	if m <= 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / m
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// TrimOutliers returns xs with values outside [Q1-1.5·IQR, Q3+1.5·IQR]
+// removed — benchstat's interquartile filter, which discards the
+// occasional GC- or scheduler-perturbed rep without biasing the center.
+// Inputs of fewer than four values are returned unchanged (quartiles are
+// meaningless), as is the input when trimming would leave fewer than two.
+func TrimOutliers(xs []float64) []float64 {
+	if len(xs) < 4 {
+		return xs
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q1 := quantile(s, 0.25)
+	q3 := quantile(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-1.5*iqr, q3+1.5*iqr
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs { // preserve collection order
+		if x >= lo && x <= hi {
+			out = append(out, x)
+		}
+	}
+	if len(out) < 2 {
+		return xs
+	}
+	return out
+}
+
+// quantile returns the q-th quantile of sorted s by linear interpolation.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// WelchT runs Welch's unequal-variance t-test on two samples and returns
+// the t statistic, the Welch–Satterthwaite degrees of freedom, and the
+// two-sided p-value. Degenerate inputs (fewer than two values on either
+// side, or both variances zero) return p=1 when the means are equal and
+// p=0 when they differ with zero variance — the limit verdicts.
+func WelchT(a, b []float64) (t, df, p float64) {
+	na, nb := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		if Mean(a) == Mean(b) {
+			return 0, 0, 1
+		}
+		return math.Inf(1), 0, 0
+	}
+	va, vb := Variance(a), Variance(b)
+	se2 := va/na + vb/nb
+	dm := Mean(a) - Mean(b)
+	if se2 == 0 {
+		if dm == 0 {
+			return 0, na + nb - 2, 1
+		}
+		return math.Inf(1), na + nb - 2, 0
+	}
+	t = dm / math.Sqrt(se2)
+	df = se2 * se2 / (va*va/(na*na*(na-1)) + vb*vb/(nb*nb*(nb-1)))
+	// Two-sided p from the t CDF: P(|T| > |t|) = I_{df/(df+t²)}(df/2, 1/2).
+	x := df / (df + t*t)
+	p = regIncBeta(df/2, 0.5, x)
+	if p > 1 {
+		p = 1
+	}
+	return t, df, p
+}
+
+// MannWhitneyU runs the two-sided Mann-Whitney U test (Wilcoxon rank-sum)
+// with tie-corrected normal approximation and continuity correction, the
+// comparison benchstat uses: no normality assumption, robust to the
+// heavy-tailed timing distributions benchmarks produce. It returns the U
+// statistic of the first sample and the two-sided p-value. Samples where
+// every value ties (zero rank variance) return p=1 — indistinguishable.
+//
+// The normal approximation is conservative for very small samples
+// (n < ~4 cannot reach p < 0.05, matching the exact test's floor of
+// 2/C(8,4) ≈ 0.029 at n=m=4).
+func MannWhitneyU(a, b []float64) (u, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, x := range a {
+		all = append(all, obs{x, true})
+	}
+	for _, x := range b {
+		all = append(all, obs{x, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Midranks with tie groups; accumulate the tie correction term Σ(t³-t).
+	var r1, tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		rank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		if t := float64(j - i); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		i = j
+	}
+	u = r1 - float64(n1)*float64(n1+1)/2
+	mu := float64(n1) * float64(n2) / 2
+	nTot := float64(n1 + n2)
+	sigma2 := float64(n1) * float64(n2) / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		return u, 1 // all values tie: no evidence of difference
+	}
+	// Continuity correction toward the mean.
+	z := u - mu
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	p = math.Erfc(math.Abs(z) / math.Sqrt2)
+	return u, p
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// by the continued-fraction expansion (Numerical Recipes betacf), which
+// converges for all 0 <= x <= 1 via the symmetry relation.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// ln of the prefactor x^a (1-x)^b / (a B(a,b)).
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+// Package randtest standardizes seed handling for the randomized
+// differential tests: every failure names the RNG seed that produced it,
+// and a -seed flag replays exactly that seed.
+//
+//	go test ./internal/deps -run TestDifferentialFlatMultiData -seed 12345
+//
+// The flag is registered once per test binary at import time; packages
+// that import randtest from their tests get it for free.
+package randtest
+
+import (
+	"flag"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// seedOverride is the -seed flag: 0 (unset) runs each test's default
+// seed schedule; any other value replays that single seed everywhere.
+var seedOverride = flag.Int64("seed", 0,
+	"replay randomized tests with this single RNG seed (0 = default schedule)")
+
+// Override returns the -seed value and whether it was set.
+func Override() (int64, bool) {
+	return *seedOverride, *seedOverride != 0
+}
+
+// Check drives a property over randomized seeds, the replacement for
+// testing/quick.Check in the differential suites: f is called with
+// maxCount seeds drawn from a fixed meta-seeded RNG (so the default
+// schedule is deterministic), a failing seed is reported with the exact
+// -seed incantation to replay it, and a -seed override runs only that
+// seed. f reports failure by returning false or by failing t.
+func Check(t *testing.T, maxCount int, metaSeed int64, f func(seed int64) bool) {
+	t.Helper()
+	if s, ok := Override(); ok {
+		if !f(s) || t.Failed() {
+			t.Fatalf("property failed for seed %d (replaying -seed=%d)", s, s)
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(metaSeed))
+	for i := 0; i < maxCount; i++ {
+		seed := rng.Int63()
+		if !f(seed) || t.Failed() {
+			t.Fatalf("property failed for seed %d (run %d of %d) — re-run with -seed=%d",
+				seed, i+1, maxCount, seed)
+		}
+	}
+}
+
+// Seeds returns the seed schedule for loop-style randomized tests: the
+// defaults, or just the -seed override when set. Callers must include
+// the seed in their failure messages (or use Run, which does).
+func Seeds(t *testing.T, defaults ...int64) []int64 {
+	t.Helper()
+	if s, ok := Override(); ok {
+		return []int64{s}
+	}
+	return defaults
+}
+
+// SeedRange is Seeds for the common 0..n-1 (or 1..n) loop shape.
+func SeedRange(t *testing.T, from, to int64) []int64 {
+	t.Helper()
+	if s, ok := Override(); ok {
+		return []int64{s}
+	}
+	var out []int64
+	for s := from; s < to; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Run executes f once per seed as a subtest named "seed=N", so any
+// failure names its seed and `-run 'Test.*/seed=N' -seed N` replays it.
+func Run(t *testing.T, seeds []int64, f func(t *testing.T, seed int64)) {
+	t.Helper()
+	for _, seed := range seeds {
+		seed := seed
+		ok := t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) { f(t, seed) })
+		if !ok {
+			t.Logf("randomized subtest failed — re-run with -seed=%d", seed)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package randtest
+
+import "testing"
+
+// TestSeedSchedules pins the no-override behavior: Seeds echoes the
+// defaults, SeedRange expands the half-open range, and Check drives the
+// property with a deterministic schedule (same meta-seed, same seeds).
+func TestSeedSchedules(t *testing.T) {
+	if _, ok := Override(); ok {
+		t.Skip("-seed set; schedules intentionally collapse to the override")
+	}
+	got := Seeds(t, 3, 1, 4)
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 4 {
+		t.Errorf("Seeds = %v, want [3 1 4]", got)
+	}
+	r := SeedRange(t, 2, 5)
+	if len(r) != 3 || r[0] != 2 || r[2] != 4 {
+		t.Errorf("SeedRange(2,5) = %v, want [2 3 4]", r)
+	}
+	var first, second []int64
+	Check(t, 5, 99, func(seed int64) bool { first = append(first, seed); return true })
+	Check(t, 5, 99, func(seed int64) bool { second = append(second, seed); return true })
+	if len(first) != 5 {
+		t.Fatalf("Check ran %d seeds, want 5", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("schedule not deterministic: run1[%d]=%d run2[%d]=%d", i, first[i], i, second[i])
+		}
+	}
+}
+
+// TestRunNamesSeeds pins the subtest naming, so -run 'T.*/seed=N'
+// replays one seed of a loop-style test.
+func TestRunNamesSeeds(t *testing.T) {
+	var seen []int64
+	Run(t, []int64{7, 8}, func(t *testing.T, seed int64) { seen = append(seen, seed) })
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 8 {
+		t.Errorf("Run visited %v, want [7 8]", seen)
+	}
+}

@@ -6,8 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
-	"testing/quick"
 	"time"
+
+	"repro/internal/randtest"
 )
 
 // Differential admission tests: the single-lock reference pools and the
@@ -176,7 +177,5 @@ func TestPoolDifferentialAdmission(t *testing.T) {
 	if testing.Short() {
 		max = 10
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(51))}); err != nil {
-		t.Fatal(err)
-	}
+	randtest.Check(t, max, 51, f)
 }

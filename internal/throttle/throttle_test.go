@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 	"unsafe"
+
+	"repro/internal/randtest"
 )
 
 func TestKindString(t *testing.T) {
@@ -203,7 +205,8 @@ func TestDifferentialRandomSchedules(t *testing.T) {
 		perG = 600
 	}
 	for _, limit := range []int{1, 2, 7, 64} {
-		for seed := uint64(0); seed < 4; seed++ {
+		for _, s := range randtest.SeedRange(t, 0, 4) {
+			seed := uint64(s)
 			lres := run(KindLocked, limit, seed, perG)
 			sres := run(KindSharded, limit, seed, perG)
 			if lres != sres {

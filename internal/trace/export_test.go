@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -108,6 +110,71 @@ func TestWritePRVShape(t *testing.T) {
 	}
 	if legend != 2 {
 		t.Errorf("got %d legend lines, want 2", legend)
+	}
+}
+
+// TestConcurrentEmittersExport exercises the tracer's concurrency
+// contract under -race: Record is lock-free per worker because the
+// scheduler serializes each worker's token, so one goroutine per worker
+// recording simultaneously — while all of them race on the shared KindID
+// registry — must be clean, and the trace must then export completely in
+// both formats. This is the CI race pass's witness that real-mode tracing
+// (internal/core writes spans from every worker) is data-race free.
+func TestConcurrentEmittersExport(t *testing.T) {
+	const workers, spansPer, kinds = 8, 200, 5
+	tr := New(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				// Kind registration is shared and mutex-protected; hammer
+				// it from every emitter, including novel names mid-run.
+				k := tr.KindID(fmt.Sprintf("kind%d", (w+i)%kinds))
+				start := int64(i * 10)
+				tr.Record(w, k, start, start+7)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := len(tr.Spans()); got != workers*spansPer {
+		t.Fatalf("recorded %d spans, want %d", got, workers*spansPer)
+	}
+	if got := len(tr.Kinds()); got != kinds {
+		t.Fatalf("registered %d kinds, want %d", got, kinds)
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(chrome.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(events) != workers*spansPer {
+		t.Errorf("chrome export has %d events, want %d", len(events), workers*spansPer)
+	}
+	var prv bytes.Buffer
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	for sc := bufio.NewScanner(&prv); sc.Scan(); {
+		if strings.HasPrefix(sc.Text(), "1:") {
+			records++
+		}
+	}
+	if records != workers*spansPer {
+		t.Errorf("PRV export has %d state records, want %d", records, workers*spansPer)
+	}
+	// The detector must also run cleanly over a trace built this way.
+	if fs := tr.DetectPatterns(0); fs == nil {
+		// All workers share an identical busy/idle profile: either verdict
+		// is legitimate depending on thresholds, but the call must not
+		// race or panic; nil findings are fine.
+		_ = fs
 	}
 }
 

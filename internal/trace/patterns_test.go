@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkTrace builds a tracer and records the given spans (worker, start,
+// end) under one kind.
+func mkTrace(workers int, spans [][3]int64) *Tracer {
+	tr := New(workers)
+	k := tr.KindID("task")
+	for _, s := range spans {
+		tr.Record(int(s[0]), k, s[1], s[2])
+	}
+	return tr
+}
+
+// findPattern returns the finding with the given pattern key, if any.
+func findPattern(fs []Finding, pattern string) (Finding, bool) {
+	for _, f := range fs {
+		if f.Pattern == pattern {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+// TestDetectPatternsHealthy: all workers busy the whole run — every
+// detector must stay quiet (the passing verdict).
+func TestDetectPatternsHealthy(t *testing.T) {
+	tr := mkTrace(4, [][3]int64{
+		{0, 0, 100}, {1, 0, 100}, {2, 0, 100}, {3, 0, 100},
+	})
+	if fs := tr.DetectPatterns(100); len(fs) != 0 {
+		t.Fatalf("healthy trace produced findings: %+v", fs)
+	}
+	if got := PatternReport(nil); !strings.Contains(got, "no detrimental") {
+		t.Errorf("empty report = %q", got)
+	}
+}
+
+// TestDetectSerializedCreation: worker 0 alone for the first half of the
+// run (the creation phase), then everyone busy — only the
+// serialized-creation detector fires (the failing verdict), and shrinking
+// the serial prefix below the threshold silences it again.
+func TestDetectSerializedCreation(t *testing.T) {
+	tr := mkTrace(4, [][3]int64{
+		{0, 0, 50}, // the generator, alone
+		{0, 50, 100}, {1, 50, 100}, {2, 50, 100}, {3, 50, 100},
+	})
+	fs := tr.DetectPatterns(100)
+	f, ok := findPattern(fs, "serialized-creation")
+	if !ok {
+		t.Fatalf("serialized trace not detected: %+v", fs)
+	}
+	if f.Severity < 0.45 || f.Severity > 0.55 {
+		t.Errorf("severity %g, want ~0.5 (half the run serial)", f.Severity)
+	}
+	if _, ok := findPattern(fs, "starved-workers"); ok {
+		t.Errorf("starvation misfired on serialized trace: %+v", fs)
+	}
+	// Short serial prefix (10%): below threshold, clean verdict.
+	tr2 := mkTrace(4, [][3]int64{
+		{0, 0, 10},
+		{0, 10, 100}, {1, 10, 100}, {2, 10, 100}, {3, 10, 100},
+	})
+	if fs := tr2.DetectPatterns(100); len(fs) != 0 {
+		t.Errorf("10%% prefix flagged: %+v", fs)
+	}
+}
+
+// TestDetectStarvedWorkers: three workers saturated, one nearly idle —
+// only the starvation detector fires, naming the starved worker; giving
+// that worker its share silences it.
+func TestDetectStarvedWorkers(t *testing.T) {
+	tr := mkTrace(4, [][3]int64{
+		{0, 0, 100}, {1, 0, 100}, {2, 0, 100},
+		{3, 0, 5}, // starved: 5% of the busiest
+	})
+	fs := tr.DetectPatterns(100)
+	f, ok := findPattern(fs, "starved-workers")
+	if !ok {
+		t.Fatalf("starved trace not detected: %+v", fs)
+	}
+	if !strings.Contains(f.Detail, "[3]") {
+		t.Errorf("detail does not name worker 3: %q", f.Detail)
+	}
+	if _, ok := findPattern(fs, "serialized-creation"); ok {
+		t.Errorf("serialized-creation misfired on starved trace: %+v", fs)
+	}
+	if _, ok := findPattern(fs, "wait-heavy"); ok {
+		t.Errorf("wait-heavy misfired on starved trace: %+v", fs)
+	}
+	// Balanced version: clean.
+	tr2 := mkTrace(4, [][3]int64{
+		{0, 0, 100}, {1, 0, 100}, {2, 0, 100}, {3, 0, 90},
+	})
+	if fs := tr2.DetectPatterns(100); len(fs) != 0 {
+		t.Errorf("balanced trace flagged: %+v", fs)
+	}
+}
+
+// TestDetectWaitHeavy: every worker alternates short spans with idle
+// gaps (drain → block → resume churn) — only the wait-heavy detector
+// fires. One long gap per worker (phase imbalance) must NOT fire it.
+func TestDetectWaitHeavy(t *testing.T) {
+	var spans [][3]int64
+	for w := int64(0); w < 4; w++ {
+		for s := int64(0); s < 5; s++ {
+			spans = append(spans, [3]int64{w, s * 20, s*20 + 10})
+		}
+	}
+	tr := mkTrace(4, spans)
+	fs := tr.DetectPatterns(100)
+	f, ok := findPattern(fs, "wait-heavy")
+	if !ok {
+		t.Fatalf("wait-heavy trace not detected: %+v", fs)
+	}
+	if f.Severity < 0.4 || f.Severity > 0.6 {
+		t.Errorf("severity %g, want ~0.5 (EP 2 of 4)", f.Severity)
+	}
+	if _, ok := findPattern(fs, "starved-workers"); ok {
+		t.Errorf("starvation misfired on wait-heavy trace: %+v", fs)
+	}
+	// Same 50% idleness as ONE contiguous gap per worker: fragmented it
+	// is not, so wait-heavy stays quiet (and with every worker's single
+	// span covering the start, so does serialized-creation).
+	tr2 := mkTrace(4, [][3]int64{
+		{0, 0, 50}, {1, 0, 50}, {2, 0, 50}, {3, 0, 50},
+		{0, 90, 100}, {1, 90, 100}, {2, 90, 100}, {3, 90, 100},
+	})
+	if _, ok := findPattern(tr2.DetectPatterns(100), "wait-heavy"); ok {
+		t.Errorf("single-gap trace flagged wait-heavy")
+	}
+}
+
+// TestDetectPatternsDegenerate: single-worker and empty traces are not
+// classifiable — parallelism pathologies need parallelism.
+func TestDetectPatternsDegenerate(t *testing.T) {
+	if fs := mkTrace(1, [][3]int64{{0, 0, 10}}).DetectPatterns(0); fs != nil {
+		t.Errorf("w=1 trace classified: %+v", fs)
+	}
+	if fs := New(4).DetectPatterns(0); fs != nil {
+		t.Errorf("empty trace classified: %+v", fs)
+	}
+}
+
+// TestPatternReportRendering: the report table carries every finding's
+// pattern key and diagnosis.
+func TestPatternReportRendering(t *testing.T) {
+	fs := []Finding{
+		{Pattern: "serialized-creation", Severity: 0.5, Detail: "half serial"},
+		{Pattern: "wait-heavy", Severity: 0.3, Detail: "gappy"},
+	}
+	got := PatternReport(fs)
+	for _, want := range []string{"serialized-creation", "wait-heavy", "half serial", "gappy", "Tuft"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
