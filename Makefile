@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke perftrack-smoke depbench perftrack ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke topo-smoke perftrack-smoke depbench perftrack ci
 
 all: build
 
@@ -31,20 +31,26 @@ help:
 	@echo "                 grains and skewed chunk costs, single-replay-node check, w=1 parity"
 	@echo "                 guard (chunked <=1.5x expand), chunk-descriptor alloc gate, workload"
 	@echo "                 validation (axpy + GS wavefront), plus the depbench ws table"
+	@echo "  topo-smoke     steal-topology gates: resolved-tree shape, exact nearest-first"
+	@echo "                 steal-distance walk, nearest-first announce spread, affinity batch"
+	@echo "                 routing, w=1 parity guard (tree <=1.5x flat), the cross-group"
+	@echo "                 steal-rate drop (tree strictly below flat at w=4/8, histogram"
+	@echo "                 mostly sibling-level), plus the depbench locality table"
 	@echo "  perftrack-smoke perf-trajectory gates: perfstat + pattern-detector unit tests,"
 	@echo "                 the synthetic gate/detector selftest (both verdicts), and a"
 	@echo "                 reduced-op collect + append + compare cycle against a scratch"
 	@echo "                 history (wide materiality floor so host noise cannot flake CI)"
 	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
 	@echo "                 throttle windows, replay cache, taskwait strategies, worksharing"
-	@echo "                  chunks (go run ./cmd/depbench; -mode deps|sched|throttle|replay|"
-	@echo "                  wait|ws selects one table, -workers/-ops/-sched-ops/-throttle-ops/"
-	@echo "                  -window/-replay-iters/-wait-reps/-ws-iters/-ws-grain size the sweeps;"
-	@echo "                  -json emits machine-readable rows instead of tables)"
+	@echo "                  chunks, steal locality (go run ./cmd/depbench; -mode deps|sched|"
+	@echo "                  throttle|replay|wait|ws|locality selects one table, -workers/-ops/"
+	@echo "                  -sched-ops/-throttle-ops/-window/-replay-iters/-wait-reps/-ws-iters/"
+	@echo "                  -ws-grain/-locality-ops size the sweeps; -json emits machine-readable"
+	@echo "                  rows instead of tables)"
 	@echo "  perftrack      full perf-trajectory run: collect the depbench matrix + reproduce"
 	@echo "                 workloads under CV validation, gate against the last committed"
 	@echo "                 record, append to BENCH_history.json (go run ./cmd/perftrack)"
-	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws/perftrack smokes"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws/topo/perftrack smokes"
 
 build:
 	$(GO) build ./...
@@ -132,6 +138,20 @@ ws-smoke:
 depbench:
 	$(GO) run ./cmd/depbench
 
+# Steal-topology smoke: the resolved-tree shape checks, the exact
+# nearest-first walk order on a frozen two-domain pool (sibling level
+# exhausted before the domain, domain before remote, per-level counters
+# exact), the nearest-first announce spread, affinity-hinted batch
+# routing (cross-group hints divert to the hinted shard's inbox), the
+# w=1 parity guard (the topology walk must not cost anything with no one
+# to steal from), the locality acceptance gate (tree cross-group steal
+# rate strictly below the flat reference at w=4/8 with a mostly
+# sibling-level histogram), and one pass of the depbench locality table.
+topo-smoke:
+	$(GO) test -run 'TestTopologyResolve|TestStealDistanceDistribution|TestAnnounceNearestFirst|TestSubmitBatchAffinityRouting|TestTopologyW1Parity' ./internal/sched
+	$(GO) test -run 'TestLocalityCrossGroupDrop' ./internal/harness
+	$(GO) run ./cmd/depbench -mode locality -workers 4,8 -locality-ops 100000
+
 # Perf-trajectory smoke: the statistics layer's unit tests (CV collection,
 # Welch/Mann-Whitney, gate verdicts both ways), the pattern detector's
 # synthetic pass/fail suite, the perftrack selftest (a synthetic regression
@@ -154,4 +174,4 @@ perftrack-smoke:
 perftrack:
 	$(GO) run ./cmd/perftrack -compare
 
-ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke perftrack-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke topo-smoke perftrack-smoke

@@ -32,19 +32,27 @@
 //     continuation handoff; the continuation rows must show zero parks at
 //     every width — a blocked wait's resume rides the ready pools instead
 //     of parking the worker.
+//   - locality: the topology-aware steal victim selection. An imbalanced
+//     drain workload (each core group's work piled on one shard, every
+//     other worker progressing only by stealing) runs through the
+//     stealing pool over a synthetic two-domain topology twice: flat
+//     victim order (the reference) and the nearest-first tree walk. The
+//     columns are the steal-distance histogram (sibling / in-domain /
+//     cross-domain) and the cross-group steal rate, which the tree rows
+//     must push toward the sibling level.
 //
 // The benchmark kernels live in internal/harness (DepsBench, SchedBench,
-// ThrottleBench, ReplayOverheadBench, WSChunkBench, WaitBench), shared
-// with cmd/perftrack; see that package for the per-kernel workload and
-// counter documentation. This command owns the sweep loops, warm-up
-// passes, and formatting.
+// ThrottleBench, ReplayOverheadBench, WSChunkBench, WaitBench,
+// LocalityBench), shared with cmd/perftrack; see that package for the
+// per-kernel workload and counter documentation. This command owns the
+// sweep loops, warm-up passes, and formatting.
 //
 // Usage:
 //
-//	depbench [-mode all|deps|sched|throttle|replay|ws|wait] [-workers 1,2,4,8]
+//	depbench [-mode all|deps|sched|throttle|replay|ws|wait|locality] [-workers 1,2,4,8]
 //	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
 //	         [-replay-iters N] [-replay-blocks N] [-ws-iters N] [-ws-grain G,G,...]
-//	         [-wait-reps N] [-wait-fan N] [-json]
+//	         [-wait-reps N] [-wait-fan N] [-locality-ops N] [-locality-spin N] [-json]
 //
 // -ops, -sched-ops, and -throttle-ops size the three workloads
 // independently (admission cycles are far cheaper than engine ops, so the
@@ -73,6 +81,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/harness"
 	"repro/internal/mempool"
+	"repro/internal/sched"
 	"repro/internal/throttle"
 )
 
@@ -126,7 +135,7 @@ func withGOMAXPROCS(w int, f func()) {
 }
 
 func main() {
-	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, throttle, replay, ws, or wait")
+	modeFlag := flag.String("mode", "all", "which table to print: all, deps, sched, throttle, replay, ws, wait, or locality")
 	opsFlag := flag.Int("ops", 400_000, "chain steps per dependency-engine configuration")
 	// Scheduler admission ops are ~10x cheaper than engine ops, so the
 	// sched table needs a longer run for lock contention to accumulate
@@ -141,6 +150,8 @@ func main() {
 	wsRangeFlag := flag.Int64("ws-n", 1<<16, "iteration-space size of each worksharing region")
 	waitRepsFlag := flag.Int("wait-reps", 200, "waves per taskwait-table configuration")
 	waitFanFlag := flag.Int("wait-fan", 8, "leaf children per parent in the taskwait-table workload")
+	localityOpsFlag := flag.Int("locality-ops", 200_000, "leaf items per locality-table configuration")
+	localitySpinFlag := flag.Int("locality-spin", 400, "leaf busy-spin of the locality-table workload")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	jsonFlag := flag.Bool("json", false, "emit one JSON array of table rows instead of text tables")
 	flag.Parse()
@@ -155,9 +166,9 @@ func main() {
 		workers = append(workers, n)
 	}
 	switch *modeFlag {
-	case "all", "deps", "sched", "throttle", "replay", "ws", "wait":
+	case "all", "deps", "sched", "throttle", "replay", "ws", "wait", "locality":
 	default:
-		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, ws, or wait)\n", *modeFlag)
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, ws, wait, or locality)\n", *modeFlag)
 		os.Exit(2)
 	}
 	var wsGrains []int64
@@ -417,6 +428,48 @@ func main() {
 							"handoffs":      float64(res.Stats.Handoffs),
 							"steal_resumes": float64(res.Stats.StealResumes),
 							"idle_pct":      res.Idle * 100,
+						})
+				}
+			})
+		}
+	}
+
+	if *modeFlag == "all" || *modeFlag == "locality" {
+		if *modeFlag == "all" {
+			em.printf("\n")
+		}
+		ops, spin := *localityOpsFlag, *localitySpinFlag
+		em.printf("steal locality (per-group work piles over a two-domain topology)\n")
+		em.printf("%-6s %8s %10s %12s %10s %11s %8s %8s %8s %7s\n",
+			"topo", "workers", "ops", "wall", "Mops/s", "steals/kop", "sib%", "dom%", "rem%", "cross%")
+		for _, w := range workers {
+			withGOMAXPROCS(w, func() {
+				for _, tp := range harness.LocalityTopologies {
+					harness.LocalityBench(tp.Topo, w, ops/10+1, spin) // warm-up
+					runtime.GC()
+					res := harness.LocalityBench(tp.Topo, w, ops, spin)
+					pct := func(lvl int) float64 {
+						if res.Steals == 0 {
+							return 0
+						}
+						return 100 * float64(res.StealLevels[lvl]) / float64(res.Steals)
+					}
+					em.printf("%-6s %8d %10d %12s %10.2f %11.1f %7.1f%% %7.1f%% %7.1f%% %6.1f%%\n",
+						tp.Name, w, res.Ops, res.Wall.Round(time.Millisecond),
+						float64(res.Ops)/1e6/res.Wall.Seconds(),
+						1000*float64(res.Steals)/float64(res.Ops),
+						pct(sched.LevelSibling), pct(sched.LevelDomain), pct(sched.LevelRemote),
+						res.CrossRate*100)
+					em.add("locality", tp.Name, w,
+						map[string]int64{"ops": int64(ops), "spin": int64(spin)},
+						map[string]float64{
+							"wall_ns": float64(res.Wall), "ops": float64(res.Ops),
+							"mops":           float64(res.Ops) / 1e6 / res.Wall.Seconds(),
+							"steals_per_kop": 1000 * float64(res.Steals) / float64(res.Ops),
+							"sib_pct":        pct(sched.LevelSibling),
+							"dom_pct":        pct(sched.LevelDomain),
+							"rem_pct":        pct(sched.LevelRemote),
+							"cross_pct":      res.CrossRate * 100,
 						})
 				}
 			})

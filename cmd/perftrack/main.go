@@ -11,9 +11,12 @@
 // against its recorded one with a Mann-Whitney U test plus a materiality
 // floor (internal/perfstat.Compare). Any REGRESSED entry fails the run
 // with exit status 1, the record is NOT appended, and a traced workload
-// is re-run and classified against the detrimental execution patterns of
-// Tuft et al. (internal/trace.DetectPatterns) so the failure comes with
-// a diagnosis, not just a number.
+// matched to the first regressed entry's family (worksharing for ws/*,
+// nested weakwait for wait/*, flat dependencies for deps/sched/throttle/
+// locality, the graph-region sweep otherwise) is re-run and classified
+// against the detrimental execution patterns of Tuft et al.
+// (internal/trace.DetectPatterns) so the failure comes with a diagnosis
+// from the regressed machinery, not just a number.
 //
 // -selftest-gate proves the gate and the detector on synthetic inputs
 // (a regression must fire, an identical sample must not; a serialized
@@ -185,18 +188,20 @@ func gate(path string, rec perfstat.Record, policy perfstat.GatePolicy) bool {
 		return true
 	}
 	fmt.Printf("gate: %d entries REGRESSED: %s\n", len(regressed), strings.Join(regressed, ", "))
-	diagnose(rec)
+	diagnose(rec, regressed[0])
 	return false
 }
 
-// diagnose reruns a traced workload and classifies it against the
-// detrimental-pattern taxonomy so the gate failure carries a cause.
-func diagnose(rec perfstat.Record) {
+// diagnose reruns a traced workload matched to the first regressed
+// entry's family and classifies it against the detrimental-pattern
+// taxonomy so the gate failure carries a cause from the machinery that
+// actually regressed.
+func diagnose(rec perfstat.Record, entry string) {
 	cores := rec.MaxProcs
 	if cores < 2 {
 		cores = 2
 	}
-	if _, err := harness.Diagnose(os.Stdout, cores, rec.Quick); err != nil {
+	if _, err := harness.Diagnose(os.Stdout, entry, cores, rec.Quick); err != nil {
 		fmt.Fprintln(os.Stderr, "perftrack: diagnosis trace failed:", err)
 	}
 }

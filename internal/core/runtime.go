@@ -90,6 +90,16 @@ type Config struct {
 	// existing callers: equivalent to ReadyPool = PoolStealing when
 	// ReadyPool is PoolAuto.
 	Stealing bool
+	// Topology arranges the stealing pool's worker shards into a locality
+	// tree (domain → core group → worker): steal victim selection walks
+	// nearest-neighbour-first, worksharing invitations spread nearest the
+	// announcing owner, and ready batches are routed by Node.ReadyData
+	// affinity to the shard group that last touched the data. The zero
+	// value derives a synthetic tree from the worker count;
+	// sched.TopologyFlat restores the flat victim order (the differential
+	// reference). Only the sharded pools (PoolStealing,
+	// PoolShardedCentral) consult it.
+	Topology sched.Topology
 	// DepEngine selects the dependency-engine implementation. EngineAuto
 	// (the zero value) picks the per-data-object sharded engine — depend
 	// clauses over disjoint data then register and release with no common
@@ -225,6 +235,17 @@ type Runtime struct {
 	datas   []dataInfo
 	datasMu sync.Mutex
 
+	// Affinity routing (stealing pool with a topology tree). aff is the
+	// pool's hint-accepting submit interface (nil when the pool has none or
+	// a single worker makes routing moot); lastW maps each DataID to the
+	// worker that last ran a task whose primary data it is (-1 = none yet).
+	// The table is indexed by recycle-safe state — the data object, not the
+	// task or node, both of which return to their free lists on completion —
+	// and grown copy-on-write under datasMu by NewData, so readers just load
+	// the pointer and index (a stale snapshot only costs hint freshness).
+	aff   sched.AffinityQueue[*Task]
+	lastW atomic.Pointer[[]atomic.Int32]
+
 	open      atomic.Int64 // dependency-ready, not yet started (throttle window)
 	live      atomic.Int64 // instantiated, not yet completed (diagnostics)
 	taskCount atomic.Int64
@@ -293,7 +314,8 @@ type workerScratch struct {
 	ready  []*deps.Node       // 24
 	batch  []*Task            // 24
 	gready []*Task            // 24 (replay successor dispatch)
-	_      [48]byte           // 144 -> 192 (multiple of the 64-byte line)
+	hints  []int32            // 24 (affinity-routed batch dispatch)
+	_      [24]byte           // 168 -> 192 (multiple of the 64-byte line)
 }
 
 // scratchFor returns worker w's scratch set, or nil when w is out of range
@@ -408,11 +430,14 @@ func New(cfg Config) *Runtime {
 	case sched.PoolShardedCentral:
 		r.sch = sched.NewShardedCentral(cfg.Workers, r.runWorker)
 	case sched.PoolStealing:
-		r.sch = sched.NewStealing(cfg.Workers, r.runWorker)
+		r.sch = sched.NewStealingTopo(cfg.Workers, cfg.Topology, r.runWorker)
 	case sched.PoolLockedStealing:
 		r.sch = sched.NewLockedStealing(cfg.Workers, r.runWorker)
 	default:
 		panic(fmt.Sprintf("core: unknown ReadyPool %d", pool))
+	}
+	if aq, ok := r.sch.(sched.AffinityQueue[*Task]); ok && cfg.Workers > 1 {
+		r.aff = aq
 	}
 	return r
 }
@@ -424,6 +449,20 @@ func (r *Runtime) NewData(name string, elems int64, elemSize int) DataID {
 	r.datasMu.Lock()
 	defer r.datasMu.Unlock()
 	r.datas = append(r.datas, dataInfo{name: name, elems: elems, elemSize: int64(elemSize)})
+	if r.aff != nil {
+		// Grow the last-worker affinity table copy-on-write: registration
+		// is rare (program setup), reads are per-dispatch.
+		tab := make([]atomic.Int32, len(r.datas))
+		old := r.lastW.Load()
+		for i := range tab {
+			if old != nil && i < len(*old) {
+				tab[i].Store((*old)[i].Load())
+			} else {
+				tab[i].Store(-1)
+			}
+		}
+		r.lastW.Store(&tab)
+	}
 	return DataID(len(r.datas) - 1)
 }
 

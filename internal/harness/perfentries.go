@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	nanos "repro"
@@ -84,11 +85,13 @@ func PerfEntries(m PerfMatrix) []PerfEntry {
 	replayBlocks, replayIters := 8, 150
 	wsIters, wsGrain, wsN := 50, int64(64), int64(1<<15)
 	waitReps, waitFan := 60, 8
+	localityOps, localitySpin := 200_000, 400
 	if m.Quick {
 		depsOps, schedOps, throttleOps = 20_000, 100_000, 200_000
 		replayBlocks, replayIters = 4, 25
 		wsIters, wsN = 10, 1<<13
 		waitReps, waitFan = 15, 4
+		localityOps = 20_000
 	}
 	var out []PerfEntry
 	add := func(name, unit string, run func() float64) {
@@ -174,6 +177,15 @@ func PerfEntries(m PerfMatrix) []PerfEntry {
 				})
 			})
 		}
+		for _, tp := range LocalityTopologies {
+			tp := tp
+			add(fmt.Sprintf("locality/%s/w%d", tp.Name, w), "ns/op", func() float64 {
+				return atWidth(w, func() float64 {
+					res := LocalityBench(tp.Topo, w, localityOps, localitySpin)
+					return float64(res.Wall) / float64(res.Ops)
+				})
+			})
+		}
 	}
 
 	// Reproduce workloads at full width: end-to-end sweeps with real
@@ -215,24 +227,72 @@ func PerfEntries(m PerfMatrix) []PerfEntry {
 			return msPerSweep(res, err, axP.Calls)
 		})
 	})
+	sortP := workloads.SortParams{N: 1 << 16, TS: 1 << 9, Seed: 42}
+	if m.Quick {
+		sortP = workloads.SortParams{N: 1 << 13, TS: 1 << 8, Seed: 42}
+	}
+	add(fmt.Sprintf("workload/sortsum/weak/w%d", cores), "ms/run", func() float64 {
+		return atWidth(cores, func() float64 {
+			res, err := workloads.RunSortSum(workloads.Mode{Workers: cores}, workloads.SortWeak, sortP)
+			return msPerSweep(res, err, 1)
+		})
+	})
 	return out
 }
 
-// Diagnose reruns the graph-region Gauss-Seidel sweep with tracing at
-// the given width and classifies the trace against the detrimental
-// execution patterns of Tuft et al. (internal/trace.DetectPatterns),
-// printing the ASCII timeline and the pattern report. perftrack calls it
-// under a red gate so CI output is "regressed AND here is why".
-func Diagnose(w io.Writer, cores int, quick bool) ([]trace.Finding, error) {
+// Diagnose reruns a traced workload matched to the regressed entry's
+// family at the given width and classifies the trace against the
+// detrimental execution patterns of Tuft et al.
+// (internal/trace.DetectPatterns), printing the ASCII timeline and the
+// pattern report. perftrack calls it under a red gate with the first
+// regressed entry's name so CI output is "regressed AND here is why" —
+// and the "why" trace actually exercises the regressed machinery: a
+// worksharing regression replays the AXPY worksharing region, a taskwait
+// regression the nested weakwait sweep, a ready-pool / dependency /
+// throttle / locality regression the flat-dependency sweep (pure
+// discrete-dependency pressure, no graph replay), and anything else
+// (replay entries, end-to-end workloads, unknown names) the graph-region
+// sweep as before. entry may be empty; the family is its prefix up to
+// the first '/'.
+func Diagnose(w io.Writer, entry string, cores int, quick bool) ([]trace.Finding, error) {
+	family := entry
+	if i := strings.IndexByte(entry, '/'); i >= 0 {
+		family = entry[:i]
+	}
+	mode := workloads.Mode{Workers: cores, Trace: true}
 	p := perfGSParams(quick)
-	res, err := workloads.RunGS(workloads.Mode{Workers: cores, Trace: true}, workloads.GSGraph, p)
+	var (
+		label string
+		iters int
+		res   workloads.Result
+		err   error
+	)
+	switch family {
+	case "ws":
+		axP := workloads.AxpyParams{N: 1 << 19, Calls: 8, TaskSize: 256, Alpha: 1.5, Compute: true}
+		if quick {
+			axP = workloads.AxpyParams{N: 1 << 15, Calls: 4, TaskSize: 128, Alpha: 1.5, Compute: true}
+		}
+		mode.Worksharing = nanos.WorksharingChunked
+		label, iters = "axpy/worksharing", axP.Calls
+		res, err = workloads.RunAxpy(mode, workloads.AxpyWorksharing, axP)
+	case "wait":
+		label, iters = "gauss-seidel/nest-weak", p.Iters
+		res, err = workloads.RunGS(mode, workloads.GSNestWeak, p)
+	case "deps", "sched", "throttle", "locality":
+		label, iters = "gauss-seidel/flat-depend", p.Iters
+		res, err = workloads.RunGS(mode, workloads.GSFlatDepend, p)
+	default:
+		label, iters = "gauss-seidel/graph", p.Iters
+		res, err = workloads.RunGS(mode, workloads.GSGraph, p)
+	}
 	if err != nil {
 		return nil, err
 	}
 	tr := res.Runtime.Tracer()
 	findings := tr.DetectPatterns(int64(res.Wall))
-	fmt.Fprintf(w, "diagnosis trace — gauss-seidel/graph, %d workers, %d sweeps (%.1f ms)\n",
-		cores, p.Iters, float64(res.Wall)/float64(time.Millisecond))
+	fmt.Fprintf(w, "diagnosis trace — %s (family %q), %d workers, %d iters (%.1f ms)\n",
+		label, family, cores, iters, float64(res.Wall)/float64(time.Millisecond))
 	fmt.Fprint(w, tr.RenderASCII(100))
 	fmt.Fprint(w, trace.PatternReport(findings))
 	return findings, nil

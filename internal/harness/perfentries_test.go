@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDiagnoseFamilies checks that the red-gate diagnosis picks a traced
+// workload from the regressed entry's family instead of always replaying
+// the graph-region sweep: a worksharing regression must trace the AXPY
+// worksharing region, a taskwait one the nested weakwait sweep, the
+// discrete-dependency families the flat-dependency sweep, and everything
+// else (including an empty entry name) the graph-region sweep.
+func TestDiagnoseFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs traced workloads; skipped in short mode")
+	}
+	for _, tc := range []struct {
+		entry string
+		want  string
+	}{
+		{"ws/chunked/w4", "axpy/worksharing"},
+		{"wait/parking/w2", "gauss-seidel/nest-weak"},
+		{"deps/sharded-pool/w4", "gauss-seidel/flat-depend"},
+		{"locality/tree/w8", "gauss-seidel/flat-depend"},
+		{"replay/replay/w2", "gauss-seidel/graph"},
+		{"workload/heat/replay-on/w4", "gauss-seidel/graph"},
+		{"", "gauss-seidel/graph"},
+	} {
+		var buf bytes.Buffer
+		if _, err := Diagnose(&buf, tc.entry, 2, true); err != nil {
+			t.Fatalf("Diagnose(%q): %v", tc.entry, err)
+		}
+		head, _, _ := strings.Cut(buf.String(), "\n")
+		if !strings.Contains(head, tc.want) {
+			t.Errorf("Diagnose(%q) traced %q, want workload %q", tc.entry, head, tc.want)
+		}
+	}
+}

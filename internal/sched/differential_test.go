@@ -160,6 +160,13 @@ func TestPoolDifferentialAdmission(t *testing.T) {
 	}{
 		{"locked-stealing", func(w int, s func(int, int)) Queue[int] { return NewLockedStealing(w, s) }},
 		{"stealing", func(w int, s func(int, int)) Queue[int] { return NewStealing(w, s) }},
+		// Topology-vs-flat differential: the two-domain tree walk and the
+		// flat reference order run the same schedules and must uphold the
+		// same invariants — only steal distance may differ.
+		{"stealing-topo", func(w int, s func(int, int)) Queue[int] {
+			return NewStealingTopo(w, Topology{GroupSize: 2, Domains: 2}, s)
+		}},
+		{"stealing-flat", func(w int, s func(int, int)) Queue[int] { return NewStealingTopo(w, TopologyFlat, s) }},
 		{"sharded-central", func(w int, s func(int, int)) Queue[int] { return NewShardedCentral(w, s) }},
 		{"central", func(w int, s func(int, int)) Queue[int] { return New(w, FIFO, s) }},
 	}

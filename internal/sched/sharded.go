@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +53,11 @@ type shardedPool[T any] struct {
 	rr      atomic.Uint32
 	spawn   func(item T, worker int)
 	workers int
+	// topo is the resolved locality tree (topology.go): per-worker victim
+	// orders for the nearest-first steal walk, and the group/domain tables
+	// that classify steal distances. A flat topology keeps the tables (for
+	// distance accounting) but scans victims in one flat randomized pass.
+	topo topoTree
 	// boxes is the shared free-list shard for deque boxes: each worker's
 	// poolShard holds an owner lane over it, a pushed box travels with its
 	// item (a steal carries it to the thief), and the consumer recycles it
@@ -88,13 +92,15 @@ type shardedPool[T any] struct {
 // T-independent — slices are headers — so the pad is a constant; a test
 // asserts the 64-byte multiple).
 type poolShard[T any] struct {
-	deque   clDeque[T]      // 24 bytes
-	imu     sync.Mutex      // 8
-	inbox   []T             // 24
-	ilen    atomic.Int64    // 8
-	steals  atomic.Int64    // 8; items this worker took from other shards
-	boxLane mempool.Lane[T] // 48; owner-only box free list
-	_       [8]byte         // 120 -> 128
+	deque     clDeque[T]              // 24 bytes
+	imu       sync.Mutex              // 8
+	inbox     []T                     // 24
+	ilen      atomic.Int64            // 8
+	steals    atomic.Int64            // 8; items this worker took from other shards
+	lvlSteals [NumLevels]atomic.Int64 // 24; steal-distance histogram
+	rng       uint64                  // 8; owner-only victim-start PRNG state
+	boxLane   mempool.Lane[T]         // 48; owner-only box free list
+	_         [40]byte                // 152 -> 192
 }
 
 // PoolStats are diagnostic counters of a pool.
@@ -104,9 +110,21 @@ type PoolStats struct {
 	Spawns int64
 	// Steals counts items a worker took from another worker's shard.
 	Steals int64
+	// StealLevels is the steal-distance histogram over the pool's resolved
+	// topology tree: StealLevels[LevelSibling] stayed inside the thief's
+	// core group, [LevelDomain] crossed groups within a domain, and
+	// [LevelRemote] crossed domains. The sum equals Steals for the sharded
+	// pools; the single-lock pools have no shards and leave it zero.
+	StealLevels [NumLevels]int64
 }
 
-func (p *shardedPool[T]) init(workers int, spawn func(item T, worker int), selfLIFO bool) {
+// CrossGroup returns the steals that left the thief's sibling group — the
+// expensive distances (shared-LLC crossing and beyond on a real machine).
+func (s PoolStats) CrossGroup() int64 {
+	return s.StealLevels[LevelDomain] + s.StealLevels[LevelRemote]
+}
+
+func (p *shardedPool[T]) init(workers int, spawn func(item T, worker int), selfLIFO bool, topo Topology) {
 	if workers < 1 {
 		panic("sched: need at least one worker")
 	}
@@ -115,11 +133,16 @@ func (p *shardedPool[T]) init(workers int, spawn func(item T, worker int), selfL
 	for i := range p.shards {
 		p.shards[i].deque.init()
 		p.shards[i].boxLane.Init(p.boxes)
+		// Fixed seeds: the per-shard victim-start draws are then a pure
+		// function of each worker's pop sequence, so a replayed schedule
+		// (randtest -seed) replays the steal schedule too.
+		p.shards[i].rng = splitmix64(uint64(i) + 1)
 	}
 	p.tokens = newTokenList(workers)
 	p.spawn = spawn
 	p.workers = workers
 	p.selfLIFO = selfLIFO
+	p.topo = resolveTopology(workers, topo)
 }
 
 // Workers returns the number of worker tokens.
@@ -130,6 +153,9 @@ func (p *shardedPool[T]) Stats() PoolStats {
 	st := PoolStats{Spawns: p.spawns.Load()}
 	for i := range p.shards {
 		st.Steals += p.shards[i].steals.Load()
+		for l := 0; l < NumLevels; l++ {
+			st.StealLevels[l] += p.shards[i].lvlSteals[l].Load()
+		}
 	}
 	return st
 }
@@ -157,7 +183,15 @@ func (p *shardedPool[T]) pushItem(item T, from int) {
 		sh.deque.PushBottom(box)
 		return
 	}
-	sh := &p.shards[int(p.rr.Add(1))%p.workers]
+	p.inboxPush(int(p.rr.Add(1))%p.workers, item)
+}
+
+// inboxPush appends an item to shard v's inbox. Inboxes are mutex-guarded,
+// so any goroutine may target any shard — this is the cross-shard placement
+// primitive behind external submissions, nearest-first announcements, and
+// affinity-routed batches.
+func (p *shardedPool[T]) inboxPush(v int, item T) {
+	sh := &p.shards[v]
 	sh.imu.Lock()
 	sh.inbox = append(sh.inbox, item)
 	sh.ilen.Add(1)
@@ -201,12 +235,64 @@ func (p *shardedPool[T]) SubmitBatch(items []T, from int) {
 	p.kick()
 }
 
+// SubmitBatchAffinity implements AffinityQueue: like SubmitBatch, but each
+// queued item whose hint — the worker whose group last touched the item's
+// ready data — lies outside the submitter's own group is placed on the
+// hinted worker's shard inbox instead of the submitter's deque, so the
+// group that has the data warm finds the item locally instead of through a
+// cross-group steal. Same-group and unhinted items keep the SubmitBatch
+// placement (the submitter's own deque is the lock-free fast path, and a
+// same-group neighbour reaches it with a sibling-level steal anyway). A
+// flat topology ignores the hints entirely — it is the reference order.
+func (p *shardedPool[T]) SubmitBatchAffinity(items []T, hints []int32, from int) {
+	if p.topo.flat || p.workers == 1 {
+		p.SubmitBatch(items, from)
+		return
+	}
+	if len(items) == 0 {
+		return
+	}
+	i := 0
+	for ; i < len(items); i++ {
+		w, ok := p.tokens.tryPop()
+		if !ok {
+			break
+		}
+		p.spawnGo(items[i], w)
+	}
+	if i == len(items) {
+		return
+	}
+	fromGroup := int32(-1)
+	if from >= 0 && from < p.workers {
+		fromGroup = p.topo.groupOf[from]
+	}
+	for ; i < len(items); i++ {
+		h := int32(-1)
+		if i < len(hints) {
+			h = hints[i]
+		}
+		if h >= 0 && int(h) < p.workers && p.topo.groupOf[h] != fromGroup {
+			p.inboxPush(int(h), items[i])
+			continue
+		}
+		p.pushItem(items[i], from)
+	}
+	p.kick()
+}
+
 // Announce publishes n copies of one item: free tokens are matched first,
-// and the remaining copies are scattered round-robin across the shard
-// inboxes (the external-submission path — announcements have no submitter
-// locality, so parking them on the announcer's own deque would force every
-// other worker through a steal to find one). One kick closes the
-// lost-wakeup window for the whole announcement.
+// and the remaining copies spread across the *other* workers' shard
+// inboxes — never the announcer's own deque (the announcer is already
+// running the body the copies invite helpers into, so a copy there would
+// force every other worker through a steal to find one). With a topology
+// tree and a known announcer the spread walks the announcer's victim order
+// nearest-first — sibling group, then the rest of the domain, then across —
+// so the helpers most likely to share cache with the owner find their
+// invitation first and without a cross-group steal. Announcements without
+// a worker identity (out-of-range from) or on a flat topology scatter
+// round-robin, the reference placement. One kick closes the lost-wakeup
+// window for the whole announcement.
 func (p *shardedPool[T]) Announce(item T, n, from int) {
 	if n <= 0 {
 		return
@@ -221,8 +307,15 @@ func (p *shardedPool[T]) Announce(item T, n, from int) {
 	if n == 0 {
 		return
 	}
-	for i := 0; i < n; i++ {
-		p.pushItem(item, -1)
+	if from >= 0 && from < p.workers && p.workers > 1 && !p.topo.flat {
+		order := p.topo.victims[from] // nearest-first, excludes the announcer
+		for i := 0; i < n; i++ {
+			p.inboxPush(int(order[i%len(order)]), item)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			p.pushItem(item, -1)
+		}
 	}
 	p.kick()
 }
@@ -265,8 +358,12 @@ func (p *shardedPool[T]) consumeBox(w int, box *T) T {
 
 // popFor removes the next item for the holder of token w: own deque (bottom
 // under the stealing discipline, top under the central one), own inbox,
-// then the other shards — deque top, then inbox — scanning victims from a
-// random start so concurrent thieves spread instead of convoying.
+// then the other shards — deque top, then inbox. Victim order follows the
+// pool's topology: nearest-first, exhausting each locality level (with a
+// randomized start *within* the level so concurrent thieves spread instead
+// of convoying) before widening to the next, or one flat randomized pass
+// under TopologyFlat (the reference order). The randomized starts draw from
+// the shard's private PRNG — the miss path touches no shared state.
 //
 // A hit on a victim's deque steals half its items (bounded by
 // stealBatchMax): the first is returned, the rest move — boxes and all —
@@ -309,43 +406,78 @@ func (p *shardedPool[T]) popFor(w int) (item T, ok bool) {
 	if item, ok = p.takeInbox(sh); ok {
 		return item, true
 	}
-	start := rand.IntN(p.workers)
-	for i := 0; i < p.workers; i++ {
-		v := (start + i) % p.workers
-		if v == w {
-			continue
-		}
-		vs := &p.shards[v]
-		if vs.deque.Size() > 0 {
-			if box, ok = vs.deque.Steal(); ok {
-				stolen := int64(1)
-				if p.selfLIFO {
-					// Steal half (bounded): keep the extras on our own
-					// deque; their boxes migrate with them.
-					n := vs.deque.Size() / 2
-					if n > stealBatchMax-1 {
-						n = stealBatchMax - 1
-					}
-					for ; n > 0; n-- {
-						q, qok := vs.deque.Steal()
-						if !qok {
-							break
-						}
-						sh.deque.PushBottom(q)
-						stolen++
-					}
-				}
-				sh.steals.Add(stolen)
-				return p.consumeBox(w, box), true
+	if p.topo.flat {
+		start := sh.randN(p.workers)
+		for i := 0; i < p.workers; i++ {
+			v := (start + i) % p.workers
+			if v == w {
+				continue
+			}
+			if item, ok = p.stealFrom(w, sh, v); ok {
+				return item, true
 			}
 		}
-		if item, ok = p.takeInbox(vs); ok {
-			sh.steals.Add(1)
-			return item, true
+	} else {
+		vs := p.topo.victims[w]
+		lo := 0
+		for lvl := 0; lvl < NumLevels; lvl++ {
+			hi := int(p.topo.levelEnd[w][lvl])
+			if n := hi - lo; n > 0 {
+				start := sh.randN(n)
+				for i := 0; i < n; i++ {
+					v := int(vs[lo+(start+i)%n])
+					if item, ok = p.stealFrom(w, sh, v); ok {
+						return item, true
+					}
+				}
+			}
+			lo = hi
 		}
 	}
 	var zero T
 	return zero, false
+}
+
+// stealFrom makes one visit to victim v on behalf of thief w: the victim's
+// deque top (with the bounded steal-half migration under the stealing
+// discipline), then the victim's inbox. A hit is charged to the thief's
+// steal counters at the locality level separating the two workers.
+func (p *shardedPool[T]) stealFrom(w int, sh *poolShard[T], v int) (item T, ok bool) {
+	vs := &p.shards[v]
+	if vs.deque.Size() > 0 {
+		if box, bok := vs.deque.Steal(); bok {
+			stolen := int64(1)
+			if p.selfLIFO {
+				// Steal half (bounded): keep the extras on our own
+				// deque; their boxes migrate with them.
+				n := vs.deque.Size() / 2
+				if n > stealBatchMax-1 {
+					n = stealBatchMax - 1
+				}
+				for ; n > 0; n-- {
+					q, qok := vs.deque.Steal()
+					if !qok {
+						break
+					}
+					sh.deque.PushBottom(q)
+					stolen++
+				}
+			}
+			sh.noteSteal(p.topo.level(w, v), stolen)
+			return p.consumeBox(w, box), true
+		}
+	}
+	if item, ok = p.takeInbox(vs); ok {
+		sh.noteSteal(p.topo.level(w, v), 1)
+		return item, true
+	}
+	return item, false
+}
+
+// noteSteal charges n stolen items at locality level lvl.
+func (sh *poolShard[T]) noteSteal(lvl int, n int64) {
+	sh.steals.Add(n)
+	sh.lvlSteals[lvl].Add(n)
 }
 
 // anyQueued reports whether any shard holds a queued item. Seq-cst loads of
@@ -521,12 +653,20 @@ type Stealing[T any] struct {
 }
 
 var _ Queue[int] = (*Stealing[int])(nil)
+var _ AffinityQueue[int] = (*Stealing[int])(nil)
 
 // NewStealing creates a work-stealing pool with the given number of worker
-// tokens.
+// tokens and the default synthetic topology tree (see Topology).
 func NewStealing[T any](workers int, spawn func(item T, worker int)) *Stealing[T] {
+	return NewStealingTopo(workers, Topology{}, spawn)
+}
+
+// NewStealingTopo creates a work-stealing pool over an explicit locality
+// topology; TopologyFlat selects the flat victim order, the differential
+// reference.
+func NewStealingTopo[T any](workers int, topo Topology, spawn func(item T, worker int)) *Stealing[T] {
 	s := &Stealing[T]{}
-	s.init(workers, spawn, true)
+	s.init(workers, spawn, true, topo)
 	return s
 }
 
@@ -545,9 +685,9 @@ type ShardedCentral[T any] struct {
 var _ Queue[int] = (*ShardedCentral[int])(nil)
 
 // NewShardedCentral creates a sharded central pool with the given number of
-// worker tokens.
+// worker tokens and the default synthetic topology tree.
 func NewShardedCentral[T any](workers int, spawn func(item T, worker int)) *ShardedCentral[T] {
 	s := &ShardedCentral[T]{}
-	s.init(workers, spawn, false)
+	s.init(workers, spawn, false, Topology{})
 	return s
 }

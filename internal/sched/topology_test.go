@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// Topology tests: the resolved tree shape, the nearest-first steal walk
+// (sibling level exhausted before crossing a group, group before domain),
+// the nearest-first announcement spread, and the w=1 parity guard between
+// the tree and flat victim orders. The admission invariants of the
+// topology pools are covered by TestPoolDifferentialAdmission, which runs
+// tree- and flat-configured stealing pools over identical schedules.
+
+// twoDomain is the synthetic two-domain CI topology used across the tests
+// and the depbench locality table: groups of two siblings, split across
+// two domains. At w=8: groups {0,1} {2,3} {4,5} {6,7}, domains {0..3}
+// {4..7} — all three steal-distance levels are populated.
+var twoDomain = Topology{GroupSize: 2, Domains: 2}
+
+func TestTopologyResolve(t *testing.T) {
+	tr := resolveTopology(8, twoDomain)
+	wantGroup := []int32{0, 0, 1, 1, 2, 2, 3, 3}
+	wantDomain := []int32{0, 0, 0, 0, 1, 1, 1, 1}
+	for w := 0; w < 8; w++ {
+		if tr.groupOf[w] != wantGroup[w] || tr.domainOf[w] != wantDomain[w] {
+			t.Fatalf("worker %d: group=%d domain=%d, want %d/%d",
+				w, tr.groupOf[w], tr.domainOf[w], wantGroup[w], wantDomain[w])
+		}
+	}
+	// Worker 2's victims nearest-first: sibling {3}, same-domain {0,1},
+	// remote {4..7}; level boundaries at 1, 3, 7.
+	wantVictims := []int32{3, 0, 1, 4, 5, 6, 7}
+	for i, v := range tr.victims[2] {
+		if v != wantVictims[i] {
+			t.Fatalf("victims[2] = %v, want %v", tr.victims[2], wantVictims)
+		}
+	}
+	if tr.levelEnd[2] != [NumLevels]int32{1, 3, 7} {
+		t.Fatalf("levelEnd[2] = %v, want [1 3 7]", tr.levelEnd[2])
+	}
+
+	// Default synthetic tree: groups of four, one domain up to 16 workers.
+	def := resolveTopology(8, Topology{})
+	if def.groupOf[3] != 0 || def.groupOf[4] != 1 || def.domainOf[7] != 0 {
+		t.Fatalf("default tree at w=8: groupOf=%v domainOf=%v", def.groupOf, def.domainOf)
+	}
+	// Degenerate single worker: no victims, no panic.
+	solo := resolveTopology(1, twoDomain)
+	if len(solo.victims[0]) != 0 {
+		t.Fatalf("single worker has victims: %v", solo.victims[0])
+	}
+}
+
+// TestStealDistanceDistribution loads one item onto every victim shard of
+// a frozen two-domain pool and drains them all through worker 0's steal
+// path: the walk must exhaust the sibling level before touching the rest
+// of the domain, and the domain before crossing it, with the per-level
+// counters recording exactly that distribution. Items carry their shard id
+// so the order is observable, one item per shard so the steal-half
+// migration cannot skew it.
+func TestStealDistanceDistribution(t *testing.T) {
+	const workers = 8
+	s := NewStealingTopo(workers, twoDomain, func(item, worker int) {
+		t.Errorf("spawn of item %d: the frozen pool must not start goroutines", item)
+	})
+	held := make(map[int]bool)
+	for w := 0; w < workers; w++ {
+		held[s.Acquire()] = true
+	}
+	if len(held) != workers {
+		t.Fatalf("acquired %d distinct tokens, want %d", len(held), workers)
+	}
+	for v := 1; v < workers; v++ {
+		s.Submit(v, v) // we hold v's token: lands on v's own deque
+	}
+	// Worker 0's nearest-first order over twoDomain: sibling {1}, domain
+	// {2,3}, remote {4..7}.
+	levelOf := func(v int) int {
+		switch {
+		case v == 1:
+			return LevelSibling
+		case v <= 3:
+			return LevelDomain
+		default:
+			return LevelRemote
+		}
+	}
+	var wantLevels [NumLevels]int64
+	prevLevel := 0
+	for i := 0; i < workers-1; i++ {
+		item, ok := s.popFor(0)
+		if !ok {
+			t.Fatalf("pop %d: no item, want a steal", i)
+		}
+		lvl := levelOf(item)
+		if lvl < prevLevel {
+			t.Fatalf("pop %d stole item %d at level %d after a level-%d steal; nearest level not exhausted first",
+				i, item, lvl, prevLevel)
+		}
+		prevLevel = lvl
+		wantLevels[lvl]++
+		if st := s.Stats(); st.StealLevels != wantLevels {
+			t.Fatalf("after pop %d: StealLevels = %v, want %v", i, st.StealLevels, wantLevels)
+		}
+	}
+	if wantLevels != [NumLevels]int64{1, 2, 4} {
+		t.Fatalf("drained distribution %v, want [1 2 4]", wantLevels)
+	}
+	if st := s.Stats(); st.Steals != 7 || st.CrossGroup() != 6 {
+		t.Fatalf("Steals=%d CrossGroup()=%d, want 7/6", st.Steals, st.CrossGroup())
+	}
+	for w := 0; w < workers; w++ {
+		s.Yield(w)
+	}
+	waitQuiesce(t, "stealing-topo", s)
+}
+
+// TestAnnounceNearestFirst freezes a two-domain pool and announces from
+// worker 0: the queued invitation copies must land on the nearest shards'
+// inboxes first — the sibling, then the rest of the domain — and never on
+// the announcer's own shard.
+func TestAnnounceNearestFirst(t *testing.T) {
+	const workers = 8
+	s := NewStealingTopo(workers, twoDomain, func(item, worker int) {
+		t.Errorf("spawn of item %d: the frozen pool must not start goroutines", item)
+	})
+	for w := 0; w < workers; w++ {
+		s.Acquire()
+	}
+	s.Announce(42, 3, 0)
+	want := []int64{0, 1, 1, 1, 0, 0, 0, 0} // victims[0] = [1, 2, 3, ...]
+	for v := 0; v < workers; v++ {
+		if got := s.shards[v].ilen.Load(); got != want[v] {
+			t.Fatalf("shard %d inbox holds %d copies, want %d (nearest-first spread)", v, got, want[v])
+		}
+	}
+	// Drain: each inbox copy is reachable from any worker's steal path.
+	for i := 0; i < 3; i++ {
+		if item, ok := s.popFor(0); !ok || item != 42 {
+			t.Fatalf("drain pop %d: got %d/%v", i, item, ok)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		s.Yield(w)
+	}
+	waitQuiesce(t, "stealing-topo", s)
+}
+
+// TestSubmitBatchAffinityRouting freezes a two-domain pool and submits a
+// hinted batch from worker 0: cross-group hints divert their items to the
+// hinted worker's shard inbox, while sibling-group and unhinted items stay
+// on the submitter's own deque (the lock-free fast path).
+func TestSubmitBatchAffinityRouting(t *testing.T) {
+	const workers = 8
+	s := NewStealingTopo(workers, twoDomain, func(item, worker int) {
+		t.Errorf("spawn of item %d: the frozen pool must not start goroutines", item)
+	})
+	for w := 0; w < workers; w++ {
+		s.Acquire()
+	}
+	items := []int{10, 11, 12, 13}
+	hints := []int32{4, 1, -1, 6} // cross-group, sibling, none, cross-group
+	s.SubmitBatchAffinity(items, hints, 0)
+	for v, want := range []int64{0, 0, 0, 0, 1, 0, 1, 0} {
+		if got := s.shards[v].ilen.Load(); got != want {
+			t.Fatalf("shard %d inbox holds %d items, want %d", v, got, want)
+		}
+	}
+	if got := s.shards[0].deque.Size(); got != 2 {
+		t.Fatalf("submitter deque holds %d items, want 2 (sibling-hinted + unhinted)", got)
+	}
+	for i := 0; i < len(items); i++ {
+		if _, ok := s.popFor(0); !ok {
+			t.Fatalf("drain pop %d: no item", i)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		s.Yield(w)
+	}
+	waitQuiesce(t, "stealing-topo", s)
+}
+
+// TestTopologyW1Parity is the regression guard on the degenerate
+// single-worker case: the topology walk must not cost anything when there
+// is no one to steal from — the tree-configured pool stays within 1.5x of
+// the flat reference at w=1 (best-of-trials, interleaved, same shape as
+// TestSchedW1Parity).
+func TestTopologyW1Parity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard; skipped in short mode")
+	}
+	const ops = 200_000
+	const trials = 5
+	pools := []struct {
+		name string
+		mk   func(workers int, spawn func(item, worker int)) Queue[int]
+	}{
+		{"stealing-flat", func(w int, s func(int, int)) Queue[int] { return NewStealingTopo(w, TopologyFlat, s) }},
+		{"stealing-topo", func(w int, s func(int, int)) Queue[int] { return NewStealingTopo(w, twoDomain, s) }},
+	}
+	best := []time.Duration{1<<63 - 1, 1<<63 - 1}
+	for trial := 0; trial < trials; trial++ {
+		for i, p := range pools {
+			start := time.Now()
+			runChains(p.mk, 1, ops)
+			if d := time.Since(start); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	if f := float64(best[1]) / float64(best[0]); f > 1.5 {
+		t.Errorf("stealing-topo w=1: %.2fx slower than stealing-flat (%v vs %v); topology walk leaked onto the solo path",
+			f, best[1], best[0])
+	}
+}

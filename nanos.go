@@ -126,6 +126,15 @@ type (
 	EngineKind = deps.EngineKind
 	// PoolKind selects the ready-pool implementation (Config.ReadyPool).
 	PoolKind = sched.PoolKind
+	// Topology arranges the stealing pool's worker shards into a locality
+	// tree (domain → core group → worker) for nearest-first steal victim
+	// selection (Config.Topology). The zero value derives a synthetic tree
+	// from the worker count; sched.TopologyFlat selects the flat reference
+	// order.
+	Topology = sched.Topology
+	// PoolStats exposes ready-pool steal counters, including the
+	// steal-distance histogram over the topology tree.
+	PoolStats = sched.PoolStats
 	// ThrottleKind selects the throttle-window implementation
 	// (Config.ThrottleImpl).
 	ThrottleKind = throttle.Kind
@@ -209,6 +218,10 @@ const (
 	// implementation (differential testing and contention A/Bs).
 	PoolLockedStealing = sched.PoolLockedStealing
 )
+
+// TopologyFlat selects the flat steal victim order for Config.Topology —
+// the pre-topology placement, kept as the differential reference.
+var TopologyFlat = sched.TopologyFlat
 
 // Throttle-window kinds for Config.ThrottleImpl (meaningful only with
 // Config.ThrottleOpenTasks > 0).
