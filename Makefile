@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke topo-smoke perftrack-smoke depbench perftrack ci
+.PHONY: all help build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke topo-smoke chaos-smoke perftrack-smoke depbench perftrack ci
 
 all: build
 
@@ -36,6 +36,12 @@ help:
 	@echo "                 routing, w=1 parity guard (tree <=1.5x flat), the cross-group"
 	@echo "                 steal-rate drop (tree strictly below flat at w=4/8, histogram"
 	@echo "                 mostly sibling-level), plus the depbench locality table"
+	@echo "  chaos-smoke    robustness gates (-race): seeded chaos soak (failpoints on every"
+	@echo "                 lock-free edge, checksum + drain + zero-stall oracles, failing"
+	@echo "                 seeds print a -seed replay line), watchdog selftest (induced"
+	@echo "                 lost wakeup must be named, healthy run must stay silent),"
+	@echo "                 panic-safe drain suite, chaos unit tests, and the depbench"
+	@echo "                 chaos table with its 0-stalls expectation"
 	@echo "  perftrack-smoke perf-trajectory gates: perfstat + pattern-detector unit tests,"
 	@echo "                 the synthetic gate/detector selftest (both verdicts), and a"
 	@echo "                 reduced-op collect + append + compare cycle against a scratch"
@@ -43,14 +49,14 @@ help:
 	@echo "  depbench       contention tables: deps engines (incl. pooled memory), sched pools,"
 	@echo "                 throttle windows, replay cache, taskwait strategies, worksharing"
 	@echo "                  chunks, steal locality (go run ./cmd/depbench; -mode deps|sched|"
-	@echo "                  throttle|replay|wait|ws|locality selects one table, -workers/-ops/"
-	@echo "                  -sched-ops/-throttle-ops/-window/-replay-iters/-wait-reps/-ws-iters/"
-	@echo "                  -ws-grain/-locality-ops size the sweeps; -json emits machine-readable"
-	@echo "                  rows instead of tables)"
+	@echo "                  throttle|replay|wait|ws|locality|chaos selects one table, -workers/"
+	@echo "                  -ops/-sched-ops/-throttle-ops/-window/-replay-iters/-wait-reps/"
+	@echo "                  -ws-iters/-ws-grain/-locality-ops/-chaos-seed/-chaos-rate size the"
+	@echo "                  sweeps; -json emits machine-readable rows instead of tables)"
 	@echo "  perftrack      full perf-trajectory run: collect the depbench matrix + reproduce"
 	@echo "                 workloads under CV validation, gate against the last committed"
 	@echo "                 record, append to BENCH_history.json (go run ./cmd/perftrack)"
-	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws/topo/perftrack smokes"
+	@echo "  ci             build + vet + test + race + bench-short + sched/throttle/mem/replay/wait/ws/topo/chaos/perftrack smokes"
 
 build:
 	$(GO) build ./...
@@ -152,6 +158,22 @@ topo-smoke:
 	$(GO) test -run 'TestLocalityCrossGroupDrop' ./internal/harness
 	$(GO) run ./cmd/depbench -mode locality -workers 4,8 -locality-ops 100000
 
+# Robustness smoke: the chaos soak (short mode: >=12 seeded failpoint
+# schedules x 3 fire rates over the mixed-construct workload, under the
+# race detector, with checksum/drain/zero-stall oracles; failing seeds
+# print a `-seed N` replay line), the combined chaos+panic soak, the
+# watchdog selftest (a synthetic lost wakeup in a reference pool must be
+# detected and named; a healthy nested/worksharing run at aggressive
+# sampling must stay silent), the panic-safe drain suite (replayed graph
+# regions, owner aborts, final tasks, worksharing owners, taskgroups,
+# Run's re-panic-after-drain), the chaos registry unit tests, and one
+# pass of the depbench chaos table (stalls column must read 0).
+chaos-smoke:
+	$(GO) test -race -short -run 'TestChaos|TestWatchdog|TestStallDetector|TestPanic|TestRunRepanicsAfterDrain' ./internal/core
+	$(GO) test -race ./internal/chaos
+	$(GO) test -race -short -run 'TestChaosGroupsCoverAllSites|TestChaosBenchRows' ./internal/harness
+	$(GO) run ./cmd/depbench -mode chaos -workers 4 -chaos-iters 32
+
 # Perf-trajectory smoke: the statistics layer's unit tests (CV collection,
 # Welch/Mann-Whitney, gate verdicts both ways), the pattern detector's
 # synthetic pass/fail suite, the perftrack selftest (a synthetic regression
@@ -174,4 +196,4 @@ perftrack-smoke:
 perftrack:
 	$(GO) run ./cmd/perftrack -compare
 
-ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke topo-smoke perftrack-smoke
+ci: build vet test race bench-short sched-smoke throttle-smoke mem-smoke replay-smoke wait-smoke ws-smoke topo-smoke chaos-smoke perftrack-smoke

@@ -40,6 +40,15 @@
 //     columns are the steal-distance histogram (sibling / in-domain /
 //     cross-domain) and the cross-group steal rate, which the tree rows
 //     must push toward the sibling level.
+//   - chaos: the fault-injection robustness table. The mixed-construct
+//     workload (graph regions, nested taskwait, worksharing, taskgroups)
+//     runs once per subsystem group of failpoint sites (internal/chaos)
+//     under a fixed seeded schedule, with the stall watchdog armed. The
+//     columns are wall time, failpoint hits, and the stall-report count;
+//     the expectation printed under the table is 0 stalls on every row —
+//     failpoints widen race windows but never drop operations, so a
+//     correct runtime under chaos is slower, never stuck. This table is
+//     not in -mode all: it measures robustness, not contention.
 //
 // The benchmark kernels live in internal/harness (DepsBench, SchedBench,
 // ThrottleBench, ReplayOverheadBench, WSChunkBench, WaitBench,
@@ -49,10 +58,11 @@
 //
 // Usage:
 //
-//	depbench [-mode all|deps|sched|throttle|replay|ws|wait|locality] [-workers 1,2,4,8]
+//	depbench [-mode all|deps|sched|throttle|replay|ws|wait|locality|chaos] [-workers 1,2,4,8]
 //	         [-ops N] [-sched-ops N] [-throttle-ops N] [-window N]
 //	         [-replay-iters N] [-replay-blocks N] [-ws-iters N] [-ws-grain G,G,...]
-//	         [-wait-reps N] [-wait-fan N] [-locality-ops N] [-locality-spin N] [-json]
+//	         [-wait-reps N] [-wait-fan N] [-locality-ops N] [-locality-spin N]
+//	         [-chaos-seed S] [-chaos-rate N] [-chaos-iters N] [-json]
 //
 // -ops, -sched-ops, and -throttle-ops size the three workloads
 // independently (admission cycles are far cheaper than engine ops, so the
@@ -152,6 +162,9 @@ func main() {
 	waitFanFlag := flag.Int("wait-fan", 8, "leaf children per parent in the taskwait-table workload")
 	localityOpsFlag := flag.Int("locality-ops", 200_000, "leaf items per locality-table configuration")
 	localitySpinFlag := flag.Int("locality-spin", 400, "leaf busy-spin of the locality-table workload")
+	chaosSeedFlag := flag.Uint64("chaos-seed", 1, "failpoint PRNG seed of the chaos table")
+	chaosRateFlag := flag.Uint("chaos-rate", 2, "per-site fire rate denominator of the chaos table (1 = every call)")
+	chaosItersFlag := flag.Int("chaos-iters", 64, "workload iterations per chaos-table row")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	jsonFlag := flag.Bool("json", false, "emit one JSON array of table rows instead of text tables")
 	flag.Parse()
@@ -166,9 +179,9 @@ func main() {
 		workers = append(workers, n)
 	}
 	switch *modeFlag {
-	case "all", "deps", "sched", "throttle", "replay", "ws", "wait", "locality":
+	case "all", "deps", "sched", "throttle", "replay", "ws", "wait", "locality", "chaos":
 	default:
-		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, ws, wait, or locality)\n", *modeFlag)
+		fmt.Fprintf(os.Stderr, "depbench: bad mode %q (want all, deps, sched, throttle, replay, ws, wait, locality, or chaos)\n", *modeFlag)
 		os.Exit(2)
 	}
 	var wsGrains []int64
@@ -474,6 +487,55 @@ func main() {
 				}
 			})
 		}
+	}
+
+	if *modeFlag == "chaos" {
+		// Robustness, not contention: every subsystem's failpoint group is
+		// armed in turn under one fixed seeded schedule, and the stalls
+		// column must read 0 on every row (the watchdog is live the whole
+		// time). Runs at the widest configured width — chaos wants the
+		// most concurrency the host offers.
+		w := workers[len(workers)-1]
+		for _, n := range workers {
+			if n > w {
+				w = n
+			}
+		}
+		seed, rate, iters := *chaosSeedFlag, uint32(*chaosRateFlag), *chaosItersFlag
+		em.printf("fault injection (mixed-construct workload, watchdog armed, seed %d, rate 1/%d)\n", seed, rate)
+		em.printf("%-12s %8s %7s %10s %12s %12s %10s %8s\n",
+			"sites", "workers", "iters", "tasks", "wall", "us/iter", "hits", "stalls")
+		var refSum int64
+		for i, g := range harness.ChaosGroups {
+			withGOMAXPROCS(w, func() {
+				harness.ChaosBench(g, seed, rate, w, iters/10+1, 12) // warm-up
+				runtime.GC()
+				res := harness.ChaosBench(g, seed, rate, w, iters, 12)
+				if i == 0 {
+					refSum = res.Checksum
+				} else if res.Checksum != refSum {
+					fmt.Fprintf(os.Stderr, "depbench: chaos row %q checksum %d != off row %d (replay with -chaos-seed=%d)\n",
+						g.Name, res.Checksum, refSum, seed)
+					os.Exit(1)
+				}
+				em.printf("%-12s %8d %7d %10d %12s %12.1f %10d %8d\n",
+					g.Name, w, iters, res.Tasks, res.Wall.Round(time.Millisecond),
+					float64(res.Wall.Microseconds())/float64(iters), res.Hits, res.Stalls)
+				em.add("chaos", g.Name, w,
+					map[string]int64{"seed": int64(seed), "rate": int64(rate), "iters": int64(iters)},
+					map[string]float64{
+						"wall_ns": float64(res.Wall), "tasks": float64(res.Tasks),
+						"us_per_iter": float64(res.Wall.Microseconds()) / float64(iters),
+						"hits":        float64(res.Hits), "stalls": float64(res.Stalls),
+					})
+				if res.Stalls != 0 {
+					fmt.Fprintf(os.Stderr, "depbench: chaos row %q reported %d stalls, expected 0 (replay with -chaos-seed=%d)\n",
+						g.Name, res.Stalls, seed)
+					os.Exit(1)
+				}
+			})
+		}
+		em.printf("expectation: stalls = 0 on every row (failpoints delay, never drop; a stall is a runtime bug)\n")
 	}
 
 	if err := em.flush(); err != nil {

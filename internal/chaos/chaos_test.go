@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDisarmedIsInert: with nothing armed, Maybe is a no-op and Force
+// never fires, and no counters move.
+func TestDisarmedIsInert(t *testing.T) {
+	Disable()
+	for s := Site(0); int(s) < NumSites; s++ {
+		Maybe(s)
+		if Force(s) {
+			t.Fatalf("Force(%v) fired while disarmed", s)
+		}
+	}
+}
+
+// TestDeterministicDecisionStream: the same schedule draws the same
+// fire/skip sequence at each site, call for call.
+func TestDeterministicDecisionStream(t *testing.T) {
+	const n = 4096
+	run := func() [NumSites][]bool {
+		Enable(UniformSchedule(42, 7))
+		defer Disable()
+		var out [NumSites][]bool
+		for s := 0; s < NumSites; s++ {
+			st := cur.Load()
+			for i := 0; i < n; i++ {
+				fire, _ := decide(st, Site(s))
+				out[s] = append(out[s], fire)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for s := 0; s < NumSites; s++ {
+		for i := range a[s] {
+			if a[s][i] != b[s][i] {
+				t.Fatalf("site %v call %d: decision differs across identical schedules", Site(s), i)
+			}
+		}
+	}
+}
+
+// TestInjectionRate: a 1-in-r schedule injects at roughly 1/r of calls
+// (the PRNG is uniform enough for a 2x band), and rate 1 on every call,
+// and rate 0 never.
+func TestInjectionRate(t *testing.T) {
+	const n = 20000
+	for _, r := range []uint32{1, 4, 32} {
+		Enable(UniformSchedule(7, r))
+		for i := 0; i < n; i++ {
+			Force(MempoolRefill)
+		}
+		calls, hits := Counts()
+		Disable()
+		if calls[MempoolRefill] != n {
+			t.Fatalf("rate %d: %d calls recorded, want %d", r, calls[MempoolRefill], n)
+		}
+		h := hits[MempoolRefill]
+		want := float64(n) / float64(r)
+		if float64(h) < want/2 || float64(h) > want*2 {
+			t.Fatalf("rate %d: %d injections over %d calls, want ~%.0f", r, h, n, want)
+		}
+		if r == 1 && h != n {
+			t.Fatalf("rate 1 must fire every call: %d/%d", h, n)
+		}
+	}
+	Enable(Schedule{Seed: 7}) // all rates zero
+	for i := 0; i < 1000; i++ {
+		if Force(ReplayInvalidate) {
+			t.Fatal("rate 0 site fired")
+		}
+	}
+	_, hits := Counts()
+	Disable()
+	if hits[ReplayInvalidate] != 0 {
+		t.Fatalf("rate 0 site recorded %d injections", hits[ReplayInvalidate])
+	}
+}
+
+// TestSeedsDiffer: different seeds give different decision streams (the
+// soak's randomized schedules actually vary).
+func TestSeedsDiffer(t *testing.T) {
+	stream := func(seed uint64) []bool {
+		Enable(UniformSchedule(seed, 3))
+		defer Disable()
+		st := cur.Load()
+		out := make([]bool, 512)
+		for i := range out {
+			out[i], _ = decide(st, SchedStealCAS)
+		}
+		return out
+	}
+	a, b := stream(1), stream(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 drew identical decision streams")
+	}
+}
+
+// TestConcurrentSites: concurrent Maybe/Force calls while armed are
+// race-clean and the call counters account every call exactly once.
+func TestConcurrentSites(t *testing.T) {
+	Enable(UniformSchedule(99, 5))
+	defer Disable()
+	const per = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Maybe(SchedTokenRetire)
+				Force(ReplayInvalidate)
+			}
+		}()
+	}
+	wg.Wait()
+	calls, _ := Counts()
+	if calls[SchedTokenRetire] != 4*per || calls[ReplayInvalidate] != 4*per {
+		t.Fatalf("call counters lost updates: %d / %d, want %d",
+			calls[SchedTokenRetire], calls[ReplayInvalidate], 4*per)
+	}
+}
+
+// TestSiteNames: every site has a distinct, non-empty stable name.
+func TestSiteNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := 0; s < NumSites; s++ {
+		name := Site(s).String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("site %d has no name", s)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate site name %q", name)
+		}
+		seen[name] = true
+	}
+}

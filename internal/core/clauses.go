@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -59,59 +60,83 @@ func (r *Runtime) invokeBody(t *Task, tc *TaskContext) {
 }
 
 // runErr returns the recorded failure, combined with the Debug-mode
-// invariant check when enabled.
+// invariant checks when enabled. The checks run on the failure path too —
+// RunChecked only reaches here after the graph has drained to quiescence,
+// and the panic-safe drain guarantees are exactly that a failed run leaks
+// nothing: skipped bodies flow through the normal completion pipeline,
+// credits are refunded, and pooled objects recycle. A *TaskError stays the
+// primary error (errors.As finds it through the join); any violated
+// invariant is joined after it.
 func (r *Runtime) runErr() error {
 	r.errMu.Lock()
 	err := r.err
 	r.errMu.Unlock()
-	if err != nil {
+	if !r.cfg.Debug {
 		return err
 	}
-	if r.cfg.Debug {
-		if n := r.eng.LiveFragments(); n != 0 {
-			return fmt.Errorf("core: debug check failed: %d dependency fragments not released at end of run", n)
-		}
-		if n := r.live.Load(); n != 0 {
-			return fmt.Errorf("core: debug check failed: %d tasks still live at end of run", n)
-		}
-		if st, pooled := r.eng.MemStats(); pooled {
-			// Every node, access, fragment, and interval map handed out by
-			// the pools must be back: a positive count means a dependency
-			// object escaped its recycle point (a leak the pin protocol
-			// should make impossible). Exact here because every engine
-			// Complete happens-before the root's completion.
-			if n := st.Outstanding(); n != 0 {
-				return fmt.Errorf("core: debug check failed: %d pooled dependency objects not recycled at end of run", n)
-			}
-		}
-		if r.replayPool != nil {
-			// Replay countdown nodes return to their pool at each region's
-			// barrier (including invalidation fallbacks), all of which
-			// happen-before the root's completion.
-			if n := r.replayPool.Outstanding(); n != 0 {
-				return fmt.Errorf("core: debug check failed: %d replay countdown nodes not recycled at end of run", n)
-			}
-		}
-		if r.contPool != nil {
-			// Every blocked taskwait resumes before its subtree can complete,
-			// and the resumed waiter recycles its continuation node before its
-			// body continues — all of which happens-before the root's
-			// completion, so a positive count here is a leaked continuation.
-			if n := r.contPool.Outstanding(); n != 0 {
-				return fmt.Errorf("core: debug check failed: %d taskwait continuation nodes not recycled at end of run", n)
-			}
-		}
-		if r.wsPool != nil {
-			// Every worksharing chunk descriptor recycles in its task's
-			// completeTask, which happens-before the root's completion, so a
-			// positive count here is a leaked descriptor (an announce-hold
-			// that never released).
-			if n := r.wsPool.Outstanding(); n != 0 {
-				return fmt.Errorf("core: debug check failed: %d worksharing chunk descriptors not recycled at end of run", n)
-			}
+	errs := []error{err} // nil is dropped by errors.Join
+	check := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("core: debug check failed: "+format, args...))
+	}
+	if n := r.eng.LiveFragments(); n != 0 {
+		check("%d dependency fragments not released at end of run", n)
+	}
+	if n := r.live.Load(); n != 0 {
+		check("%d tasks still live at end of run", n)
+	}
+	if st, pooled := r.eng.MemStats(); pooled {
+		// Every node, access, fragment, and interval map handed out by
+		// the pools must be back: a positive count means a dependency
+		// object escaped its recycle point (a leak the pin protocol
+		// should make impossible). Exact here because every engine
+		// Complete happens-before the root's completion.
+		if n := st.Outstanding(); n != 0 {
+			check("%d pooled dependency objects not recycled at end of run", n)
 		}
 	}
-	return nil
+	if r.replayPool != nil {
+		// Replay countdown nodes return to their pool at each region's
+		// barrier (including invalidation fallbacks and panic aborts), all
+		// of which happen-before the root's completion.
+		if n := r.replayPool.Outstanding(); n != 0 {
+			check("%d replay countdown nodes not recycled at end of run", n)
+		}
+	}
+	if r.contPool != nil {
+		// Every blocked taskwait resumes before its subtree can complete,
+		// and the resumed waiter recycles its continuation node before its
+		// body continues — all of which happens-before the root's
+		// completion, so a positive count here is a leaked continuation.
+		if n := r.contPool.Outstanding(); n != 0 {
+			check("%d taskwait continuation nodes not recycled at end of run", n)
+		}
+	}
+	if r.wsPool != nil {
+		// Every worksharing chunk descriptor recycles in its task's
+		// completeTask, which happens-before the root's completion, so a
+		// positive count here is a leaked descriptor (an announce-hold
+		// that never released).
+		if n := r.wsPool.Outstanding(); n != 0 {
+			check("%d worksharing chunk descriptors not recycled at end of run", n)
+		}
+	}
+	if r.thr != nil {
+		// Throttle credit conservation: with the window drained (no open
+		// task, no reservation in flight) every credit must be back on the
+		// balance or a worker cache — a shortfall is a dropped credit (a
+		// future admission stall), an excess is a double-return.
+		if n := r.thr.Open(); n != 0 {
+			check("throttle window still reports %d open tasks at end of run", n)
+		} else if c, limit := r.thr.Credits(), int64(r.thr.Limit()); c != limit {
+			check("throttle credits %d != limit %d at end of run (dropped or double-returned credit)", c, limit)
+		}
+	}
+	if len(errs) == 1 {
+		// No check failed: return the recorded failure (or nil) unwrapped,
+		// so callers that type-assert *TaskError directly keep working.
+		return err
+	}
+	return errors.Join(errs...)
 }
 
 // taskgroup tracks the direct tasks submitted inside one Taskgroup scope.

@@ -191,6 +191,7 @@ func (r *Runtime) runWorker(t *Task, w int) {
 // executeTask runs one task body and its completion pipeline, returning the
 // hand-off successor if any and the worker the goroutine holds afterwards.
 func (r *Runtime) executeTask(t *Task, w int) (*Task, int) {
+	r.beat(w, hbTask)
 	r.taskStarted(t, w)
 	tc := &TaskContext{rt: r, task: t, worker: w}
 	if r.caches != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/deps"
 	"repro/internal/replay"
 )
@@ -193,6 +194,18 @@ func (tc *TaskContext) Graph(name string, body func(tc *TaskContext)) {
 	}
 	t.greg, t.gidx = run, -1
 
+	// A panic unwinding out of the body skips the epilogue below; it must
+	// still drain the region to its barrier (admitted tasks reference the
+	// pooled countdown nodes until they complete) and release the region
+	// slot, and it poisons the recording (abortRegion). The panic itself
+	// keeps propagating to the task's recovery point.
+	completed := false
+	defer func() {
+		if !completed {
+			r.abortRegion(tc, run)
+		}
+	}()
+
 	body(tc)
 
 	// Region barrier: wait for every task submitted into the region (a
@@ -201,16 +214,25 @@ func (tc *TaskContext) Graph(name string, body func(tc *TaskContext)) {
 	// touched has completed and released).
 	t.greg = nil // submissions after the barrier belong to no region
 	tc.Taskwait()
+	completed = true
 
+	// A panic in a *member* task (recovered in its invokeBody, so the
+	// owner body returned normally) also poisons the region: bodies were
+	// skipped from the failure point on, so the submission stream this
+	// execution validated — or recorded — is not the program's real shape.
+	failed := r.failed.Load()
 	switch run.mode {
 	case gmRecord:
 		r.recordingStopped()
+		if failed {
+			break // a truncated recording never seals; re-record next time
+		}
 		region.rec = run.recorder.Seal()
 		r.repStats.records.Add(1)
 	case gmReplay:
 		r.replayPool.Put(run.nodes, region.lane)
 		run.nodes = nil
-		if run.submitted != run.frozen.Len() {
+		if run.submitted != run.frozen.Len() || failed {
 			// The body submitted a prefix of the recording (fewer tasks):
 			// every admitted task had all its predecessors in the prefix
 			// (edges point backwards in submission order), so the run was
@@ -220,7 +242,38 @@ func (tc *TaskContext) Graph(name string, body func(tc *TaskContext)) {
 			r.repStats.replays.Add(1)
 		}
 	case gmLive:
-		if region.rec != nil && (run.mismatch || run.submitted != region.rec.Len()) {
+		if region.rec != nil && (run.mismatch || run.submitted != region.rec.Len() || failed) {
+			r.invalidate(region)
+		}
+	}
+	region.busy.Lock()
+	region.held = false
+	region.busy.Unlock()
+}
+
+// abortRegion is Graph's panic path: a panic is unwinding out of the
+// region body (it will surface from Run once the whole graph has drained).
+// The region still drains to its barrier — every admitted task references
+// the run's pooled countdown nodes until it completes, and skipped bodies
+// flow through the normal completion pipeline — then the region state is
+// torn down with the recording poisoned in every mode: a partial recording
+// never seals, and a sealed recording whose execution was interrupted
+// mid-stream is invalidated (the shape was never validated to the end).
+func (r *Runtime) abortRegion(tc *TaskContext, run *graphRun) {
+	region := run.region
+	tc.task.greg = nil
+	tc.Taskwait()
+	switch run.mode {
+	case gmRecord:
+		r.recordingStopped()
+	case gmReplay:
+		r.replayPool.Put(run.nodes, region.lane)
+		run.nodes = nil
+		r.invalidate(region)
+	case gmLive:
+		// A replay fallback that already invalidated left rec nil; only a
+		// still-sealed recording needs poisoning.
+		if region.rec != nil {
 			r.invalidate(region)
 		}
 	}
@@ -277,6 +330,13 @@ func (g *graphRun) validateNext(r *Runtime, tc *TaskContext, spec *TaskSpec) boo
 		rec = g.region.rec
 	}
 	if g.submitted >= rec.Len() {
+		return false
+	}
+	if chaos.Force(chaos.ReplayInvalidate) {
+		// Forced fingerprint mismatch: drive the mid-region invalidation
+		// fallback (drain the admitted prefix, finish live, re-record on
+		// the next execution) — transparent by design, and forcing it
+		// under load proves it.
 		return false
 	}
 	specs := r.convertDeps(spec.Deps, tc.worker)

@@ -201,6 +201,25 @@ type Config struct {
 	// have fully released every fragment and no task may remain live.
 	// Violations surface as an error from RunChecked (a panic from Run).
 	Debug bool
+	// Watchdog enables the stall watchdog (real mode only): per-worker
+	// heartbeat epochs plus a sampling monitor goroutine that detects the
+	// lost-wakeup signature — queued work or parked waiters coexisting with
+	// free tokens/credits while dispatch makes no progress — and captures a
+	// structured StallReport (Runtime.StallReports, Config.OnStall). The
+	// per-dispatch cost is two uncontended atomic stores on a worker-private
+	// cache line; off, it is one nil check. See watchdog.go for the
+	// detection and false-positive policy.
+	Watchdog bool
+	// WatchdogInterval is the monitor's sampling period (default 2ms).
+	WatchdogInterval time.Duration
+	// WatchdogBound is how long a stall signature must persist — with
+	// frozen heartbeats across every sample — before a report fires
+	// (default 250ms, ~100x any legitimate admission window).
+	WatchdogBound time.Duration
+	// OnStall, when non-nil, receives each StallReport as it fires (called
+	// on the watchdog goroutine). Reports are collected for
+	// Runtime.StallReports regardless.
+	OnStall func(*StallReport)
 	// Verify enables the lint checks of verify.go: Touch assertions are
 	// checked against the task's strong depend entries, and child depend
 	// entries against the parent's. Findings accumulate in Violations.
@@ -288,6 +307,13 @@ type Runtime struct {
 	repStats   struct {
 		records, replays, invalidations, fallbacks atomic.Int64
 	}
+
+	// Stall watchdog (Config.Watchdog; real mode only). hb holds the
+	// per-worker heartbeat slots (nil when disabled — the beat fast path
+	// checks exactly that); wd is the sampling monitor, alive between
+	// RunChecked's acquire and its final drain.
+	hb []hbSlot
+	wd *watchdog
 
 	rootDone  chan struct{}
 	wallStart time.Time
@@ -438,6 +464,9 @@ func New(cfg Config) *Runtime {
 	}
 	if aq, ok := r.sch.(sched.AffinityQueue[*Task]); ok && cfg.Workers > 1 {
 		r.aff = aq
+	}
+	if cfg.Watchdog {
+		r.hb = make([]hbSlot, cfg.Workers)
 	}
 	return r
 }
@@ -598,6 +627,11 @@ func (r *Runtime) RunChecked(root func(tc *TaskContext)) error {
 	}
 	w := r.sch.Acquire()
 	r.wallStart = time.Now()
+	if r.hb != nil {
+		r.wd = r.newWatchdog()
+		go r.wd.run()
+		defer r.wd.shutdown()
+	}
 	rootTask := r.newTask(nil, TaskSpec{Label: "main", Body: root}, -1)
 	rootTask.node = r.eng.NewNode(nil, "main", rootTask)
 	r.eng.Register(rootTask.node, nil)

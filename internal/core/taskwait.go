@@ -34,6 +34,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/mempool"
 )
 
@@ -199,6 +200,7 @@ func (r *Runtime) taskwaitContinuation(tc *TaskContext) {
 	t.markRegionTaskwait()
 	r.sch.Yield(tc.worker)
 	w := <-cn.resume
+	r.beat(w, hbResume)
 	// The resumer stopped touching the node before its send, and nothing
 	// else references it: detach and recycle.
 	t.cont = nil
@@ -227,6 +229,9 @@ func (r *Runtime) resumeContinuation(t *Task, cn *contNode, w int) {
 	if int(cn.from) != w {
 		r.tw.stealResumes.Add(1)
 	}
+	// Failpoint: delay the token hand-off while the waiter's subtree
+	// completions (and rival pool traffic) race ahead of the resume.
+	chaos.Maybe(chaos.TaskwaitIntercept)
 	cn.resume <- w
 }
 

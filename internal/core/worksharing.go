@@ -45,6 +45,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/deps"
 	"repro/internal/mempool"
 )
@@ -360,7 +361,12 @@ func (r *Runtime) wsDrain(tc *TaskContext, wr *wsRun, helper bool) {
 // before taskStarted — an invitation is not new work, so the throttle
 // window's occupancy accounting never sees it.
 func (r *Runtime) runWsHelper(t *Task, wr *wsRun, w int) int {
+	r.beat(w, hbWsHelper)
 	tc := &TaskContext{rt: r, task: t, worker: w}
+	// Failpoint: delay between consuming the invitation and joining the
+	// drain, racing the announce-hold release against the owner finishing
+	// the whole iteration space alone.
+	chaos.Maybe(chaos.WsAnnounceConsume)
 	var start int64
 	if r.tracer != nil {
 		start = r.now()

@@ -3,6 +3,8 @@ package deps
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
 
 // ShardedEngine partitions the dependency engine per data object: every
@@ -283,6 +285,10 @@ func (e *ShardedEngine) CompleteInto(n *Node, out []*Node) []*Node {
 	n.completed = true
 	datas := n.datas
 	for _, data := range datas {
+		// Failpoint: interleave the per-shard completion visits of a
+		// multi-object clause against concurrent registrations and other
+		// completions over the same data.
+		chaos.Maybe(chaos.DepsCascade)
 		e.shardFor(data).locked(func(c *depCore) {
 			for _, acc := range n.accesses {
 				if acc.spec.Data != data {
@@ -297,6 +303,9 @@ func (e *ShardedEngine) CompleteInto(n *Node, out []*Node) []*Node {
 		})
 	}
 	if e.ep != nil {
+		// Failpoint: delay the completion hold's pin release, racing the
+		// recycle election against fragments unpinning under shard locks.
+		chaos.Maybe(chaos.DepsPinRelease)
 		// Release the completion hold (outside any shard lock: the pools
 		// are their own synchronization domain). If every fragment has
 		// released and every child drained, this recycles the node.

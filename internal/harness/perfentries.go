@@ -237,6 +237,24 @@ func PerfEntries(m PerfMatrix) []PerfEntry {
 			return msPerSweep(res, err, 1)
 		})
 	})
+	// Watchdog overhead A/B: the identical flat-dependency sweep with the
+	// stall watchdog off vs on, pinned at width 4 (independent of the
+	// matrix widths) so the pair keys a stable trajectory. The on-entry
+	// pays the per-dispatch heartbeat stores plus the sampling monitor;
+	// TestWatchdogOverhead gates the pair's ratio at <1%.
+	for _, row := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		row := row
+		add(fmt.Sprintf("workload/gs-flat/watchdog-%s/w4", row.name), "ms/sweep", func() float64 {
+			return atWidth(4, func() float64 {
+				res, err := workloads.RunGS(
+					workloads.Mode{Workers: 4, Watchdog: row.on}, workloads.GSFlatDepend, gsP)
+				return msPerSweep(res, err, gsP.Iters)
+			})
+		})
+	}
 	return out
 }
 

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestWatchdogOverhead gates the watchdog's cost on the dispatch path:
+// the flat-dependency Gauss-Seidel sweep at width 4 (the same pair the
+// workload/gs-flat/watchdog-* perf entries track) must run within 1%
+// of the watchdog-off time with the watchdog on. The heartbeat is two
+// worker-private atomic stores per dispatch and the monitor samples a
+// handful of atomics every 2ms, so 1% is generous headroom — but wall
+// clocks on shared CI hosts jitter, so the test interleaves on/off
+// passes, takes the minimum of each (minimum-of-N discards scheduler
+// noise, which is strictly additive), and retries the whole comparison
+// a few times before declaring a regression.
+func TestWatchdogOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock ratio gate; skipped in -short")
+	}
+	p := workloads.GSParams{N: 128, TS: 16, Iters: 8, Compute: true}
+	run := func(on bool) float64 {
+		res, err := workloads.RunGS(workloads.Mode{Workers: 4, Watchdog: on}, workloads.GSFlatDepend, p)
+		if err != nil {
+			t.Fatalf("sweep failed (watchdog=%v): %v", on, err)
+		}
+		return float64(res.Wall)
+	}
+	const passes = 7
+	const limit = 1.01
+	var ratio float64
+	for attempt := 0; attempt < 4; attempt++ {
+		minOff, minOn := 0.0, 0.0
+		for i := 0; i < passes; i++ {
+			// Interleave so slow host phases (GC, noisy neighbors) hit
+			// both sides equally.
+			if off := run(false); minOff == 0 || off < minOff {
+				minOff = off
+			}
+			if on := run(true); minOn == 0 || on < minOn {
+				minOn = on
+			}
+		}
+		ratio = minOn / minOff
+		if ratio < limit {
+			return
+		}
+		t.Logf("attempt %d: watchdog on/off ratio %.4f >= %.2f, retrying", attempt, ratio, limit)
+	}
+	t.Fatalf("watchdog overhead ratio %.4f, want < %.2f (heartbeats must stay under 1%% on the flat-dependency sweep)", ratio, limit)
+}

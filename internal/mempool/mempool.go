@@ -35,6 +35,8 @@ package mempool
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
 
 // Kind selects the task-lifecycle memory management
@@ -286,6 +288,15 @@ func (l *Lane[T]) Init(g *Global[T]) {
 // (or freshly allocated).
 func (l *Lane[T]) Get() *T {
 	l.gets.Add(1)
+	if chaos.Enabled() && len(l.items) > 0 && chaos.Force(chaos.MempoolRefill) {
+		// Forced lane miss: flush the lane's stock to the global shard so
+		// the Get below goes through the batch refill path — the transfer
+		// machinery a quiet steady state rarely exercises. Gets/Puts are
+		// untouched, so the leak accounting stays exact.
+		l.g.flush(l.items)
+		clearTail(l.items, 0)
+		l.items = l.items[:0]
+	}
 	if n := len(l.items); n > 0 {
 		p := l.items[n-1]
 		l.items[n-1] = nil

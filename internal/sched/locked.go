@@ -225,3 +225,11 @@ func (s *LockedStealing[T]) QueueLen() int {
 	defer s.mu.Unlock()
 	return s.queued
 }
+
+// Probe returns a consistent observation of the admission state (all three
+// counters live under the one lock).
+func (s *LockedStealing[T]) Probe() Probe {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Probe{Queued: s.queued, FreeTokens: len(s.free), Waiters: len(s.waiters)}
+}

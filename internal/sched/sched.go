@@ -171,6 +171,28 @@ type Queue[T any] interface {
 	QueueLen() int
 }
 
+// Probe is one instantaneous observation of a pool's admission state, for
+// external monitors (the runtime's stall watchdog). The three counters are
+// read independently — a probe is not a consistent snapshot — so a monitor
+// must only act on a signature that persists across many probes.
+type Probe struct {
+	// Queued is the number of queued (not running) items.
+	Queued int
+	// FreeTokens is the number of worker tokens on the free pool.
+	FreeTokens int
+	// Waiters is the number of blocked Acquire calls.
+	Waiters int
+}
+
+// Prober is implemented by pools that can report a Probe. A correct pool
+// never lets Queued > 0 (or Waiters > 0) coexist with FreeTokens > 0 beyond
+// a transient admission window: the Dekker publish-then-recheck protocol
+// matches them. A monitor that sees the pairing persist with no dispatch
+// progress is looking at a lost wakeup.
+type Prober interface {
+	Probe() Probe
+}
+
 // prioItem pairs a queued item with its priority and a FIFO tie-break.
 type prioItem[T any] struct {
 	item T
@@ -416,4 +438,17 @@ func (s *Scheduler[T]) QueueLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queuedLocked()
+}
+
+// Probe returns an instantaneous observation of the admission state. The
+// central scheduler reads all three counters under its one lock, so the
+// snapshot is consistent (unlike the sharded pools').
+func (s *Scheduler[T]) Probe() Probe {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Probe{
+		Queued:     s.queuedLocked(),
+		FreeTokens: len(s.free),
+		Waiters:    len(s.waiters),
+	}
 }

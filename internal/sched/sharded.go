@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/mempool"
 )
 
@@ -445,6 +446,9 @@ func (p *shardedPool[T]) popFor(w int) (item T, ok bool) {
 func (p *shardedPool[T]) stealFrom(w int, sh *poolShard[T], v int) (item T, ok bool) {
 	vs := &p.shards[v]
 	if vs.deque.Size() > 0 {
+		// Failpoint: widen the window between the size check and the steal
+		// CAS, racing it against the owner's pushes and rival thieves.
+		chaos.Maybe(chaos.SchedStealCAS)
 		if box, bok := vs.deque.Steal(); bok {
 			stolen := int64(1)
 			if p.selfLIFO {
@@ -528,6 +532,9 @@ func (p *shardedPool[T]) releaseToken(w int) {
 			return
 		}
 		p.tokens.push(w)
+		// Failpoint: widen the window between parking the token and the
+		// recheck below — the exact lost-wakeup race the recheck closes.
+		chaos.Maybe(chaos.SchedTokenRetire)
 		// Dekker recheck: both publications (waiter registration, item
 		// queueing) are ordered before their own recheck of the free list,
 		// so if neither is visible here, whoever published after our push
@@ -554,6 +561,9 @@ func (p *shardedPool[T]) releaseToken(w int) {
 // token goes back through the full release path (which rechecks both
 // sides).
 func (p *shardedPool[T]) kick() {
+	// Failpoint: widen the window between the caller's item publication
+	// and the token-list recheck — the submitter side of the Dekker pair.
+	chaos.Maybe(chaos.SchedDekkerRecheck)
 	for {
 		w, ok := p.tokens.tryPop()
 		if !ok {
@@ -637,6 +647,18 @@ func (p *shardedPool[T]) QueueLen() int {
 		n += p.shards[i].deque.Size() + p.shards[i].ilen.Load()
 	}
 	return int(n)
+}
+
+// Probe returns an instantaneous (not mutually consistent) observation of
+// the admission state: each counter is its own atomic read, so transient
+// contradictions — queued work and a free token at once — are expected
+// during admission windows. Monitors must require the signature to persist.
+func (p *shardedPool[T]) Probe() Probe {
+	return Probe{
+		Queued:     p.QueueLen(),
+		FreeTokens: int(p.tokens.free()),
+		Waiters:    int(p.nwaiters.Load()),
+	}
 }
 
 // Stealing is the work-stealing ready pool: one deque per worker, LIFO

@@ -14,9 +14,10 @@ import (
 type locked struct {
 	limit int64
 	open  atomic.Int64
-	mu    sync.Mutex
-	cond  *sync.Cond
-	parks atomic.Int64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parks   atomic.Int64
+	waiting atomic.Int64
 }
 
 // NewLocked creates the mutex+cond reference window with the given bound.
@@ -38,9 +39,11 @@ func (l *locked) Reserve(worker int, y Yielder) (int, bool) {
 		y.Yield(worker)
 	}
 	l.mu.Lock()
+	l.waiting.Add(1)
 	for l.open.Load() >= l.limit {
 		l.cond.Wait()
 	}
+	l.waiting.Add(-1)
 	l.mu.Unlock()
 	if y != nil {
 		worker = y.Acquire()
@@ -66,5 +69,13 @@ func (l *locked) Started(worker int) {
 func (l *locked) Open() int64 { return l.open.Load() }
 
 func (l *locked) Limit() int { return int(l.limit) }
+
+// Credits reports the free slots under the bound. The locked window keeps
+// no per-worker caches and Reserve prepays nothing, so this is exactly
+// limit - open (negative while cascades overdraw).
+func (l *locked) Credits() int64 { return l.limit - l.open.Load() }
+
+// Waiters reports the reservers currently cond-waiting above the bound.
+func (l *locked) Waiters() int64 { return l.waiting.Load() }
 
 func (l *locked) Stats() Stats { return Stats{Parks: l.parks.Load()} }

@@ -3,6 +3,8 @@ package throttle
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
 
 // sharded is the token-bucket admission window. The bound is a pool of
@@ -157,6 +159,9 @@ func (s *sharded) tryAcquire(idx int) bool {
 	if s.borrow(idx) {
 		return true
 	}
+	// Failpoint: delay before the cross-cache steal scan, racing it
+	// against concurrent Started returns and rival stealers.
+	chaos.Maybe(chaos.ThrottleCreditSteal)
 	for i := 1; i < s.workers; i++ {
 		if takeCache(&s.shards[(idx+i)%s.workers].cache) {
 			s.steals.Add(1)
@@ -180,8 +185,13 @@ func (s *sharded) tryAcquire(idx int) bool {
 // fast-path test.
 func (s *sharded) put(worker int) {
 	idx := s.shardOf(worker)
-	if s.balance.Load() >= 0 && s.nwait.Load() > 0 && s.handOff(idx) {
-		return
+	if s.balance.Load() >= 0 && s.nwait.Load() > 0 {
+		// Failpoint: widen the window between the waiter-count check and
+		// the hand-off pop, racing it against waiter deregistration.
+		chaos.Maybe(chaos.ThrottleBatchWake)
+		if s.handOff(idx) {
+			return
+		}
 	}
 	for {
 		bal := s.balance.Load()
@@ -328,6 +338,22 @@ func (s *sharded) Started(worker int) {
 func (s *sharded) Open() int64 { return s.open.Load() }
 
 func (s *sharded) Limit() int { return int(s.limit) }
+
+// Credits sums the global balance and every per-worker cache. The reads
+// are independent atomics, so under load the sum may be instantaneously
+// inconsistent (a credit mid-transfer is counted zero or twice); at
+// quiescence it is exact and equals limit - open. Credits held in flight
+// by reservers between Reserve and Entered are deliberately excluded.
+func (s *sharded) Credits() int64 {
+	n := s.balance.Load()
+	for i := range s.shards {
+		n += s.shards[i].cache.Load()
+	}
+	return n
+}
+
+// Waiters reports the reservers currently parked across all wait lists.
+func (s *sharded) Waiters() int64 { return s.nwait.Load() }
 
 func (s *sharded) Stats() Stats {
 	return Stats{

@@ -124,6 +124,19 @@ type Window interface {
 	Open() int64
 	// Limit returns the configured window bound.
 	Limit() int
+	// Credits returns the number of window slots currently free to admit
+	// work: the global balance plus any per-worker credit caches, excluding
+	// credits held in flight by reservers between Reserve and Entered. It
+	// may be negative while cascade admissions overdraw the bound. At
+	// quiescence (no open task, no reservation in flight) it equals
+	// Limit() - Open() exactly — the runtime's leak checks assert this —
+	// but under load the counters are read independently and the sum may be
+	// instantaneously inconsistent.
+	Credits() int64
+	// Waiters returns the number of reservers currently parked in Reserve.
+	// Monitors use it with Credits: a parked reserver and a free credit
+	// coexisting past a transient handoff window is a lost wakeup.
+	Waiters() int64
 	// Stats returns a snapshot of the diagnostic counters.
 	Stats() Stats
 }

@@ -81,6 +81,10 @@ type Mode struct {
 	// dependency fragment released, no live tasks); violations panic out
 	// of the run.
 	Debug bool
+	// Watchdog enables the runtime's stall watchdog (heartbeat epochs plus
+	// a sampling monitor; core.Config.Watchdog) — the overhead A/B of the
+	// watchdog perf entries, and stall detection under the chaos bench.
+	Watchdog bool
 }
 
 func (m Mode) config() nanos.Config {
@@ -106,6 +110,7 @@ func (m Mode) config() nanos.Config {
 		VirtualSubmitCost: m.SubmitCost,
 		Verify:            m.Verify,
 		Debug:             m.Debug,
+		Watchdog:          m.Watchdog,
 	}
 }
 

@@ -113,8 +113,17 @@ type (
 	// DepStats exposes dependency-engine activity counters.
 	DepStats = deps.Stats
 	// TaskError reports a panic recovered from a task body; returned by
-	// Runtime.RunChecked (and re-panicked by Runtime.Run).
+	// Runtime.RunChecked (and re-panicked by Runtime.Run). Either way the
+	// runtime drains to quiescence first: remaining bodies are skipped,
+	// credits refund, pooled objects recycle, and poisoned graph regions
+	// invalidate their recordings.
 	TaskError = core.TaskError
+	// StallReport is one stall-watchdog diagnosis (Config.Watchdog arms
+	// the watchdog, Config.OnStall receives reports as they fire,
+	// Runtime.StallReports returns those collected during the run).
+	StallReport = core.StallReport
+	// WorkerState is one worker's heartbeat row in a StallReport.
+	WorkerState = core.WorkerState
 	// Violation is one finding of the Config.Verify lint checks.
 	Violation = core.Violation
 	// ViolationKind classifies a Violation.
